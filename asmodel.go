@@ -1,0 +1,159 @@
+// Package asmodel builds AS-topology models of the Internet that capture
+// route diversity, reproducing Mühlbauer, Feldmann, Maennel, Roughan and
+// Uhlig, "Building an AS-topology model that captures route diversity"
+// (SIGCOMM 2006).
+//
+// The library models every AS as one or more quasi-routers — logical
+// partitions of the AS's route-selection behaviour — and synthesises
+// per-prefix routing policies (export filters plus MED ranking) with an
+// iterative refinement heuristic until a BGP propagation simulation
+// reproduces every AS-path of a training set of BGP observations. The
+// refined model predicts unobserved routes and answers what-if questions
+// (de-peering, policy changes).
+//
+// # Workflow
+//
+//	ds := ... // load a dataset: asmodel.ReadDataset, asmodel.MRTToDataset,
+//	          // or asmodel.GenerateInternet(...).RunAll()
+//	ds.Normalize()
+//	train, valid := ds.SplitByObsPoint(0.5, seed)
+//	m, res, err := asmodel.BuildAndRefine(ds, train, asmodel.RefineConfig{})
+//	ev, err := m.Evaluate(valid)
+//
+// The subpackages under internal/ carry the substrates: a C-BGP-style
+// static BGP propagation engine (internal/sim), a router-level
+// ground-truth simulator with iBGP and hot-potato routing
+// (internal/routersim, internal/igp), an MRT/RFC-6396 codec
+// (internal/mrt), AS-graph analysis (internal/topology), valley-free
+// relationship inference (internal/relation), a synthetic-Internet
+// generator (internal/gen), and the evaluation metrics of the paper
+// (internal/metrics). This package re-exports the types needed to drive
+// the published workflow.
+package asmodel
+
+import (
+	"io"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/gen"
+	"asmodel/internal/lg"
+	"asmodel/internal/model"
+	"asmodel/internal/mrt"
+	"asmodel/internal/relation"
+	"asmodel/internal/topology"
+)
+
+// Core data types.
+type (
+	// ASN is an autonomous system number.
+	ASN = bgp.ASN
+	// Path is an AS-path, neighbor first, origin last.
+	Path = bgp.Path
+	// Record is one BGP observation: (observation point, prefix, AS-path).
+	Record = dataset.Record
+	// Dataset is a collection of BGP observations.
+	Dataset = dataset.Dataset
+	// ObsPointID identifies one BGP feed.
+	ObsPointID = dataset.ObsPointID
+	// Universe maps prefix names to dense IDs and origins.
+	Universe = dataset.Universe
+	// Graph is an undirected AS-level graph.
+	Graph = topology.Graph
+)
+
+// Modeling types.
+type (
+	// Model is the quasi-router AS-routing model (the paper's primary
+	// contribution).
+	Model = model.Model
+	// RefineConfig controls the iterative refinement heuristic; the zero
+	// value is the paper's configuration.
+	RefineConfig = model.RefineConfig
+	// RefineResult reports what refinement did.
+	RefineResult = model.RefineResult
+	// Evaluation is the outcome of Model.Evaluate: §4.2 match metrics
+	// plus per-prefix coverage.
+	Evaluation = model.Evaluation
+	// PathChange describes a what-if prediction difference.
+	PathChange = model.PathChange
+)
+
+// Synthetic-Internet generation (the substitute for Routeviews/RIPE
+// feeds).
+type (
+	// GenConfig parameterizes the synthetic Internet.
+	GenConfig = gen.Config
+	// Internet is a generated router-level ground-truth Internet.
+	Internet = gen.Internet
+)
+
+// DefaultGenConfig returns a laptop-scale synthetic-Internet
+// configuration with every route-diversity mechanism enabled.
+func DefaultGenConfig() GenConfig { return gen.DefaultConfig() }
+
+// GenerateInternet builds a synthetic ground-truth Internet.
+func GenerateInternet(cfg GenConfig) (*Internet, error) { return gen.Generate(cfg) }
+
+// ParsePath parses a space-separated AS-path such as "701 1239 24249".
+func ParsePath(s string) (Path, error) { return bgp.ParsePath(s) }
+
+// ReadDataset parses the line-oriented dataset text format.
+func ReadDataset(r io.Reader) (*Dataset, error) { return dataset.Read(r) }
+
+// MRTToDataset converts an MRT TABLE_DUMP_V2 RIB dump into a dataset.
+func MRTToDataset(r io.Reader) (*Dataset, error) {
+	ds, _, err := mrt.ToDataset(r)
+	return ds, err
+}
+
+// NewGraph derives the AS-level graph of a dataset (§3.1).
+func NewGraph(ds *Dataset) *Graph { return topology.FromDataset(ds) }
+
+// NewModel builds the paper's initial model (§4.5): one quasi-router per
+// AS and one session per AS edge, over the universe of the given
+// datasets.
+func NewModel(g *Graph, dss ...*Dataset) (*Model, error) {
+	return model.NewInitial(g, dataset.NewUniverse(dss...))
+}
+
+// BuildAndRefine is the end-to-end §4 pipeline: derive the AS graph and
+// prefix universe from full (normally the union of training and
+// validation feeds, as the paper does in §4.5), build the initial model,
+// and refine it against train until the training paths are matched.
+func BuildAndRefine(full, train *Dataset, cfg RefineConfig) (*Model, *RefineResult, error) {
+	m, err := NewModel(NewGraph(full), full)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := m.Refine(train, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, res, nil
+}
+
+// InferTier1 grows the level-1 clique from seed ASes (§3.1).
+func InferTier1(g *Graph, seeds []ASN) ([]ASN, error) { return g.Tier1Clique(seeds) }
+
+// InferRelationships runs the valley-free relationship inference used by
+// the Table-2 policy baseline (§3.3).
+func InferRelationships(ds *Dataset, tier1 []ASN) *relation.Inference {
+	return relation.Infer(ds, tier1)
+}
+
+// SaveModel writes a refined model to w in the versioned text format; a
+// model saved after refinement can be reloaded for prediction and what-if
+// studies without re-running the heuristic.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+
+// LoadModel reads a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
+
+// ParseLookingGlass parses a "show ip bgp" style looking-glass table into
+// dataset records observed at the given AS (see internal/lg for the
+// format rules).
+func ParseLookingGlass(r io.Reader, obs ObsPointID, localAS ASN, ds *Dataset) error {
+	_, err := lg.Parse(r, lg.Options{Obs: obs, LocalAS: localAS}, ds)
+	return err
+}

@@ -1,0 +1,146 @@
+package asmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := DefaultGenConfig()
+	cfg.NumTier2 = 8
+	cfg.NumTier3 = 15
+	cfg.NumStub = 25
+	cfg.NumVantageASes = 10
+	in, err := GenerateInternet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := in.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds.Normalize()
+	train, valid := ds.SplitByObsPoint(0.5, 1)
+
+	m, res, err := BuildAndRefine(ds, train, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("refinement did not converge: %+v", res)
+	}
+	evT, err := m.Evaluate(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evT.Summary.RIBOut != evT.Summary.Total {
+		t.Fatalf("training not exact: %v", evT.Summary)
+	}
+	evV, err := m.Evaluate(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evV.Summary.Total == 0 {
+		t.Fatal("empty validation")
+	}
+	if frac := evV.Summary.Frac(evV.Summary.DownToTieBreak()); frac < 0.5 {
+		t.Errorf("validation down-to-tie-break %.2f too low", frac)
+	}
+}
+
+func TestFacadeDatasetIO(t *testing.T) {
+	text := "op1 10 0 P40 10 20 40\nop2 11 0 P40 11 20 40\n"
+	ds, err := ReadDataset(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d", ds.Len())
+	}
+	g := NewGraph(ds)
+	if !g.HasEdge(10, 20) || !g.HasEdge(20, 40) {
+		t.Error("graph edges missing")
+	}
+	p, err := ParsePath("701 1239")
+	if err != nil || len(p) != 2 {
+		t.Errorf("ParsePath: %v %v", p, err)
+	}
+}
+
+func TestFacadeMRT(t *testing.T) {
+	// An empty MRT stream yields an empty dataset.
+	ds, err := MRTToDataset(bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 {
+		t.Error("expected empty dataset")
+	}
+}
+
+func TestFacadeTier1AndRelationships(t *testing.T) {
+	text := strings.Join([]string{
+		"op10 10 0 P20 10 20",
+		"op20 20 0 P10 20 10",
+		"op10 10 0 P100 10 100",
+		"op20 20 0 P100 20 10 100",
+	}, "\n")
+	ds, err := ReadDataset(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGraph(ds)
+	tier1, err := InferTier1(g, []ASN{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tier1) < 2 {
+		t.Errorf("tier1=%v", tier1)
+	}
+	inf := InferRelationships(ds, tier1)
+	if inf.Len() == 0 {
+		t.Error("no relationships inferred")
+	}
+}
+
+func TestFacadeSaveLoadAndLG(t *testing.T) {
+	text := "op1 10 0 P40 10 20 40\nop2 11 0 P40 11 20 40\n"
+	ds, err := ReadDataset(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Augment with a looking-glass table observed at AS 12.
+	lgTable := `   Network          Next Hop            Metric LocPrf Weight Path
+*> P40              10.0.0.1                 0             0 20 40 i
+`
+	if err := ParseLookingGlass(strings.NewReader(lgTable), "lg12", 12, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds.Normalize()
+	if len(ds.ObsASes()) != 3 {
+		t.Fatalf("obs ASes=%v", ds.ObsASes())
+	}
+	m, res, err := BuildAndRefine(ds, ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(m, &buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m2.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("loaded model mismatch: %v", ev.Summary)
+	}
+}

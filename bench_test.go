@@ -1,0 +1,318 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one Benchmark per artifact; see DESIGN.md §4 for the
+// experiment index). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports domain-specific metrics (match fractions, model
+// sizes) through b.ReportMetric in addition to wall time.
+package asmodel
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/experiments"
+	"asmodel/internal/gen"
+	"asmodel/internal/sim"
+)
+
+// benchSuite is generated once and shared: generation itself is benched
+// separately (BenchmarkGroundTruthGeneration).
+var (
+	benchOnce  sync.Once
+	benchSuite *experiments.Suite
+	benchErr   error
+)
+
+func suite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := experiments.DefaultConfig()
+		cfg.Seed = 1
+		benchSuite, benchErr = experiments.NewSuite(cfg)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSuite
+}
+
+// BenchmarkGroundTruthGeneration measures building the synthetic Internet
+// and simulating the ground truth for every prefix (the data-collection
+// substitute).
+func BenchmarkGroundTruthGeneration(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		in, err := gen.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ds, err := in.RunAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(ds.Len()), "records")
+	}
+}
+
+// BenchmarkFigure2DiversityHistogram regenerates Figure 2 (E1).
+func BenchmarkFigure2DiversityHistogram(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, _ := s.Figure2()
+		b.ReportMetric(100*h.FracAbove(1), "pct-multi-path-pairs")
+	}
+}
+
+// BenchmarkTable1MaxDiversityQuantiles regenerates Table 1 (E2).
+func BenchmarkTable1MaxDiversityQuantiles(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q, _ := s.Table1()
+		b.ReportMetric(float64(q[0.99]), "p99-diversity")
+	}
+}
+
+// BenchmarkTable2ShortestPath regenerates Table 2 column 1 (E3): the
+// single-router shortest-path baseline over all prefixes.
+func BenchmarkTable2ShortestPath(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := res.ShortestPath.Summary
+		b.ReportMetric(100*sp.Frac(sp.Agree()), "pct-agree-shortest")
+		pol := res.Policies.Summary
+		b.ReportMetric(100*pol.Frac(pol.Agree()), "pct-agree-policies")
+	}
+}
+
+// BenchmarkTable2InferredPolicies regenerates Table 2 column 2 (E4) in
+// isolation (relationship inference plus policy evaluation).
+func BenchmarkTable2InferredPolicies(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pol := res.Policies.Summary
+		b.ReportMetric(100*pol.Frac(pol.NoRIBIn), "pct-not-available")
+	}
+}
+
+// BenchmarkRefineTraining regenerates the §5 training result (E5): the
+// iterative refinement until the training set is matched exactly.
+func BenchmarkRefineTraining(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := s.RunPipeline(0.5, int64(i+1), experiments.RefineConfigDefault())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !o.Refine.Converged {
+			b.Fatalf("refinement did not converge: %+v", o.Refine)
+		}
+		b.ReportMetric(float64(o.Refine.Iterations), "iterations")
+		b.ReportMetric(float64(o.Refine.QuasiRoutersAdded), "quasi-routers-added")
+		b.ReportMetric(100*o.Train.Summary.Frac(o.Train.Summary.RIBOut), "pct-train-rib-out")
+	}
+}
+
+// BenchmarkPredictValidation regenerates the §5 validation headline (E6):
+// prediction accuracy for held-out observation points.
+func BenchmarkPredictValidation(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := s.RunPipeline(0.5, int64(i+1), experiments.RefineConfigDefault())
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := o.Valid.Summary
+		b.ReportMetric(100*v.Frac(v.DownToTieBreak()), "pct-down-to-tie-break")
+		b.ReportMetric(100*v.Frac(v.RIBOut), "pct-rib-out")
+		b.ReportMetric(100*v.Frac(v.RIBInMatches()), "pct-rib-in")
+	}
+}
+
+// BenchmarkPredictUnseenPrefixes regenerates the origin-split evaluation
+// (E7, §4.7).
+func BenchmarkPredictUnseenPrefixes(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := s.UnseenPrefixes(0.5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := o.Valid.Summary
+		b.ReportMetric(100*v.Frac(v.DownToTieBreak()), "pct-down-to-tie-break")
+	}
+}
+
+// BenchmarkFigure3CaseStudy regenerates the diversity case study (E8).
+func BenchmarkFigure3CaseStudy(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := s.Figure3(); len(out) == 0 {
+			b.Fatal("empty case study")
+		}
+	}
+}
+
+// BenchmarkTopologyStats regenerates the §3.1 dataset statistics (E11).
+func BenchmarkTopologyStats(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, _, err := s.TopologyStats()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(st.ASes), "ASes")
+	}
+}
+
+// BenchmarkAblation regenerates the E10 design-choice ablations.
+func BenchmarkAblation(b *testing.B) {
+	s := suite(b)
+	for _, name := range []string{"NoDuplication", "NoMED", "LocalPref"} {
+		cfg := experiments.RefineConfigDefault()
+		switch name {
+		case "NoDuplication":
+			cfg.DisableDuplication = true
+		case "NoMED":
+			cfg.DisableMED = true
+		case "LocalPref":
+			cfg.UseLocalPref = true
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o, err := s.RunPipeline(0.5, int64(i+1), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*o.Train.Summary.Frac(o.Train.Summary.RIBOut), "pct-train-rib-out")
+			}
+		})
+	}
+}
+
+// BenchmarkSimScale regenerates the §4.1 performance envelope (E9): the
+// cost of simulating a single prefix over quasi-router topologies of
+// increasing size. C-BGP needed 2-45 minutes per prefix on 16,500 routers
+// across 14,500 ASes; this engine targets the same workload shape.
+func BenchmarkSimScale(b *testing.B) {
+	for _, size := range []struct {
+		name  string
+		ases  int
+		extra int // extra edges per AS beyond the spanning tree
+	}{
+		{"1kAS", 1000, 2},
+		{"5kAS", 5000, 2},
+		{"15kAS", 14500, 2},
+	} {
+		b.Run(size.name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			net := sim.NewNetwork(bgp.QuasiRouterConfig)
+			routers := make([]*sim.Router, size.ases)
+			for i := range routers {
+				r, err := net.AddRouter(bgp.ASN(i+1), 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				routers[i] = r
+			}
+			for i := 1; i < size.ases; i++ {
+				net.Connect(routers[i], routers[rng.Intn(i)])
+				for e := 0; e < size.extra; e++ {
+					j := rng.Intn(size.ases)
+					if j != i && routers[i].PeerTo(routers[j].ID) == nil {
+						net.Connect(routers[i], routers[j])
+					}
+				}
+			}
+			b.ReportMetric(float64(net.NumSessions()), "sessions")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := net.Run(0, []bgp.RouterID{routers[i%size.ases].ID}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPredictCombinedSplit regenerates the §4.2 combined split
+// (E7b): held-out observation points observing held-out origins.
+func BenchmarkPredictCombinedSplit(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o, err := s.CombinedSplit(0.5, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := o.Valid.Summary
+		b.ReportMetric(100*v.Frac(v.DownToTieBreak()), "pct-down-to-tie-break")
+	}
+}
+
+// BenchmarkMultiPrefixStudy regenerates the §3.2 prefixes-per-path
+// analysis with multi-prefix origins (E8b).
+func BenchmarkMultiPrefixStudy(b *testing.B) {
+	cfg := experiments.DefaultConfig()
+	cfg.NumTier3 /= 2
+	cfg.NumStub /= 2
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := experiments.MultiPrefixStudy(cfg, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWhatIfFidelity regenerates the E13 study: de-peering
+// predictions validated against the re-simulated ground truth.
+func BenchmarkWhatIfFidelity(b *testing.B) {
+	s := suite(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, _, err := s.WhatIfFidelity(5, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cases > 0 {
+			b.ReportMetric(100*float64(res.ExactSet)/float64(res.Cases), "pct-exact")
+		}
+	}
+}

@@ -1,0 +1,369 @@
+// Command asmodel builds, refines, evaluates and queries AS-routing
+// models from BGP path datasets.
+//
+// Subcommands:
+//
+//	asmodel stats   -in paths.txt -tier1 10,11          # §3.1 statistics
+//	asmodel refine  -in paths.txt [-train-frac 0.5] [-save model.txt]
+//	asmodel predict -in paths.txt -prefix P40 -as 10    # or -model model.txt
+//	asmodel whatif  -in paths.txt -prefix P40 -a 10 -b 20 -watch 30,40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/model"
+	"asmodel/internal/stats"
+	"asmodel/internal/topology"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = cmdStats(os.Args[2:])
+	case "refine":
+		err = cmdRefine(os.Args[2:])
+	case "predict":
+		err = cmdPredict(os.Args[2:])
+	case "whatif":
+		err = cmdWhatif(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
+	case "evaluate":
+		err = cmdEvaluate(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: asmodel <stats|refine|predict|whatif> [flags]
+  stats   -in paths.txt -tier1 10,11            topology statistics (§3.1)
+  refine  -in paths.txt -train-frac 0.5 -seed 1 build, refine, evaluate (§4-5)
+  predict -in paths.txt -prefix P40 -as 10      predict an AS's paths
+  whatif  -in paths.txt -prefix P40 -a 10 -b 20 -watch 30,40  de-peering impact
+  explain -in paths.txt -prefix P40 -as 10      decision process breakdown
+  evaluate -model model.txt -in paths.txt       score a saved model on a dataset`)
+}
+
+func loadDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Normalize(), nil
+}
+
+func parseASList(s string) ([]bgp.ASN, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []bgp.ASN
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad AS number %q: %w", part, err)
+		}
+		out = append(out, bgp.ASN(v))
+	}
+	return out, nil
+}
+
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file")
+	tier1 := fs.String("tier1", "", "comma-separated tier-1 seed ASes")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("stats: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	seeds, err := parseASList(*tier1)
+	if err != nil {
+		return err
+	}
+	if len(seeds) == 0 {
+		return fmt.Errorf("stats: -tier1 seeds are required (e.g. -tier1 10,11)")
+	}
+	st, err := topology.ComputeStats(ds, seeds)
+	if err != nil {
+		return err
+	}
+	tb := stats.NewTable("quantity", "value")
+	tb.AddRow("records", fmt.Sprintf("%d", ds.Len()))
+	tb.AddRow("observation points", fmt.Sprintf("%d", len(ds.ObsPoints())))
+	tb.AddRow("observation ASes", fmt.Sprintf("%d", len(ds.ObsASes())))
+	tb.AddRow("ASes", fmt.Sprintf("%d", st.ASes))
+	tb.AddRow("AS edges", fmt.Sprintf("%d", st.Edges))
+	tb.AddRow("tier-1 clique", fmt.Sprintf("%v", st.Tier1))
+	tb.AddRow("level-2 ASes", fmt.Sprintf("%d", st.Level2))
+	tb.AddRow("other ASes", fmt.Sprintf("%d", st.Other))
+	tb.AddRow("transit ASes", fmt.Sprintf("%d", st.Transit))
+	tb.AddRow("single-homed stubs", fmt.Sprintf("%d", st.SingleHomedStub))
+	tb.AddRow("multi-homed stubs", fmt.Sprintf("%d", st.MultiHomedStub))
+	tb.AddRow("ASes after stub pruning", fmt.Sprintf("%d", st.PrunedASes))
+	tb.AddRow("edges after stub pruning", fmt.Sprintf("%d", st.PrunedEdges))
+	fmt.Print(tb.String())
+	return nil
+}
+
+func cmdRefine(args []string) error {
+	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file")
+	trainFrac := fs.Float64("train-frac", 0.5, "fraction of observation points used for training")
+	seed := fs.Int64("seed", 1, "split seed")
+	byOrigin := fs.Bool("by-origin", false, "split by originating AS instead of observation point")
+	verbose := fs.Bool("v", false, "log refinement progress")
+	save := fs.String("save", "", "write the refined model to this file")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("refine: -in is required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	var train, valid *dataset.Dataset
+	if *byOrigin {
+		train, valid = ds.SplitByOrigin(*trainFrac, *seed)
+	} else {
+		train, valid = ds.SplitByObsPoint(*trainFrac, *seed)
+	}
+	m, err := model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		return err
+	}
+	cfg := model.RefineConfig{}
+	if *verbose {
+		cfg.Logf = func(format string, a ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		}
+	}
+	res, err := m.Refine(train, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("refinement: iterations=%d converged=%v quasi-routers=+%d filters=%d(-%d) med-rules=%d\n",
+		res.Iterations, res.Converged, res.QuasiRoutersAdded, res.FiltersAdded, res.FiltersRemoved, res.MEDRules)
+	for _, part := range []struct {
+		name string
+		set  *dataset.Dataset
+	}{{"training", train}, {"validation", valid}} {
+		ev, err := m.Evaluate(part.set)
+		if err != nil {
+			return err
+		}
+		s := ev.Summary
+		fmt.Printf("%-10s %s  down-to-tie-break=%s\n", part.name, s, stats.Pct(s.DownToTieBreak(), s.Total))
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := m.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("model saved to %s\n", *save)
+	}
+	return nil
+}
+
+// loadOrRefine loads a saved model, or builds and refines one from the
+// dataset when no model file is given.
+func loadOrRefine(modelPath string, ds *dataset.Dataset) (*model.Model, error) {
+	if modelPath != "" {
+		f, err := os.Open(modelPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return model.Load(f)
+	}
+	m, err := model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := m.Refine(ds, model.RefineConfig{}); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file")
+	prefix := fs.String("prefix", "", "prefix name")
+	asn := fs.Uint64("as", 0, "observation AS")
+	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	fs.Parse(args)
+	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
+		return fmt.Errorf("predict: -prefix, -as and one of -in/-model are required")
+	}
+	var ds *dataset.Dataset
+	var err error
+	if *in != "" {
+		if ds, err = loadDataset(*in); err != nil {
+			return err
+		}
+	}
+	m, err := loadOrRefine(*modelPath, ds)
+	if err != nil {
+		return err
+	}
+	paths, err := m.PredictPaths(*prefix, bgp.ASN(*asn))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		fmt.Printf("AS %d selects no route for %s\n", *asn, *prefix)
+		return nil
+	}
+	for _, p := range paths {
+		fmt.Println(p)
+	}
+	return nil
+}
+
+func cmdWhatif(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file")
+	prefix := fs.String("prefix", "", "prefix name")
+	a := fs.Uint64("a", 0, "first AS of the removed link")
+	b := fs.Uint64("b", 0, "second AS of the removed link")
+	watch := fs.String("watch", "", "comma-separated ASes whose routes to compare")
+	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	fs.Parse(args)
+	if *in == "" && *modelPath == "" || *prefix == "" || *a == 0 || *b == 0 {
+		return fmt.Errorf("whatif: -prefix, -a, -b and one of -in/-model are required")
+	}
+	var ds *dataset.Dataset
+	var err error
+	if *in != "" {
+		if ds, err = loadDataset(*in); err != nil {
+			return err
+		}
+	}
+	watchASes, err := parseASList(*watch)
+	if err != nil {
+		return err
+	}
+	if len(watchASes) == 0 {
+		if ds == nil {
+			return fmt.Errorf("whatif: -watch is required with -model")
+		}
+		watchASes = ds.ObsASes()
+	}
+	m, err := loadOrRefine(*modelPath, ds)
+	if err != nil {
+		return err
+	}
+	changes, err := m.WhatIfDepeer(*prefix, bgp.ASN(*a), bgp.ASN(*b), watchASes)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("de-peering AS%d -- AS%d, prefix %s:\n", *a, *b, *prefix)
+	anyChange := false
+	for _, c := range changes {
+		if !c.Changed() {
+			continue
+		}
+		anyChange = true
+		fmt.Printf("  AS %d: {%s} -> {%s}\n", c.AS, joinPaths(c.Before), joinPaths(c.After))
+	}
+	if !anyChange {
+		fmt.Println("  no watched AS changes its routes")
+	}
+	return nil
+}
+
+// joinPaths renders a path set as "a b c; d e f".
+func joinPaths(paths []bgp.Path) string {
+	parts := make([]string, len(paths))
+	for i, p := range paths {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file")
+	prefix := fs.String("prefix", "", "prefix name")
+	asn := fs.Uint64("as", 0, "AS whose decision to explain")
+	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	fs.Parse(args)
+	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
+		return fmt.Errorf("explain: -prefix, -as and one of -in/-model are required")
+	}
+	var ds *dataset.Dataset
+	var err error
+	if *in != "" {
+		if ds, err = loadDataset(*in); err != nil {
+			return err
+		}
+	}
+	m, err := loadOrRefine(*modelPath, ds)
+	if err != nil {
+		return err
+	}
+	ex, err := m.ExplainPath(*prefix, bgp.ASN(*asn))
+	if err != nil {
+		return err
+	}
+	fmt.Print(ex.String())
+	return nil
+}
+
+func cmdEvaluate(args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+	in := fs.String("in", "", "dataset file to score against")
+	modelPath := fs.String("model", "", "saved model file")
+	fs.Parse(args)
+	if *in == "" || *modelPath == "" {
+		return fmt.Errorf("evaluate: -in and -model are required")
+	}
+	ds, err := loadDataset(*in)
+	if err != nil {
+		return err
+	}
+	m, err := loadOrRefine(*modelPath, nil)
+	if err != nil {
+		return err
+	}
+	ev, err := m.Evaluate(ds)
+	if err != nil {
+		return err
+	}
+	s := ev.Summary
+	fmt.Printf("%s\n", s)
+	fmt.Printf("down-to-tie-break=%s  skipped-prefixes=%d\n", stats.Pct(s.DownToTieBreak(), s.Total), ev.SkippedPrefixes)
+	fmt.Printf("per-prefix RIB-Out coverage: >=50%%: %d/%d  >=90%%: %d/%d  100%%: %d/%d\n",
+		ev.Coverage.At50, ev.Coverage.Prefixes, ev.Coverage.At90, ev.Coverage.Prefixes, ev.Coverage.At100, ev.Coverage.Prefixes)
+	return nil
+}

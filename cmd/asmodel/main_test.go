@@ -1,0 +1,162 @@
+package main
+
+import (
+	"asmodel/internal/bgp"
+
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDataset writes a small dataset file for CLI tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "paths.txt")
+	data := strings.Join([]string{
+		"op10 10 0 P20 10 20",
+		"op20 20 0 P10 20 10",
+		"op10a 10 0 P40 10 20 40",
+		"op10b 10 0 P40 10 30 40",
+		"op20 20 0 P40 20 40",
+		"op10 10 0 P30 10 30",
+	}, "\n") + "\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseASList(t *testing.T) {
+	got, err := parseASList(" 10, 20 ,30")
+	if err != nil || len(got) != 3 || got[1] != 20 {
+		t.Fatalf("got=%v err=%v", got, err)
+	}
+	if _, err := parseASList("1,x"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if got, err := parseASList(""); err != nil || got != nil {
+		t.Error("empty list should be nil, nil")
+	}
+}
+
+func TestCmdStats(t *testing.T) {
+	path := writeDataset(t)
+	if err := cmdStats([]string{"-in", path, "-tier1", "10,20"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdStats([]string{"-in", path}); err == nil {
+		t.Error("missing tier1 accepted")
+	}
+	if err := cmdStats([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := cmdStats([]string{"-in", "/nonexistent", "-tier1", "10"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestCmdRefineAndSaveLoad(t *testing.T) {
+	path := writeDataset(t)
+	modelPath := filepath.Join(t.TempDir(), "model.txt")
+	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(modelPath); err != nil {
+		t.Fatalf("model not saved: %v", err)
+	}
+	// Predict from the saved model.
+	if err := cmdPredict([]string{"-model", modelPath, "-prefix", "P40", "-as", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// Predict by refining in-process.
+	if err := cmdPredict([]string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// Origin split path.
+	if err := cmdRefine([]string{"-in", path, "-by-origin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdRefine([]string{}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}
+
+func TestCmdPredictErrors(t *testing.T) {
+	if err := cmdPredict([]string{"-prefix", "P40", "-as", "10"}); err == nil {
+		t.Error("missing -in/-model accepted")
+	}
+	path := writeDataset(t)
+	if err := cmdPredict([]string{"-in", path, "-as", "10"}); err == nil {
+		t.Error("missing prefix accepted")
+	}
+	if err := cmdPredict([]string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+}
+
+func TestCmdWhatif(t *testing.T) {
+	path := writeDataset(t)
+	if err := cmdWhatif([]string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatif([]string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatif([]string{"-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
+		t.Error("missing -in/-model accepted")
+	}
+	// With -model but no -in, -watch becomes mandatory.
+	modelPath := filepath.Join(t.TempDir(), "m.txt")
+	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatif([]string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
+		t.Error("missing -watch with -model accepted")
+	}
+	if err := cmdWhatif([]string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinPaths(t *testing.T) {
+	p1 := bgp.Path{1, 2}
+	p2 := bgp.Path{3, 4}
+	if got := joinPaths([]bgp.Path{p1}); got != "1 2" {
+		t.Errorf("joinPaths single = %q", got)
+	}
+	if got := joinPaths([]bgp.Path{p1, p2}); got != "1 2; 3 4" {
+		t.Errorf("joinPaths multi = %q", got)
+	}
+}
+
+func TestCmdExplain(t *testing.T) {
+	path := writeDataset(t)
+	if err := cmdExplain([]string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdExplain([]string{"-prefix", "P40", "-as", "10"}); err == nil {
+		t.Error("missing -in/-model accepted")
+	}
+	if err := cmdExplain([]string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+}
+
+func TestCmdEvaluate(t *testing.T) {
+	path := writeDataset(t)
+	modelPath := filepath.Join(t.TempDir(), "m.txt")
+	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-in", path, "-model", modelPath}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdEvaluate([]string{"-in", path}); err == nil {
+		t.Error("missing -model accepted")
+	}
+	if err := cmdEvaluate([]string{"-model", modelPath}); err == nil {
+		t.Error("missing -in accepted")
+	}
+}

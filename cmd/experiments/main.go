@@ -1,0 +1,163 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers).
+//
+// Usage:
+//
+//	experiments             # all experiments at the default scale
+//	experiments -seed 7 -scale 2
+//	experiments -only table2,pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asmodel/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "generator seed")
+	scale := flag.Int("scale", 1, "topology scale multiplier")
+	only := flag.String("only", "", "comma-separated subset: stats,figure2,table1,table2,pipeline,unseen,combined,figure3,multiprefix,iterations,whatif,ablations")
+	flag.Parse()
+
+	if err := run(*seed, *scale, *only); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, scale int, only string) error {
+	want := func(name string) bool {
+		if only == "" {
+			return true
+		}
+		for _, part := range strings.Split(only, ",") {
+			if strings.TrimSpace(part) == name {
+				return true
+			}
+		}
+		return false
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = seed
+	if scale > 1 {
+		cfg.NumTier2 *= scale
+		cfg.NumTier3 *= scale
+		cfg.NumStub *= scale
+		cfg.NumVantageASes *= scale
+	}
+	fmt.Printf("== generating synthetic Internet (seed=%d, %d ASes) ==\n\n",
+		seed, cfg.NumTier1+cfg.NumTier2+cfg.NumTier3+cfg.NumStub)
+	s, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset: %d records, %d prefixes, %d observation points; %d weird policies (%d reverted)\n\n",
+		s.Data.Len(), len(s.Data.Prefixes()), len(s.Data.ObsPoints()), len(s.Internet.Weird), s.Internet.QuirksReverted)
+
+	section := func(name string, f func() (string, error)) error {
+		if !want(name) {
+			return nil
+		}
+		out, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(out)
+		fmt.Println(strings.Repeat("-", 72))
+		return nil
+	}
+
+	if err := section("stats", func() (string, error) {
+		_, out, err := s.TopologyStats()
+		return out, err
+	}); err != nil {
+		return err
+	}
+	if err := section("figure2", func() (string, error) {
+		_, out := s.Figure2()
+		return out, nil
+	}); err != nil {
+		return err
+	}
+	if err := section("table1", func() (string, error) {
+		_, out := s.Table1()
+		return out, nil
+	}); err != nil {
+		return err
+	}
+	if err := section("table2", func() (string, error) {
+		_, out, err := s.Table2()
+		return out, err
+	}); err != nil {
+		return err
+	}
+	if err := section("pipeline", func() (string, error) {
+		o, err := s.RunPipeline(0.5, seed, experiments.RefineConfigDefault())
+		if err != nil {
+			return "", err
+		}
+		out := o.Describe("E5+E6 / §5: refinement on training observation points, prediction for held-out ones")
+		complexity, err := s.ComplexityByLevel(o)
+		if err != nil {
+			return "", err
+		}
+		return out + "\n" + complexity, nil
+	}); err != nil {
+		return err
+	}
+	if err := section("unseen", func() (string, error) {
+		o, err := s.UnseenPrefixes(0.5, seed)
+		if err != nil {
+			return "", err
+		}
+		return o.Describe("E7 / §4.7: origin split — predicting prefixes of unseen origins"), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("combined", func() (string, error) {
+		o, err := s.CombinedSplit(0.5, seed)
+		if err != nil {
+			return "", err
+		}
+		return o.Describe("E7b / §4.2 combined split — held-out feeds observing held-out origins"), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("figure3", func() (string, error) {
+		return s.Figure3(), nil
+	}); err != nil {
+		return err
+	}
+	if err := section("multiprefix", func() (string, error) {
+		mpCfg := cfg
+		mpCfg.NumTier3 /= 2
+		mpCfg.NumStub /= 2
+		return experiments.MultiPrefixStudy(mpCfg, 3)
+	}); err != nil {
+		return err
+	}
+	if err := section("iterations", func() (string, error) {
+		return s.IterationsVsPathLength([]int64{seed, seed + 1, seed + 2})
+	}); err != nil {
+		return err
+	}
+	if err := section("whatif", func() (string, error) {
+		_, out, err := s.WhatIfFidelity(8, 3)
+		return out, err
+	}); err != nil {
+		return err
+	}
+	if err := section("ablations", func() (string, error) {
+		_, out, err := s.Ablations(seed)
+		return out, err
+	}); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"compress/gzip"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/mrt"
+)
+
+func writeMRTFile(t *testing.T, gzipped bool) string {
+	t.Helper()
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		{Obs: "op1", ObsAS: 10, Prefix: "192.0.2.0/24", Path: bgp.Path{10, 20, 40}, Learned: 100},
+		{Obs: "op2", ObsAS: 11, Prefix: "192.0.2.0/24", Path: bgp.Path{11, 11, 40}, Learned: 5000},
+	}}
+	var buf bytes.Buffer
+	if err := mrt.FromDataset(&buf, ds, 1234); err != nil {
+		t.Fatal(err)
+	}
+	name := "rib.mrt"
+	data := buf.Bytes()
+	if gzipped {
+		var gzBuf bytes.Buffer
+		gw := gzip.NewWriter(&gzBuf)
+		gw.Write(data)
+		gw.Close()
+		data = gzBuf.Bytes()
+		name = "rib.mrt.gz"
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func readOut(t *testing.T, path string) *dataset.Dataset {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestRunRIBPlain(t *testing.T) {
+	in := writeMRTFile(t, false)
+	out := filepath.Join(t.TempDir(), "paths.txt")
+	if err := run(in, out, 0, 3600, true, false); err != nil {
+		t.Fatal(err)
+	}
+	ds := readOut(t, out)
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d", ds.Len())
+	}
+	// Normalization stripped the prepending of peer 11's path.
+	for _, r := range ds.Records {
+		if !r.Path.StripPrepend().Equal(r.Path) {
+			t.Errorf("prepending survived: %v", r.Path)
+		}
+	}
+}
+
+func TestRunRIBGzip(t *testing.T) {
+	in := writeMRTFile(t, true)
+	out := filepath.Join(t.TempDir(), "paths.txt")
+	if err := run(in, out, 0, 3600, false, false); err != nil {
+		t.Fatal(err)
+	}
+	if readOut(t, out).Len() != 2 {
+		t.Fatal("gzip path broken")
+	}
+}
+
+func TestRunStableFilter(t *testing.T) {
+	in := writeMRTFile(t, false)
+	out := filepath.Join(t.TempDir(), "paths.txt")
+	// Cutoff 4000 with one hour min-age drops the route learned at 5000
+	// AND keeps the one from 100.
+	if err := run(in, out, 4000, 3600, true, false); err != nil {
+		t.Fatal(err)
+	}
+	ds := readOut(t, out)
+	if ds.Len() != 1 {
+		t.Fatalf("records=%d, want 1 after stability filter", ds.Len())
+	}
+}
+
+func TestRunUpdatesMode(t *testing.T) {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	u := &mrt.Update{
+		Attrs: &mrt.PathAttrs{
+			Origin:   bgp.OriginIGP,
+			Segments: mrt.SequencePath(bgp.Path{10, 40}),
+			NextHop:  netip.AddrFrom4([4]byte{10, 0, 0, 9}),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24")},
+	}
+	if err := w.WriteBGP4MPUpdate(100, 10, 65000,
+		netip.AddrFrom4([4]byte{10, 0, 0, 1}), netip.AddrFrom4([4]byte{10, 0, 0, 2}), u); err != nil {
+		t.Fatal(err)
+	}
+	in := filepath.Join(t.TempDir(), "updates.mrt")
+	if err := os.WriteFile(in, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "paths.txt")
+	if err := run(in, out, 0, 0, true, true); err != nil {
+		t.Fatal(err)
+	}
+	ds := readOut(t, out)
+	if ds.Len() != 1 {
+		t.Fatalf("records=%d", ds.Len())
+	}
+	if !ds.Records[0].Path.Equal(bgp.Path{10, 40}) {
+		t.Errorf("path=%v", ds.Records[0].Path)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent", "-", 0, 0, true, false); err == nil {
+		t.Error("missing input accepted")
+	}
+	in := writeMRTFile(t, false)
+	if err := run(in, "/nonexistent-dir/out.txt", 0, 0, true, false); err == nil {
+		t.Error("bad output accepted")
+	}
+}

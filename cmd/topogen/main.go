@@ -1,0 +1,82 @@
+// Command topogen generates a synthetic router-level Internet with
+// ground-truth routing and writes the vantage-point observations as a
+// dataset (and optionally as an MRT TABLE_DUMP_V2 file) — the substitute
+// for collecting Routeviews/RIPE feeds.
+//
+// Usage:
+//
+//	topogen [flags] > paths.txt
+//	topogen -mrt rib.mrt -o paths.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asmodel/internal/gen"
+	"asmodel/internal/mrt"
+)
+
+func main() {
+	cfg := gen.DefaultConfig()
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
+	flag.IntVar(&cfg.NumTier1, "tier1", cfg.NumTier1, "number of tier-1 ASes (fully meshed clique)")
+	flag.IntVar(&cfg.NumTier2, "tier2", cfg.NumTier2, "number of tier-2 transit ASes")
+	flag.IntVar(&cfg.NumTier3, "tier3", cfg.NumTier3, "number of tier-3 regional ASes")
+	flag.IntVar(&cfg.NumStub, "stubs", cfg.NumStub, "number of stub ASes")
+	flag.Float64Var(&cfg.MultiHomeProb, "multihome", cfg.MultiHomeProb, "stub multi-homing probability")
+	flag.Float64Var(&cfg.ParallelLinkProb, "parallel", cfg.ParallelLinkProb, "parallel inter-AS link probability")
+	flag.Float64Var(&cfg.WeirdPolicyFrac, "weird", cfg.WeirdPolicyFrac, "fraction of prefixes with schema-violating policies")
+	flag.IntVar(&cfg.NumVantageASes, "vantage", cfg.NumVantageASes, "number of ASes hosting observation points")
+	out := flag.String("o", "-", "dataset output file ('-' for stdout)")
+	mrtOut := flag.String("mrt", "", "also write the dataset as an MRT TABLE_DUMP_V2 file")
+	quiet := flag.Bool("q", false, "suppress the summary on stderr")
+	flag.Parse()
+
+	if err := run(cfg, *out, *mrtOut, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "topogen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cfg gen.Config, out, mrtOut string, quiet bool) error {
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	ds, err := in.RunAll()
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := ds.Write(w); err != nil {
+		return err
+	}
+	if mrtOut != "" {
+		f, err := os.Create(mrtOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := mrt.FromDataset(f, ds, uint32(gen.CollectionTime)); err != nil {
+			return err
+		}
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "generated %d ASes (%d tier-1), %d routers, %d sessions, %d vantage points\n",
+			len(in.ASNs()), len(in.Tier1), in.RS.Net.NumRouters(), in.RS.Net.NumSessions(), len(in.VantagePoints()))
+		fmt.Fprintf(os.Stderr, "dataset: %d records, %d prefixes; weird policies: %d applied, %d reverted\n",
+			ds.Len(), len(ds.Prefixes()), len(in.Weird), in.QuirksReverted)
+	}
+	return nil
+}

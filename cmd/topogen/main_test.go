@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/gen"
+	"asmodel/internal/mrt"
+)
+
+func smallCfg() gen.Config {
+	cfg := gen.DefaultConfig()
+	cfg.NumTier2, cfg.NumTier3, cfg.NumStub = 8, 15, 25
+	cfg.NumVantageASes = 10
+	return cfg
+}
+
+func TestRunWritesDatasetAndMRT(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "paths.txt")
+	mrtOut := filepath.Join(dir, "rib.mrt")
+	if err := run(smallCfg(), out, mrtOut, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 {
+		t.Fatal("empty dataset written")
+	}
+	mf, err := os.Open(mrtOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mf.Close()
+	mds, _, err := mrt.ToDataset(mf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mds.Len() != ds.Len() {
+		t.Errorf("MRT round trip: %d != %d records", mds.Len(), ds.Len())
+	}
+}
+
+func TestRunInvalidConfig(t *testing.T) {
+	cfg := smallCfg()
+	cfg.NumTier1 = 0
+	if err := run(cfg, filepath.Join(t.TempDir(), "x"), "", true); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunBadOutputPath(t *testing.T) {
+	if err := run(smallCfg(), "/nonexistent-dir/paths.txt", "", true); err == nil {
+		t.Error("bad output path accepted")
+	}
+	if err := run(smallCfg(), filepath.Join(t.TempDir(), "ok.txt"), "/nonexistent-dir/rib.mrt", true); err == nil {
+		t.Error("bad MRT path accepted")
+	}
+}

@@ -1,0 +1,121 @@
+// Ingest: combine every supported observation source — an MRT
+// TABLE_DUMP_V2 RIB dump, a replayed BGP4MP update stream, and a
+// looking-glass "show ip bgp" table — into one dataset and refine a model
+// over it. The example fabricates its three inputs first, so it runs
+// self-contained; point the same code at Routeviews/RIPE files for real
+// data.
+//
+//	go run ./examples/ingest
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/netip"
+	"strings"
+
+	"asmodel"
+	"asmodel/internal/bgp"
+	"asmodel/internal/mrt"
+)
+
+func main() {
+	// --- Source 1: an MRT RIB dump (normally rib.YYYYMMDD.HHMM.mrt). ---
+	ribDump := fabricateRIBDump()
+	ds, err := asmodel.MRTToDataset(bytes.NewReader(ribDump))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MRT RIB dump:      %d records\n", ds.Len())
+
+	// --- Source 2: a BGP4MP update stream, replayed to a snapshot. ---
+	updates := fabricateUpdateStream()
+	uds, _, err := mrt.UpdatesToDataset(bytes.NewReader(updates), 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("update replay:     %d records\n", uds.Len())
+
+	// --- Source 3: a looking-glass table published by AS20. ---
+	lgTable := `   Network          Next Hop            Metric LocPrf Weight Path
+*> 192.0.2.0/24     10.0.0.1                 0             0 40 i
+*  192.0.2.0/24     10.0.0.2                 0             0 30 40 i
+*> 198.51.100.0/24  10.0.0.1                 0             0 10 30 i
+`
+	lds := &asmodel.Dataset{}
+	if err := asmodel.ParseLookingGlass(strings.NewReader(lgTable), "lg-as20", 20, lds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("looking glass:     %d records\n", lds.Len())
+
+	// --- Merge, normalize, model. ---
+	ds.Merge(uds, lds).Normalize()
+	fmt.Printf("merged+normalized: %d records, %d prefixes, %d observation points\n",
+		ds.Len(), len(ds.Prefixes()), len(ds.ObsPoints()))
+
+	m, res, err := asmodel.BuildAndRefine(ds, ds, asmodel.RefineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refined: converged=%v in %d iterations (+%d quasi-routers)\n",
+		res.Converged, res.Iterations, res.QuasiRoutersAdded)
+
+	paths, err := m.PredictPaths("192.0.2.0/24", 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("AS10's predicted paths toward 192.0.2.0/24:\n")
+	for _, p := range paths {
+		fmt.Printf("  %s\n", p)
+	}
+}
+
+// fabricateRIBDump builds a tiny TABLE_DUMP_V2 file: peers in AS10 and
+// AS30 with routes toward 192.0.2.0/24 (origin AS40).
+func fabricateRIBDump() []byte {
+	var buf bytes.Buffer
+	peers := []mrt.PeerEntry{
+		{BGPID: netip.MustParseAddr("10.0.0.10"), Addr: netip.MustParseAddr("10.1.0.10"), AS: 10},
+		{BGPID: netip.MustParseAddr("10.0.0.30"), Addr: netip.MustParseAddr("10.1.0.30"), AS: 30},
+	}
+	w := mrt.NewWriter(&buf)
+	tw, err := mrt.NewTableDumpWriter(w, 1131867000, "example", peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	entries := []mrt.RIBEntry{
+		{PeerIndex: 0, Originated: 1131860000, Attrs: &mrt.PathAttrs{
+			Origin: bgp.OriginIGP, Segments: mrt.SequencePath(bgp.Path{10, 30, 40}),
+			NextHop: peers[0].Addr}},
+		{PeerIndex: 1, Originated: 1131860000, Attrs: &mrt.PathAttrs{
+			Origin: bgp.OriginIGP, Segments: mrt.SequencePath(bgp.Path{30, 40}),
+			NextHop: peers[1].Addr}},
+	}
+	if err := tw.WriteRIB(1131867000, netip.MustParsePrefix("192.0.2.0/24"), entries); err != nil {
+		log.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// fabricateUpdateStream builds a BGP4MP stream: AS10 announces a route
+// toward 198.51.100.0/24 (origin AS30), then refreshes it.
+func fabricateUpdateStream() []byte {
+	var buf bytes.Buffer
+	w := mrt.NewWriter(&buf)
+	u := &mrt.Update{
+		Attrs: &mrt.PathAttrs{
+			Origin:   bgp.OriginIGP,
+			Segments: mrt.SequencePath(bgp.Path{10, 30}),
+			NextHop:  netip.MustParseAddr("10.1.0.10"),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+	}
+	for ts := uint32(1131860000); ts < 1131860002; ts++ {
+		if err := w.WriteBGP4MPUpdate(ts, 10, 65000,
+			netip.MustParseAddr("10.1.0.10"), netip.MustParseAddr("10.9.9.9"), u); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}

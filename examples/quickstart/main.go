@@ -1,0 +1,66 @@
+// Quickstart: generate a small synthetic Internet, build and refine an
+// AS-routing model on half the observation points, and predict routes for
+// the other half — the full §4 pipeline of the paper in ~60 lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asmodel"
+)
+
+func main() {
+	// 1. Obtain BGP observations. Real deployments load Routeviews/RIPE
+	// dumps (asmodel.MRTToDataset); here we generate a ground-truth
+	// Internet whose vantage points play the role of the collectors.
+	cfg := asmodel.DefaultGenConfig()
+	cfg.NumTier2, cfg.NumTier3, cfg.NumStub = 15, 40, 80
+	cfg.NumVantageASes = 20
+	internet, err := asmodel.GenerateInternet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := internet.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.Normalize() // strip prepending, drop loops, de-duplicate (§3.1)
+	fmt.Printf("dataset: %d records, %d prefixes, %d observation points\n",
+		ds.Len(), len(ds.Prefixes()), len(ds.ObsPoints()))
+
+	// 2. Split into training and validation feeds (§4.2).
+	train, valid := ds.SplitByObsPoint(0.5, 42)
+
+	// 3. Build the initial model (one quasi-router per AS) and refine it
+	// until it reproduces every training path (§4.5-4.6).
+	m, res, err := asmodel.BuildAndRefine(ds, train, asmodel.RefineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("refinement: %d iterations, converged=%v, +%d quasi-routers, %d filters, %d MED rules\n",
+		res.Iterations, res.Converged, res.QuasiRoutersAdded, res.FiltersAdded, res.MEDRules)
+
+	// 4. Predict the held-out observation points' routes (§5).
+	ev, err := m.Evaluate(valid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := ev.Summary
+	fmt.Printf("validation: %d paths — RIB-Out %.1f%%, down-to-tie-break %.1f%%, RIB-In %.1f%%\n",
+		s.Total, 100*s.Frac(s.RIBOut), 100*s.Frac(s.DownToTieBreak()), 100*s.Frac(s.RIBInMatches()))
+
+	// 5. Ask the model a concrete question: which paths does the first
+	// tier-1 AS use toward some stub prefix?
+	prefix := ds.Prefixes()[len(ds.Prefixes())-1]
+	paths, err := m.PredictPaths(prefix, internet.Tier1[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted paths of AS%d toward %s:\n", internet.Tier1[0], prefix)
+	for _, p := range paths {
+		fmt.Printf("  %s\n", p)
+	}
+}

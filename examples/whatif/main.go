@@ -1,0 +1,100 @@
+// What-if study: the question class that motivates the paper ("what if a
+// certain peering link was removed?", §1). We refine a model, then
+// de-peer the busiest tier-1 link and compare every observation AS's
+// predicted routes before and after — including against the ground truth,
+// which a real operator would not have.
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"asmodel"
+	"asmodel/internal/topology"
+)
+
+func main() {
+	cfg := asmodel.DefaultGenConfig()
+	cfg.NumTier2, cfg.NumTier3, cfg.NumStub = 15, 40, 80
+	cfg.NumVantageASes = 20
+	internet, err := asmodel.GenerateInternet(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := internet.RunAll()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds.Normalize()
+
+	// Refine on everything: for what-if studies the model should absorb
+	// all available observations.
+	m, res, err := asmodel.BuildAndRefine(ds, ds, asmodel.RefineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Converged {
+		log.Fatalf("model does not reproduce the observations: %+v", res)
+	}
+
+	// Find the AS edge crossed by the most observed paths: the most
+	// consequential link to remove.
+	crossings := map[topology.Edge]int{}
+	for _, r := range ds.Records {
+		for i := 0; i+1 < len(r.Path); i++ {
+			crossings[topology.MakeEdge(r.Path[i], r.Path[i+1])]++
+		}
+	}
+	var busiest topology.Edge
+	best := 0
+	edges := make([]topology.Edge, 0, len(crossings))
+	for e := range crossings {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		return edges[i].A < edges[j].A || edges[i].A == edges[j].A && edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		if crossings[e] > best {
+			best = crossings[e]
+			busiest = e
+		}
+	}
+	fmt.Printf("busiest observed link: AS%d -- AS%d (crossed by %d observed paths)\n\n",
+		busiest.A, busiest.B, best)
+
+	// Pick a prefix whose observed paths cross that link.
+	var prefix string
+	for _, r := range ds.Records {
+		for i := 0; i+1 < len(r.Path); i++ {
+			if topology.MakeEdge(r.Path[i], r.Path[i+1]) == busiest {
+				prefix = r.Prefix
+				break
+			}
+		}
+		if prefix != "" {
+			break
+		}
+	}
+
+	// Predict the impact of de-peering on every observation AS.
+	changes, err := m.WhatIfDepeer(prefix, busiest.A, busiest.B, ds.ObsASes())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("de-peering AS%d--AS%d, prefix %s — predicted route changes:\n", busiest.A, busiest.B, prefix)
+	changed := 0
+	for _, c := range changes {
+		if !c.Changed() {
+			continue
+		}
+		changed++
+		fmt.Printf("  AS%-6d before: %v\n", c.AS, c.Before)
+		fmt.Printf("           after:  %v\n", c.After)
+	}
+	fmt.Printf("%d of %d observation ASes change routes; the rest are unaffected\n",
+		changed, len(changes))
+}

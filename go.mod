@@ -1,0 +1,3 @@
+module asmodel
+
+go 1.22

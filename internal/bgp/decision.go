@@ -1,0 +1,211 @@
+package bgp
+
+// This file implements the BGP decision process (paper §2, Figure 1) as a
+// pure function over a set of candidate routes. The process is a sequence
+// of elimination steps; the caller learns not only which route won but also
+// at which step every other route was eliminated. The paper's "potential
+// RIB-Out match" metric (§4.2) is exactly "eliminated at StepRouterID".
+
+// Step identifies a stage of the BGP decision process.
+type Step uint8
+
+// Decision process steps in evaluation order.
+const (
+	// StepNone marks the winning route (it was never eliminated).
+	StepNone Step = iota
+	// StepLocalPref eliminates routes with lower local-preference.
+	StepLocalPref
+	// StepASPathLen eliminates routes with longer AS-paths.
+	StepASPathLen
+	// StepOrigin eliminates routes with a larger ORIGIN value.
+	StepOrigin
+	// StepMED eliminates routes with higher MED. Following §4.6 of the
+	// paper, MEDs are always compared, including across neighbor ASes.
+	StepMED
+	// StepEBGP eliminates iBGP-learned routes when an eBGP route remains
+	// (ground-truth router-level simulation only).
+	StepEBGP
+	// StepIGPCost eliminates routes with a more expensive intra-domain path
+	// to the next hop — hot-potato routing (ground truth only).
+	StepIGPCost
+	// StepRouterID is the final tie-break: lowest announcing router ID
+	// wins. Losing here and only here makes a route a "potential RIB-Out
+	// match" in the paper's evaluation metrics.
+	StepRouterID
+)
+
+// String names the step for reports.
+func (s Step) String() string {
+	switch s {
+	case StepNone:
+		return "best"
+	case StepLocalPref:
+		return "local-pref"
+	case StepASPathLen:
+		return "as-path-length"
+	case StepOrigin:
+		return "origin"
+	case StepMED:
+		return "med"
+	case StepEBGP:
+		return "ebgp-over-ibgp"
+	case StepIGPCost:
+		return "igp-cost"
+	case StepRouterID:
+		return "router-id"
+	default:
+		return "unknown-step"
+	}
+}
+
+// DecisionConfig selects which optional steps the decision process runs.
+// The quasi-router model (§4.6) uses neither the eBGP/iBGP step nor the IGP
+// step: quasi-routers have no iBGP sessions and no intra-domain topology.
+type DecisionConfig struct {
+	// CompareOrigin enables the ORIGIN step. Off in the paper's model
+	// (all routes carry the same origin); on in the ground truth.
+	CompareOrigin bool
+	// PreferEBGP enables the eBGP-over-iBGP step.
+	PreferEBGP bool
+	// CompareIGPCost enables the hot-potato IGP-cost step.
+	CompareIGPCost bool
+}
+
+// QuasiRouterConfig is the decision configuration used by quasi-router
+// models: local-pref, AS-path length, always-compare MED, router-ID.
+var QuasiRouterConfig = DecisionConfig{}
+
+// GroundTruthConfig is the decision configuration used by the router-level
+// ground-truth simulation: the full process including hot-potato routing.
+var GroundTruthConfig = DecisionConfig{CompareOrigin: true, PreferEBGP: true, CompareIGPCost: true}
+
+// Decide runs the decision process over candidates and returns the index of
+// the best route and, for each candidate, the step at which it was
+// eliminated (StepNone for the winner). It returns best = -1 for an empty
+// candidate set. The candidate order does not affect the outcome: every
+// comparison is on totally ordered attributes ending in the unique
+// router-ID tie-break (candidates must have distinct Peer IDs, which holds
+// by construction since a RIB holds at most one route per session).
+//
+// The elim slice is appended to elimBuf to let hot paths avoid allocation;
+// pass nil if you do not care.
+func Decide(cfg DecisionConfig, candidates []*Route, elimBuf []Step) (best int, elim []Step) {
+	if elimBuf != nil {
+		elim = elimBuf[:0]
+		for range candidates {
+			elim = append(elim, StepNone)
+		}
+	} else {
+		elim = make([]Step, len(candidates))
+	}
+	if len(candidates) == 0 {
+		return -1, elim
+	}
+
+	// alive tracks indices still in contention. Small fixed-size stack
+	// buffer covers the common case of few candidates.
+	var aliveBuf [16]int
+	alive := aliveBuf[:0]
+	for i := range candidates {
+		alive = append(alive, i)
+	}
+
+	// eliminate keeps only candidates for which keep() is true, marking the
+	// rest with the given step. keep must be true for at least one alive
+	// candidate.
+	eliminate := func(step Step, keep func(r *Route) bool) {
+		if len(alive) == 1 {
+			return
+		}
+		out := alive[:0]
+		for _, i := range alive {
+			if keep(candidates[i]) {
+				out = append(out, i)
+			} else {
+				elim[i] = step
+			}
+		}
+		alive = out
+	}
+
+	// 1. Highest local-pref.
+	maxLP := uint32(0)
+	for _, i := range alive {
+		if lp := candidates[i].LocalPref; lp > maxLP {
+			maxLP = lp
+		}
+	}
+	eliminate(StepLocalPref, func(r *Route) bool { return r.LocalPref == maxLP })
+
+	// 2. Shortest AS-path.
+	minLen := int(^uint(0) >> 1)
+	for _, i := range alive {
+		if l := len(candidates[i].Path); l < minLen {
+			minLen = l
+		}
+	}
+	eliminate(StepASPathLen, func(r *Route) bool { return len(r.Path) == minLen })
+
+	// 3. Lowest origin.
+	if cfg.CompareOrigin {
+		minOrigin := Origin(255)
+		for _, i := range alive {
+			if o := candidates[i].Origin; o < minOrigin {
+				minOrigin = o
+			}
+		}
+		eliminate(StepOrigin, func(r *Route) bool { return r.Origin == minOrigin })
+	}
+
+	// 4. Lowest MED, always compared (§4.6).
+	minMED := ^uint32(0)
+	for _, i := range alive {
+		if m := candidates[i].MED; m < minMED {
+			minMED = m
+		}
+	}
+	eliminate(StepMED, func(r *Route) bool { return r.MED == minMED })
+
+	// 5. Prefer eBGP-learned routes over iBGP-learned ones.
+	if cfg.PreferEBGP {
+		anyEBGP := false
+		for _, i := range alive {
+			if candidates[i].EBGP {
+				anyEBGP = true
+				break
+			}
+		}
+		if anyEBGP {
+			eliminate(StepEBGP, func(r *Route) bool { return r.EBGP })
+		}
+	}
+
+	// 6. Lowest IGP cost to next hop (hot potato).
+	if cfg.CompareIGPCost {
+		minCost := ^uint32(0)
+		for _, i := range alive {
+			if c := candidates[i].IGPCost; c < minCost {
+				minCost = c
+			}
+		}
+		eliminate(StepIGPCost, func(r *Route) bool { return r.IGPCost == minCost })
+	}
+
+	// 7. Lowest announcing router ID.
+	minPeer := ^RouterID(0)
+	for _, i := range alive {
+		if p := candidates[i].Peer; p < minPeer {
+			minPeer = p
+		}
+	}
+	eliminate(StepRouterID, func(r *Route) bool { return r.Peer == minPeer })
+
+	return alive[0], elim
+}
+
+// Better reports whether route a is strictly preferred over route b under
+// cfg. It is a convenience wrapper over Decide for two candidates.
+func Better(cfg DecisionConfig, a, b *Route) bool {
+	best, _ := Decide(cfg, []*Route{a, b}, nil)
+	return best == 0
+}

@@ -1,0 +1,271 @@
+package bgp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func route(opts ...func(*Route)) *Route {
+	r := &Route{LocalPref: DefaultLocalPref, MED: DefaultMED, Path: Path{1, 2}, Peer: MakeRouterID(1, 0), EBGP: true}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+func withLP(v uint32) func(*Route)   { return func(r *Route) { r.LocalPref = v } }
+func withMED(v uint32) func(*Route)  { return func(r *Route) { r.MED = v } }
+func withPath(p ...ASN) func(*Route) { return func(r *Route) { r.Path = Path(p) } }
+func withPeer(id RouterID) func(*Route) {
+	return func(r *Route) { r.Peer = id }
+}
+func withIGP(c uint32) func(*Route)    { return func(r *Route) { r.IGPCost = c } }
+func withEBGP(b bool) func(*Route)     { return func(r *Route) { r.EBGP = b } }
+func withOrigin(o Origin) func(*Route) { return func(r *Route) { r.Origin = o } }
+
+func TestDecideEmpty(t *testing.T) {
+	best, elim := Decide(QuasiRouterConfig, nil, nil)
+	if best != -1 || len(elim) != 0 {
+		t.Fatalf("empty: best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideSingle(t *testing.T) {
+	r := route()
+	best, elim := Decide(QuasiRouterConfig, []*Route{r}, nil)
+	if best != 0 || elim[0] != StepNone {
+		t.Fatalf("single: best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideLocalPref(t *testing.T) {
+	a := route(withLP(200), withPath(1, 2, 3, 4), withPeer(MakeRouterID(9, 9)))
+	b := route(withLP(100), withPath(1), withPeer(MakeRouterID(1, 0)))
+	best, elim := Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 0 {
+		t.Fatalf("higher local-pref should win despite longer path; best=%d", best)
+	}
+	if elim[1] != StepLocalPref {
+		t.Fatalf("loser should be eliminated at local-pref, got %v", elim[1])
+	}
+}
+
+func TestDecideASPathLen(t *testing.T) {
+	a := route(withPath(1, 2), withPeer(MakeRouterID(9, 9)))
+	b := route(withPath(1, 2, 3), withPeer(MakeRouterID(1, 0)))
+	best, elim := Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 0 || elim[1] != StepASPathLen {
+		t.Fatalf("best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideMEDAlwaysCompared(t *testing.T) {
+	// Same path length, different neighbor ASes: paper §4.6 requires MED to
+	// be compared anyway ("even for routes learned from different neighbor
+	// ASes").
+	a := route(withPath(10, 2), withMED(50), withPeer(MakeRouterID(10, 0)))
+	b := route(withPath(20, 2), withMED(10), withPeer(MakeRouterID(1, 0)))
+	best, elim := Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 1 || elim[0] != StepMED {
+		t.Fatalf("lower MED should win across neighbors: best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideRouterIDTieBreak(t *testing.T) {
+	a := route(withPath(10, 2), withPeer(MakeRouterID(10, 1)))
+	b := route(withPath(20, 2), withPeer(MakeRouterID(10, 0)))
+	best, elim := Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 1 {
+		t.Fatalf("lowest router ID should win, best=%d", best)
+	}
+	if elim[0] != StepRouterID {
+		t.Fatalf("loser should be a potential RIB-Out match (router-id step), got %v", elim[0])
+	}
+}
+
+func TestDecideOriginStep(t *testing.T) {
+	a := route(withOrigin(OriginIncomplete), withPeer(MakeRouterID(1, 0)))
+	b := route(withOrigin(OriginIGP), withPeer(MakeRouterID(2, 0)))
+	// Quasi-router config ignores origin: a wins on router ID.
+	best, _ := Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 0 {
+		t.Fatalf("quasi config should ignore origin, best=%d", best)
+	}
+	// Ground-truth config compares origin: b wins.
+	best, elim := Decide(GroundTruthConfig, []*Route{a, b}, nil)
+	if best != 1 || elim[0] != StepOrigin {
+		t.Fatalf("ground truth: best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideEBGPOverIBGP(t *testing.T) {
+	a := route(withEBGP(false), withPeer(MakeRouterID(1, 0)))
+	b := route(withEBGP(true), withPeer(MakeRouterID(2, 0)))
+	best, elim := Decide(GroundTruthConfig, []*Route{a, b}, nil)
+	if best != 1 || elim[0] != StepEBGP {
+		t.Fatalf("eBGP should beat iBGP: best=%d elim=%v", best, elim)
+	}
+	// All-iBGP candidate sets skip the step entirely.
+	c := route(withEBGP(false), withPeer(MakeRouterID(1, 0)))
+	d := route(withEBGP(false), withPeer(MakeRouterID(2, 0)))
+	best, elim = Decide(GroundTruthConfig, []*Route{c, d}, nil)
+	if best != 0 || elim[1] != StepRouterID {
+		t.Fatalf("all-iBGP: best=%d elim=%v", best, elim)
+	}
+}
+
+func TestDecideIGPCostHotPotato(t *testing.T) {
+	a := route(withIGP(30), withPeer(MakeRouterID(1, 0)))
+	b := route(withIGP(10), withPeer(MakeRouterID(2, 0)))
+	best, elim := Decide(GroundTruthConfig, []*Route{a, b}, nil)
+	if best != 1 || elim[0] != StepIGPCost {
+		t.Fatalf("hot potato: best=%d elim=%v", best, elim)
+	}
+	// Quasi-router config ignores IGP cost.
+	best, _ = Decide(QuasiRouterConfig, []*Route{a, b}, nil)
+	if best != 0 {
+		t.Fatalf("quasi config should ignore IGP cost, best=%d", best)
+	}
+}
+
+func TestDecideStepPrecedence(t *testing.T) {
+	// Construct four routes, each designed to lose at a different step.
+	best := route(withLP(200), withPath(1, 2), withMED(0), withPeer(MakeRouterID(1, 0)))
+	loseLP := route(withLP(100), withPath(1), withMED(0), withPeer(MakeRouterID(0, 1)))
+	loseLen := route(withLP(200), withPath(1, 2, 3), withMED(0), withPeer(MakeRouterID(0, 2)))
+	loseMED := route(withLP(200), withPath(1, 2), withMED(5), withPeer(MakeRouterID(0, 3)))
+	loseID := route(withLP(200), withPath(1, 2), withMED(0), withPeer(MakeRouterID(1, 1)))
+	cands := []*Route{loseLP, loseLen, loseMED, loseID, best}
+	got, elim := Decide(QuasiRouterConfig, cands, nil)
+	if got != 4 {
+		t.Fatalf("best=%d", got)
+	}
+	want := []Step{StepLocalPref, StepASPathLen, StepMED, StepRouterID, StepNone}
+	for i, w := range want {
+		if elim[i] != w {
+			t.Errorf("candidate %d eliminated at %v, want %v", i, elim[i], w)
+		}
+	}
+}
+
+func TestDecideOrderInvariance(t *testing.T) {
+	// The winner and elimination steps must not depend on candidate order.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6)
+		cands := make([]*Route, n)
+		for i := range cands {
+			pathLen := 1 + rng.Intn(3)
+			p := make(Path, pathLen)
+			for j := range p {
+				p[j] = ASN(1 + rng.Intn(5))
+			}
+			cands[i] = &Route{
+				LocalPref: uint32(100 + 10*rng.Intn(3)),
+				MED:       uint32(rng.Intn(3) * 50),
+				Path:      p,
+				Peer:      MakeRouterID(ASN(rng.Intn(100)), uint16(i)), // unique peer per candidate
+				EBGP:      rng.Intn(2) == 0,
+				IGPCost:   uint32(rng.Intn(4)),
+				Origin:    Origin(rng.Intn(3)),
+			}
+		}
+		// Ensure unique peers (RIB invariant).
+		seen := map[RouterID]bool{}
+		unique := true
+		for _, c := range cands {
+			if seen[c.Peer] {
+				unique = false
+			}
+			seen[c.Peer] = true
+		}
+		if !unique {
+			continue
+		}
+		base, _ := Decide(GroundTruthConfig, cands, nil)
+		baseRoute := cands[base]
+		perm := rng.Perm(n)
+		shuffled := make([]*Route, n)
+		for i, j := range perm {
+			shuffled[i] = cands[j]
+		}
+		got, _ := Decide(GroundTruthConfig, shuffled, nil)
+		if shuffled[got] != baseRoute {
+			t.Fatalf("trial %d: order changed winner: %v vs %v", trial, shuffled[got], baseRoute)
+		}
+	}
+}
+
+func TestDecideWinnerDominatesProperty(t *testing.T) {
+	// Property: the winner, compared pairwise against any other candidate,
+	// also wins (the decision process is a total order on distinct peers).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		cands := make([]*Route, n)
+		for i := range cands {
+			p := make(Path, 1+rng.Intn(4))
+			for j := range p {
+				p[j] = ASN(1 + rng.Intn(9))
+			}
+			cands[i] = &Route{
+				LocalPref: uint32(90 + rng.Intn(3)*10),
+				MED:       uint32(rng.Intn(2) * 100),
+				Path:      p,
+				Peer:      MakeRouterID(ASN(rng.Intn(50)), uint16(i)),
+			}
+		}
+		best, _ := Decide(QuasiRouterConfig, cands, nil)
+		for i, c := range cands {
+			if i == best {
+				continue
+			}
+			if !Better(QuasiRouterConfig, cands[best], c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecideElimBufReuse(t *testing.T) {
+	cands := []*Route{route(withPeer(MakeRouterID(1, 0))), route(withPeer(MakeRouterID(1, 1)))}
+	buf := make([]Step, 0, 8)
+	best, elim := Decide(QuasiRouterConfig, cands, buf)
+	if best != 0 {
+		t.Fatalf("best=%d", best)
+	}
+	if cap(elim) != cap(buf) {
+		t.Fatal("elim should reuse the provided buffer")
+	}
+}
+
+func TestStepString(t *testing.T) {
+	steps := []Step{StepNone, StepLocalPref, StepASPathLen, StepOrigin, StepMED, StepEBGP, StepIGPCost, StepRouterID, Step(99)}
+	for _, s := range steps {
+		if s.String() == "" {
+			t.Errorf("empty string for step %d", s)
+		}
+	}
+}
+
+func BenchmarkDecide8(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	cands := make([]*Route, 8)
+	for i := range cands {
+		p := make(Path, 1+rng.Intn(5))
+		for j := range p {
+			p[j] = ASN(rng.Intn(1000))
+		}
+		cands[i] = &Route{LocalPref: 100, MED: uint32(rng.Intn(2) * 100), Path: p, Peer: MakeRouterID(ASN(i), 0)}
+	}
+	buf := make([]Step, 0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Decide(QuasiRouterConfig, cands, buf)
+	}
+}

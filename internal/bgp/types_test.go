@@ -1,0 +1,305 @@
+package bgp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePath(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Path
+		wantErr bool
+	}{
+		{"", Path{}, false},
+		{"   ", Path{}, false},
+		{"701", Path{701}, false},
+		{"701 1239 24249", Path{701, 1239, 24249}, false},
+		{"  701   1239 ", Path{701, 1239}, false},
+		{"701 x 1239", nil, true},
+		{"-1", nil, true},
+		{"4294967295", Path{4294967295}, false},
+		{"4294967296", nil, true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePath(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePath(%q) err=%v wantErr=%v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && !got.Equal(tt.want) {
+			t.Errorf("ParsePath(%q)=%v want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPathStringRoundTrip(t *testing.T) {
+	p := Path{3356, 1239, 24249}
+	got, err := ParsePath(p.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(p) {
+		t.Fatalf("round trip %v -> %q -> %v", p, p.String(), got)
+	}
+	if (Path{}).String() != "" {
+		t.Fatalf("empty path should render empty, got %q", Path{}.String())
+	}
+}
+
+func TestPathOriginFirst(t *testing.T) {
+	p := Path{1, 2, 3}
+	if o, ok := p.Origin(); !ok || o != 3 {
+		t.Errorf("Origin() = %v, %v", o, ok)
+	}
+	if f, ok := p.First(); !ok || f != 1 {
+		t.Errorf("First() = %v, %v", f, ok)
+	}
+	empty := Path{}
+	if _, ok := empty.Origin(); ok {
+		t.Error("empty path Origin should report !ok")
+	}
+	if _, ok := empty.First(); ok {
+		t.Error("empty path First should report !ok")
+	}
+}
+
+func TestPathPrepend(t *testing.T) {
+	p := Path{2, 3}
+	q := p.Prepend(1)
+	if !q.Equal(Path{1, 2, 3}) {
+		t.Fatalf("Prepend got %v", q)
+	}
+	// Original must be unchanged (immutability contract).
+	if !p.Equal(Path{2, 3}) {
+		t.Fatalf("Prepend mutated receiver: %v", p)
+	}
+}
+
+func TestPathStripPrepend(t *testing.T) {
+	tests := []struct {
+		in, want Path
+	}{
+		{Path{}, Path{}},
+		{Path{1}, Path{1}},
+		{Path{1, 1, 1}, Path{1}},
+		{Path{1, 1, 2, 3, 3, 3, 4}, Path{1, 2, 3, 4}},
+		{Path{1, 2, 1}, Path{1, 2, 1}}, // non-adjacent repeats stay (loop)
+	}
+	for _, tt := range tests {
+		if got := tt.in.StripPrepend(); !got.Equal(tt.want) {
+			t.Errorf("StripPrepend(%v)=%v want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPathHasLoop(t *testing.T) {
+	tests := []struct {
+		in   Path
+		want bool
+	}{
+		{Path{}, false},
+		{Path{1}, false},
+		{Path{1, 2, 3}, false},
+		{Path{1, 1, 2}, false},    // prepending is not a loop
+		{Path{1, 2, 1}, true},     // true loop
+		{Path{1, 2, 2, 1}, true},  // prepending plus loop
+		{Path{5, 5, 5, 5}, false}, // pure prepending
+	}
+	for _, tt := range tests {
+		if got := tt.in.HasLoop(); got != tt.want {
+			t.Errorf("HasLoop(%v)=%v want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestPathSuffix(t *testing.T) {
+	p := Path{1, 2, 3, 4}
+	if got := p.Suffix(2); !got.Equal(Path{3, 4}) {
+		t.Errorf("Suffix(2)=%v", got)
+	}
+	if got := p.Suffix(0); len(got) != 0 {
+		t.Errorf("Suffix(0)=%v", got)
+	}
+	if got := p.Suffix(4); !got.Equal(p) {
+		t.Errorf("Suffix(len)=%v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Suffix(5) should panic")
+		}
+	}()
+	p.Suffix(5)
+}
+
+func TestPathKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint32) bool {
+		p := make(Path, len(raw))
+		for i, v := range raw {
+			p[i] = ASN(v)
+		}
+		k := p.Key()
+		if k.Len() != len(p) {
+			return false
+		}
+		return k.Decode().Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathKeyUniqueness(t *testing.T) {
+	// Distinct paths must map to distinct keys; in particular length must be
+	// encoded, so [1,2] and [1] differ and [0x0102] vs [0x01,0x02] differ.
+	a := Path{1, 2}
+	b := Path{1}
+	c := Path{0x00010002}
+	keys := map[PathKey]Path{a.Key(): a, b.Key(): b, c.Key(): c}
+	if len(keys) != 3 {
+		t.Fatalf("key collision among %v %v %v", a, b, c)
+	}
+}
+
+func TestRouterID(t *testing.T) {
+	id := MakeRouterID(3356, 7)
+	if id.AS() != 3356 {
+		t.Errorf("AS() = %v", id.AS())
+	}
+	if id.Index() != 7 {
+		t.Errorf("Index() = %v", id.Index())
+	}
+	if id.String() != "3356.7" {
+		t.Errorf("String() = %q", id.String())
+	}
+	// IDs are ordered first by ASN, then by index.
+	if !(MakeRouterID(100, 65535) < MakeRouterID(101, 0)) {
+		t.Error("RouterID ordering should be ASN-major")
+	}
+	if !(MakeRouterID(100, 1) < MakeRouterID(100, 2)) {
+		t.Error("RouterID ordering should be index-minor")
+	}
+}
+
+func TestRouterIDOrderingProperty(t *testing.T) {
+	f := func(a1, a2 uint16, i1, i2 uint16) bool {
+		r1 := MakeRouterID(ASN(a1), i1)
+		r2 := MakeRouterID(ASN(a2), i2)
+		want := a1 < a2 || (a1 == a2 && i1 < i2)
+		return (r1 < r2) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathCloneIndependence(t *testing.T) {
+	p := Path{1, 2, 3}
+	q := p.Clone()
+	q[0] = 99
+	if p[0] != 1 {
+		t.Fatal("Clone did not copy")
+	}
+	if (Path)(nil).Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestRouteClone(t *testing.T) {
+	r := &Route{Prefix: 3, Path: Path{1, 2}, LocalPref: 50, MED: 7, Peer: MakeRouterID(1, 0)}
+	c := r.Clone()
+	c.MED = 99
+	if r.MED != 7 {
+		t.Fatal("Clone shares mutable state")
+	}
+	if !c.Path.Equal(r.Path) {
+		t.Fatal("Clone should share path contents")
+	}
+}
+
+func TestSortASNs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	asns := make([]ASN, 100)
+	for i := range asns {
+		asns[i] = ASN(rng.Uint32())
+	}
+	SortASNs(asns)
+	for i := 1; i < len(asns); i++ {
+		if asns[i-1] > asns[i] {
+			t.Fatal("not sorted")
+		}
+	}
+}
+
+func TestStripPrependIdempotent(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := make(Path, len(raw))
+		for i, v := range raw {
+			p[i] = ASN(v % 4) // small alphabet to force repeats
+		}
+		once := p.StripPrepend()
+		twice := once.StripPrepend()
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripPrependNoAdjacentDuplicates(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := make(Path, len(raw))
+		for i, v := range raw {
+			p[i] = ASN(v % 3)
+		}
+		s := p.StripPrepend()
+		for i := 1; i < len(s); i++ {
+			if s[i] == s[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOriginString(t *testing.T) {
+	if OriginIGP.String() != "IGP" || OriginEGP.String() != "EGP" || OriginIncomplete.String() != "INCOMPLETE" {
+		t.Error("origin strings wrong")
+	}
+	if Origin(9).String() != "Origin(9)" {
+		t.Errorf("unknown origin: %q", Origin(9).String())
+	}
+}
+
+func TestRouteString(t *testing.T) {
+	var r *Route
+	if r.String() != "<nil route>" {
+		t.Error("nil route string")
+	}
+	r = &Route{Prefix: 1, Path: Path{2, 3}}
+	if r.String() == "" {
+		t.Error("empty route string")
+	}
+}
+
+func TestPathEqualReflectConsistency(t *testing.T) {
+	f := func(a, b []uint32) bool {
+		pa := make(Path, len(a))
+		for i, v := range a {
+			pa[i] = ASN(v)
+		}
+		pb := make(Path, len(b))
+		for i, v := range b {
+			pb[i] = ASN(v)
+		}
+		return pa.Equal(pb) == reflect.DeepEqual([]ASN(pa), []ASN(pb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,437 @@
+// Package dataset represents collections of BGP path observations — the
+// input of the paper's methodology. A dataset is a set of records, each
+// recording that a particular observation point (a BGP feed from a router
+// inside an observation AS, §3.1) held a route for a prefix with a given
+// AS-path at collection time.
+//
+// The package provides the normalization steps of §3.1 (AS-path prepending
+// removal, loop removal, stable-route filtering, deduplication), the
+// training/validation splits of §4.2 (by observation point and by
+// originating AS), the route-diversity statistics behind Figure 2 and
+// Table 1, and a line-oriented text serialization shared by the tools in
+// cmd/.
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asmodel/internal/bgp"
+)
+
+// ObsPointID identifies one BGP feed (one peering session with a route
+// collector). Multiple observation points may live in the same AS — 30%
+// of observation ASes in the paper's data have several (§3.1).
+type ObsPointID string
+
+// Record is a single observation: at collection time, the observation
+// point held a route for Prefix whose AS-path was Path.
+//
+// By convention Path includes the observation AS as its first element
+// (that is what a collector receives: the monitored AS prepends itself
+// when exporting to the collector) and the originating AS as its last.
+type Record struct {
+	Obs    ObsPointID
+	ObsAS  bgp.ASN
+	Prefix string
+	Path   bgp.Path
+	// Learned is the Unix time the route was learned, when known (MRT RIB
+	// dumps carry it as ORIGINATED_TIME); zero when unknown.
+	Learned int64
+}
+
+// Valid performs basic integrity checks on a record.
+func (r *Record) Valid() error {
+	if r.Obs == "" {
+		return fmt.Errorf("dataset: record has empty observation point")
+	}
+	if r.Prefix == "" {
+		return fmt.Errorf("dataset: record has empty prefix")
+	}
+	if len(r.Path) == 0 {
+		return fmt.Errorf("dataset: record has empty path")
+	}
+	if first, _ := r.Path.First(); first != r.ObsAS {
+		return fmt.Errorf("dataset: path %v does not start with observation AS %d", r.Path, r.ObsAS)
+	}
+	return nil
+}
+
+// Dataset is an ordered collection of records.
+type Dataset struct {
+	Records []Record
+}
+
+// Clone returns a deep-enough copy (records are value types; paths are
+// shared because they are immutable by convention).
+func (d *Dataset) Clone() *Dataset {
+	out := &Dataset{Records: make([]Record, len(d.Records))}
+	copy(out.Records, d.Records)
+	return out
+}
+
+// Len returns the number of records.
+func (d *Dataset) Len() int { return len(d.Records) }
+
+// Normalize applies the paper's §3.1 cleanup in place and returns the
+// receiver: AS-path prepending is stripped, paths with AS loops are
+// dropped, and exact duplicate records are removed. Record order is
+// preserved for the survivors.
+func (d *Dataset) Normalize() *Dataset {
+	type key struct {
+		obs    ObsPointID
+		prefix string
+		path   bgp.PathKey
+	}
+	seen := make(map[key]struct{}, len(d.Records))
+	out := d.Records[:0]
+	for _, r := range d.Records {
+		r.Path = r.Path.StripPrepend()
+		if len(r.Path) == 0 || r.Path.HasLoop() {
+			continue
+		}
+		k := key{r.Obs, r.Prefix, r.Path.Key()}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	d.Records = out
+	return d
+}
+
+// StableAt keeps only records whose route was learned at or before t and
+// at least minAge seconds before it — the paper's "valid table entries at
+// [time] ... stable in the sense that they have not changed for at least
+// one hour" (§3.1). Records without a Learned time are kept.
+func (d *Dataset) StableAt(t int64, minAge int64) *Dataset {
+	out := d.Records[:0]
+	for _, r := range d.Records {
+		if r.Learned != 0 && r.Learned > t-minAge {
+			continue
+		}
+		d.Records = append(out, r)
+		out = d.Records
+	}
+	d.Records = out
+	return d
+}
+
+// ObsPoints returns the distinct observation points, sorted.
+func (d *Dataset) ObsPoints() []ObsPointID {
+	set := make(map[ObsPointID]struct{})
+	for _, r := range d.Records {
+		set[r.Obs] = struct{}{}
+	}
+	out := make([]ObsPointID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ObsASes returns the distinct observation ASes, sorted.
+func (d *Dataset) ObsASes() []bgp.ASN {
+	set := make(map[bgp.ASN]struct{})
+	for _, r := range d.Records {
+		set[r.ObsAS] = struct{}{}
+	}
+	out := make([]bgp.ASN, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return bgp.SortASNs(out)
+}
+
+// Origins returns the distinct originating ASes, sorted.
+func (d *Dataset) Origins() []bgp.ASN {
+	set := make(map[bgp.ASN]struct{})
+	for _, r := range d.Records {
+		if o, ok := r.Path.Origin(); ok {
+			set[o] = struct{}{}
+		}
+	}
+	out := make([]bgp.ASN, 0, len(set))
+	for a := range set {
+		out = append(out, a)
+	}
+	return bgp.SortASNs(out)
+}
+
+// Prefixes returns the distinct prefixes, sorted.
+func (d *Dataset) Prefixes() []string {
+	set := make(map[string]struct{})
+	for _, r := range d.Records {
+		set[r.Prefix] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByPrefix groups record indices by prefix.
+func (d *Dataset) ByPrefix() map[string][]int {
+	out := make(map[string][]int)
+	for i, r := range d.Records {
+		out[r.Prefix] = append(out[r.Prefix], i)
+	}
+	return out
+}
+
+// AssignObsPoints deterministically assigns every observation point to
+// the training side with probability trainFrac.
+func (d *Dataset) AssignObsPoints(trainFrac float64, seed int64) map[ObsPointID]bool {
+	rng := rand.New(rand.NewSource(seed))
+	points := d.ObsPoints()
+	inTrain := make(map[ObsPointID]bool, len(points))
+	for _, p := range points {
+		inTrain[p] = rng.Float64() < trainFrac
+	}
+	return inTrain
+}
+
+// SplitByObsPoint partitions the dataset by assigning every observation
+// point to the training set with probability trainFrac (deterministic for
+// a given seed). All records of an observation point land on the same
+// side — the paper's primary evaluation split (§4.2).
+func (d *Dataset) SplitByObsPoint(trainFrac float64, seed int64) (train, valid *Dataset) {
+	inTrain := d.AssignObsPoints(trainFrac, seed)
+	return d.Partition(func(r *Record) bool { return inTrain[r.Obs] })
+}
+
+// AssignOrigins deterministically assigns every originating AS to the
+// training side with probability trainFrac.
+func (d *Dataset) AssignOrigins(trainFrac float64, seed int64) map[bgp.ASN]bool {
+	rng := rand.New(rand.NewSource(seed))
+	origins := d.Origins()
+	inTrain := make(map[bgp.ASN]bool, len(origins))
+	for _, a := range origins {
+		inTrain[a] = rng.Float64() < trainFrac
+	}
+	return inTrain
+}
+
+// SplitByOrigin partitions the dataset by originating AS: all prefixes
+// originated by an AS land on the same side — the paper's alternative
+// split for judging prediction of unseen prefixes (§4.2, §4.7).
+func (d *Dataset) SplitByOrigin(trainFrac float64, seed int64) (train, valid *Dataset) {
+	inTrain := d.AssignOrigins(trainFrac, seed)
+	return d.Partition(func(r *Record) bool {
+		o, _ := r.Path.Origin()
+		return inTrain[o]
+	})
+}
+
+// Partition splits the records by a predicate (true goes to the first
+// result). Records are shared, not copied.
+func (d *Dataset) Partition(keep func(*Record) bool) (yes, no *Dataset) {
+	yes, no = &Dataset{}, &Dataset{}
+	for i := range d.Records {
+		if keep(&d.Records[i]) {
+			yes.Records = append(yes.Records, d.Records[i])
+		} else {
+			no.Records = append(no.Records, d.Records[i])
+		}
+	}
+	return yes, no
+}
+
+// Merge appends all records of the given datasets to d and returns d.
+func (d *Dataset) Merge(others ...*Dataset) *Dataset {
+	for _, o := range others {
+		d.Records = append(d.Records, o.Records...)
+	}
+	return d
+}
+
+// ASPair identifies an (origin AS, observation AS) pair.
+type ASPair struct {
+	Origin, Obs bgp.ASN
+}
+
+// DistinctPathsPerPair counts, for every (origin AS, observation AS)
+// pair, the number of distinct AS-paths observed between them across all
+// prefixes of the origin — the quantity histogrammed in Figure 2.
+func (d *Dataset) DistinctPathsPerPair() map[ASPair]int {
+	paths := make(map[ASPair]map[bgp.PathKey]struct{})
+	for _, r := range d.Records {
+		o, ok := r.Path.Origin()
+		if !ok {
+			continue
+		}
+		pair := ASPair{Origin: o, Obs: r.ObsAS}
+		set := paths[pair]
+		if set == nil {
+			set = make(map[bgp.PathKey]struct{})
+			paths[pair] = set
+		}
+		set[r.Path.Key()] = struct{}{}
+	}
+	out := make(map[ASPair]int, len(paths))
+	for pair, set := range paths {
+		out[pair] = len(set)
+	}
+	return out
+}
+
+// MaxReceivedDiversity computes, for every AS, the maximum over prefixes
+// of the number of distinct unique AS-paths the AS is seen to receive
+// toward that prefix — Table 1's distribution, "a lower bound on how many
+// routers are needed inside an AS to propagate all these paths" (§3.2).
+//
+// An AS a "receives" a path whenever an observed AS-path contains a at a
+// non-origin position: the received path is the suffix strictly after a.
+func (d *Dataset) MaxReceivedDiversity() map[bgp.ASN]int {
+	type asPrefix struct {
+		as     bgp.ASN
+		prefix string
+	}
+	received := make(map[asPrefix]map[bgp.PathKey]struct{})
+	for _, r := range d.Records {
+		for i := 0; i+1 < len(r.Path); i++ {
+			k := asPrefix{r.Path[i], r.Prefix}
+			set := received[k]
+			if set == nil {
+				set = make(map[bgp.PathKey]struct{})
+				received[k] = set
+			}
+			set[r.Path[i+1:].Key()] = struct{}{}
+		}
+	}
+	out := make(map[bgp.ASN]int)
+	for k, set := range received {
+		if len(set) > out[k.as] {
+			out[k.as] = len(set)
+		}
+	}
+	return out
+}
+
+// PrefixesPerPath counts how many distinct prefixes are propagated along
+// each distinct AS-path — the §3.2 histogram that is "linear on a log-log
+// plot".
+func (d *Dataset) PrefixesPerPath() map[bgp.PathKey]int {
+	perPath := make(map[bgp.PathKey]map[string]struct{})
+	for _, r := range d.Records {
+		k := r.Path.Key()
+		set := perPath[k]
+		if set == nil {
+			set = make(map[string]struct{})
+			perPath[k] = set
+		}
+		set[r.Prefix] = struct{}{}
+	}
+	out := make(map[bgp.PathKey]int, len(perPath))
+	for k, set := range perPath {
+		out[k] = len(set)
+	}
+	return out
+}
+
+// ObservedPaths returns, for the given prefix, the distinct full observed
+// AS-paths grouped by observation AS, each group sorted lexically for
+// determinism. This is the per-prefix view the refinement heuristic
+// consumes.
+func (d *Dataset) ObservedPaths(prefix string) map[bgp.ASN][]bgp.Path {
+	set := make(map[bgp.ASN]map[bgp.PathKey]bgp.Path)
+	for _, r := range d.Records {
+		if r.Prefix != prefix {
+			continue
+		}
+		m := set[r.ObsAS]
+		if m == nil {
+			m = make(map[bgp.PathKey]bgp.Path)
+			set[r.ObsAS] = m
+		}
+		m[r.Path.Key()] = r.Path
+	}
+	out := make(map[bgp.ASN][]bgp.Path, len(set))
+	for as, m := range set {
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, string(k))
+		}
+		sort.Strings(keys)
+		paths := make([]bgp.Path, len(keys))
+		for i, k := range keys {
+			paths[i] = m[bgp.PathKey(k)]
+		}
+		out[as] = paths
+	}
+	return out
+}
+
+// --- Serialization ------------------------------------------------------
+
+// Write serializes the dataset in the line format
+//
+//	obsID obsAS learned prefix as1 as2 ... asN
+//
+// one record per line, '#' comments allowed on read.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range d.Records {
+		r := &d.Records[i]
+		if _, err := fmt.Fprintf(bw, "%s %d %d %s %s\n", r.Obs, r.ObsAS, r.Learned, r.Prefix, r.Path); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses the format produced by Write. Blank lines and lines starting
+// with '#' are ignored.
+func Read(r io.Reader) (*Dataset, error) {
+	d := &Dataset{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("dataset: line %d: want at least 5 fields, got %d", lineNo, len(fields))
+		}
+		obsAS, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad observation AS: %w", lineNo, err)
+		}
+		learned, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: bad learned time: %w", lineNo, err)
+		}
+		path, err := bgp.ParsePath(strings.Join(fields[4:], " "))
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		rec := Record{
+			Obs:     ObsPointID(fields[0]),
+			ObsAS:   bgp.ASN(obsAS),
+			Prefix:  fields[3],
+			Path:    path,
+			Learned: learned,
+		}
+		if err := rec.Valid(); err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		d.Records = append(d.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,418 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"asmodel/internal/bgp"
+)
+
+func rec(obs string, prefix string, path ...bgp.ASN) Record {
+	return Record{Obs: ObsPointID(obs), ObsAS: path[0], Prefix: prefix, Path: bgp.Path(path)}
+}
+
+func TestRecordValid(t *testing.T) {
+	good := rec("rv1", "P4", 1, 2, 4)
+	if err := good.Valid(); err != nil {
+		t.Errorf("good record invalid: %v", err)
+	}
+	bad := []Record{
+		{Obs: "", ObsAS: 1, Prefix: "P4", Path: bgp.Path{1, 4}},
+		{Obs: "x", ObsAS: 1, Prefix: "", Path: bgp.Path{1, 4}},
+		{Obs: "x", ObsAS: 1, Prefix: "P4", Path: bgp.Path{}},
+		{Obs: "x", ObsAS: 2, Prefix: "P4", Path: bgp.Path{1, 4}}, // path doesn't start at obs AS
+	}
+	for i, r := range bad {
+		if err := r.Valid(); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 1, 2, 4), // prepending stripped -> 1 2 4
+		rec("a", "P4", 1, 2, 4),    // duplicate after stripping
+		rec("a", "P4", 1, 2, 1, 4), // loop: dropped
+		rec("b", "P4", 1, 2, 4),    // same path, different obs point: kept
+		rec("a", "P5", 1, 2, 5),    // different prefix: kept
+	}}
+	d.Normalize()
+	if d.Len() != 3 {
+		t.Fatalf("Normalize kept %d records, want 3: %+v", d.Len(), d.Records)
+	}
+	for _, r := range d.Records {
+		if r.Path.HasLoop() {
+			t.Errorf("loop survived: %v", r.Path)
+		}
+		if !r.Path.StripPrepend().Equal(r.Path) {
+			t.Errorf("prepending survived: %v", r.Path)
+		}
+	}
+}
+
+func TestStableAt(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		{Obs: "a", ObsAS: 1, Prefix: "P2", Path: bgp.Path{1, 2}, Learned: 1000},
+		{Obs: "b", ObsAS: 1, Prefix: "P2", Path: bgp.Path{1, 2}, Learned: 4000},
+		{Obs: "c", ObsAS: 1, Prefix: "P2", Path: bgp.Path{1, 2}, Learned: 0}, // unknown: kept
+	}}
+	d.StableAt(5000, 3600)
+	if d.Len() != 2 {
+		t.Fatalf("StableAt kept %d, want 2", d.Len())
+	}
+	for _, r := range d.Records {
+		if r.Obs == "b" {
+			t.Error("record learned too recently survived")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("rv1", "P4", 1, 2, 4),
+		rec("rv2", "P4", 3, 2, 4),
+		rec("rv1", "P5", 1, 5),
+	}}
+	if got := d.ObsPoints(); len(got) != 2 || got[0] != "rv1" || got[1] != "rv2" {
+		t.Errorf("ObsPoints = %v", got)
+	}
+	if got := d.ObsASes(); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("ObsASes = %v", got)
+	}
+	if got := d.Origins(); len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Errorf("Origins = %v", got)
+	}
+	if got := d.Prefixes(); len(got) != 2 {
+		t.Errorf("Prefixes = %v", got)
+	}
+	byP := d.ByPrefix()
+	if len(byP["P4"]) != 2 || len(byP["P5"]) != 1 {
+		t.Errorf("ByPrefix = %v", byP)
+	}
+}
+
+func TestSplitByObsPointPartitions(t *testing.T) {
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 50; i++ {
+		obs := ObsPointID("op" + string(rune('A'+i%10)))
+		d.Records = append(d.Records, Record{
+			Obs: obs, ObsAS: bgp.ASN(1 + i%10), Prefix: "P9",
+			Path: bgp.Path{bgp.ASN(1 + i%10), bgp.ASN(100 + rng.Intn(3)), 9},
+		})
+	}
+	train, valid := d.SplitByObsPoint(0.5, 42)
+	if train.Len()+valid.Len() != d.Len() {
+		t.Fatalf("split loses records: %d + %d != %d", train.Len(), valid.Len(), d.Len())
+	}
+	// No observation point may appear on both sides.
+	tSet := map[ObsPointID]bool{}
+	for _, r := range train.Records {
+		tSet[r.Obs] = true
+	}
+	for _, r := range valid.Records {
+		if tSet[r.Obs] {
+			t.Fatalf("observation point %s on both sides", r.Obs)
+		}
+	}
+	// Determinism.
+	train2, _ := d.SplitByObsPoint(0.5, 42)
+	if train2.Len() != train.Len() {
+		t.Error("split not deterministic")
+	}
+	// Different seed should (almost surely) differ for 10 points.
+	train3, _ := d.SplitByObsPoint(0.5, 43)
+	if train3.Len() == train.Len() {
+		same := true
+		for i := range train3.Records {
+			if i >= len(train.Records) || train3.Records[i].Obs != train.Records[i].Obs {
+				same = false
+				break
+			}
+		}
+		if same && train.Len() > 0 {
+			t.Log("warning: different seeds produced identical split (possible, unlikely)")
+		}
+	}
+}
+
+func TestSplitByOriginPartitions(t *testing.T) {
+	d := &Dataset{}
+	for o := 100; o < 120; o++ {
+		d.Records = append(d.Records,
+			rec("rv1", SyntheticPrefix(bgp.ASN(o)), 1, 2, bgp.ASN(o)),
+			rec("rv2", SyntheticPrefix(bgp.ASN(o)), 3, 2, bgp.ASN(o)))
+	}
+	train, valid := d.SplitByOrigin(0.5, 7)
+	if train.Len()+valid.Len() != d.Len() {
+		t.Fatal("split loses records")
+	}
+	tOrig := map[bgp.ASN]bool{}
+	for _, r := range train.Records {
+		o, _ := r.Path.Origin()
+		tOrig[o] = true
+	}
+	for _, r := range valid.Records {
+		o, _ := r.Path.Origin()
+		if tOrig[o] {
+			t.Fatalf("origin %d on both sides", o)
+		}
+	}
+}
+
+func TestDistinctPathsPerPair(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a", "P4b", 1, 3, 4), // same pair (1,4), different path
+		rec("b", "P4", 1, 2, 4),  // same path, different obs point: not distinct
+		rec("c", "P4", 7, 2, 4),  // different obs AS
+	}}
+	got := d.DistinctPathsPerPair()
+	if got[ASPair{4, 1}] != 2 {
+		t.Errorf("pair (4,1) = %d, want 2", got[ASPair{4, 1}])
+	}
+	if got[ASPair{4, 7}] != 1 {
+		t.Errorf("pair (4,7) = %d, want 1", got[ASPair{4, 7}])
+	}
+}
+
+func TestMaxReceivedDiversity(t *testing.T) {
+	// AS2 receives, for prefix P4: paths "4" (from 1 2 4) and "3 4"
+	// (from 1 2 3 4) -> diversity 2. For prefix P5: only "5" -> 1.
+	// Max over prefixes = 2.
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("b", "P4", 1, 2, 3, 4),
+		rec("a", "P5", 1, 2, 5),
+	}}
+	got := d.MaxReceivedDiversity()
+	if got[2] != 2 {
+		t.Errorf("AS2 diversity = %d, want 2", got[2])
+	}
+	if got[1] != 2 {
+		// AS1 receives "2 4" and "2 3 4" for P4.
+		t.Errorf("AS1 diversity = %d, want 2", got[1])
+	}
+	if _, present := got[4]; present {
+		t.Error("origin AS should not appear (it receives nothing)")
+	}
+}
+
+func TestPrefixesPerPath(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a", "P4b", 1, 2, 4), // same path, second prefix
+		rec("b", "P4", 1, 2, 4),  // same path+prefix, different obs: no double count
+		rec("a", "P9", 1, 9),
+	}}
+	got := d.PrefixesPerPath()
+	if got[bgp.Path{1, 2, 4}.Key()] != 2 {
+		t.Errorf("path 1-2-4 carries %d prefixes, want 2", got[bgp.Path{1, 2, 4}.Key()])
+	}
+	if got[bgp.Path{1, 9}.Key()] != 1 {
+		t.Errorf("path 1-9 carries %d prefixes, want 1", got[bgp.Path{1, 9}.Key()])
+	}
+}
+
+func TestObservedPaths(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a2", "P4", 1, 3, 4),
+		rec("a", "P4", 1, 2, 4), // duplicate
+		rec("b", "P4", 5, 2, 4),
+		rec("b", "P5", 5, 5),
+	}}
+	got := d.ObservedPaths("P4")
+	if len(got) != 2 {
+		t.Fatalf("obs ASes = %d, want 2", len(got))
+	}
+	if len(got[1]) != 2 {
+		t.Errorf("AS1 paths = %v, want 2 distinct", got[1])
+	}
+	if len(got[5]) != 1 {
+		t.Errorf("AS5 paths = %v", got[5])
+	}
+	// Deterministic order.
+	again := d.ObservedPaths("P4")
+	for i := range got[1] {
+		if !got[1][i].Equal(again[1][i]) {
+			t.Fatal("ObservedPaths order not deterministic")
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		{Obs: "rrc00-peer1", ObsAS: 3356, Prefix: "192.0.2.0/24", Path: bgp.Path{3356, 1239, 24249}, Learned: 1131867000},
+		{Obs: "rv2", ObsAS: 701, Prefix: "P5", Path: bgp.Path{701, 5}},
+	}}
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip %d != %d", got.Len(), d.Len())
+	}
+	for i := range d.Records {
+		a, b := d.Records[i], got.Records[i]
+		if a.Obs != b.Obs || a.ObsAS != b.ObsAS || a.Prefix != b.Prefix || a.Learned != b.Learned || !a.Path.Equal(b.Path) {
+			t.Errorf("record %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadErrorsAndComments(t *testing.T) {
+	cases := []string{
+		"x 1 0",              // too few fields
+		"x notanas 0 P2 1 2", // bad AS
+		"x 1 zzz P2 1 2",     // bad time
+		"x 1 0 P2 1 bad",     // bad path
+		"x 2 0 P2 1 2",       // path doesn't start at obs AS
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("Read(%q) should fail", c)
+		}
+	}
+	ok := "# comment\n\nx 1 0 P2 1 2\n"
+	d, err := Read(strings.NewReader(ok))
+	if err != nil || d.Len() != 1 {
+		t.Fatalf("Read with comments: %v, %d records", err, d.Len())
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &Dataset{}
+		for i := 0; i < 1+rng.Intn(20); i++ {
+			n := 1 + rng.Intn(5)
+			p := make(bgp.Path, n)
+			for j := range p {
+				p[j] = bgp.ASN(1 + rng.Intn(1000))
+			}
+			d.Records = append(d.Records, Record{
+				Obs: ObsPointID("op" + bgp.ASN(rng.Intn(50)).String()), ObsAS: p[0],
+				Prefix: SyntheticPrefix(p[n-1]), Path: p, Learned: rng.Int63n(1 << 30),
+			})
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil || got.Len() != d.Len() {
+			return false
+		}
+		for i := range d.Records {
+			if !got.Records[i].Path.Equal(d.Records[i].Path) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P9", 1, 9),
+		rec("a", "P5", 1, 5),
+		rec("b", "P9", 2, 9),
+		rec("b", "Pmoas", 2, 7),
+		rec("c", "Pmoas", 3, 8), // MOAS: two origins for Pmoas
+	}}
+	u := NewUniverse(d)
+	if u.Len() != 3 {
+		t.Fatalf("universe size %d, want 3", u.Len())
+	}
+	id5, ok := u.ID("P5")
+	if !ok {
+		t.Fatal("P5 missing")
+	}
+	if u.Name(id5) != "P5" {
+		t.Errorf("Name(%d) = %q", id5, u.Name(id5))
+	}
+	if o := u.Origins(id5); len(o) != 1 || o[0] != 5 {
+		t.Errorf("Origins(P5) = %v", o)
+	}
+	idm, _ := u.ID("Pmoas")
+	if o := u.Origins(idm); len(o) != 2 || o[0] != 7 || o[1] != 8 {
+		t.Errorf("Origins(Pmoas) = %v", o)
+	}
+	if _, ok := u.ID("nope"); ok {
+		t.Error("unknown prefix should be absent")
+	}
+	// IDs stable across constructions.
+	u2 := NewUniverse(d)
+	id5b, _ := u2.ID("P5")
+	if id5b != id5 {
+		t.Error("IDs not stable")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Name out of range should panic")
+		}
+	}()
+	u.Name(99)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	d := &Dataset{Records: []Record{rec("a", "P2", 1, 2)}}
+	c := d.Clone()
+	c.Records[0].Prefix = "changed"
+	if d.Records[0].Prefix != "P2" {
+		t.Fatal("Clone shares record storage")
+	}
+}
+
+func TestPartitionAndMerge(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("b", "P5", 3, 5),
+		rec("c", "P4", 7, 4),
+	}}
+	yes, no := d.Partition(func(r *Record) bool { return r.Prefix == "P4" })
+	if yes.Len() != 2 || no.Len() != 1 {
+		t.Fatalf("partition: %d/%d", yes.Len(), no.Len())
+	}
+	merged := (&Dataset{}).Merge(yes, no)
+	if merged.Len() != d.Len() {
+		t.Fatalf("merge: %d", merged.Len())
+	}
+}
+
+func TestAssignConsistency(t *testing.T) {
+	d := &Dataset{Records: []Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("b", "P5", 3, 5),
+	}}
+	obs := d.AssignObsPoints(0.5, 42)
+	train, valid := d.SplitByObsPoint(0.5, 42)
+	for _, r := range train.Records {
+		if !obs[r.Obs] {
+			t.Error("train record not assigned to train")
+		}
+	}
+	for _, r := range valid.Records {
+		if obs[r.Obs] {
+			t.Error("valid record assigned to train")
+		}
+	}
+	orig := d.AssignOrigins(1.0, 1)
+	for _, a := range d.Origins() {
+		if !orig[a] {
+			t.Error("trainFrac=1 must assign everything")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"asmodel/internal/bgp"
+)
+
+// Universe assigns dense bgp.PrefixID values to the prefixes of a dataset
+// and records each prefix's originating AS(es), providing the bridge
+// between datasets (string prefixes) and simulations (dense prefix IDs).
+//
+// The paper originates one prefix per AS (§4.1); real data may contain
+// multi-origin (MOAS) prefixes, which Universe supports by keeping origin
+// sets.
+type Universe struct {
+	names   []string
+	ids     map[string]bgp.PrefixID
+	origins [][]bgp.ASN // sorted, per prefix ID
+}
+
+// NewUniverse builds a universe from one or more datasets. Prefixes are
+// numbered in sorted order so that IDs are stable across runs.
+func NewUniverse(dss ...*Dataset) *Universe {
+	originSets := make(map[string]map[bgp.ASN]struct{})
+	for _, d := range dss {
+		for _, r := range d.Records {
+			set := originSets[r.Prefix]
+			if set == nil {
+				set = make(map[bgp.ASN]struct{})
+				originSets[r.Prefix] = set
+			}
+			if o, ok := r.Path.Origin(); ok {
+				set[o] = struct{}{}
+			}
+		}
+	}
+	names := make([]string, 0, len(originSets))
+	for p := range originSets {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	u := &Universe{
+		names:   names,
+		ids:     make(map[string]bgp.PrefixID, len(names)),
+		origins: make([][]bgp.ASN, len(names)),
+	}
+	for i, p := range names {
+		u.ids[p] = bgp.PrefixID(i)
+		set := originSets[p]
+		asns := make([]bgp.ASN, 0, len(set))
+		for a := range set {
+			asns = append(asns, a)
+		}
+		u.origins[i] = bgp.SortASNs(asns)
+	}
+	return u
+}
+
+// Len returns the number of prefixes.
+func (u *Universe) Len() int { return len(u.names) }
+
+// ID returns the dense ID for a prefix name.
+func (u *Universe) ID(prefix string) (bgp.PrefixID, bool) {
+	id, ok := u.ids[prefix]
+	return id, ok
+}
+
+// Name returns the prefix name for an ID.
+func (u *Universe) Name(id bgp.PrefixID) string {
+	if int(id) < 0 || int(id) >= len(u.names) {
+		panic(fmt.Sprintf("dataset: prefix ID %d out of range", id))
+	}
+	return u.names[id]
+}
+
+// Origins returns the sorted originating ASes of a prefix.
+func (u *Universe) Origins(id bgp.PrefixID) []bgp.ASN { return u.origins[id] }
+
+// SyntheticPrefix names the prefix originated by an AS in synthetic
+// universes where each AS originates exactly one prefix (§4.1).
+func SyntheticPrefix(asn bgp.ASN) string { return "P" + asn.String() }
+
+// NewUniverseFrom creates a universe directly from prefix names and their
+// origin sets (used when deserializing saved models). Origins are copied
+// and sorted.
+func NewUniverseFrom(entries map[string][]bgp.ASN) *Universe {
+	names := make([]string, 0, len(entries))
+	for p := range entries {
+		names = append(names, p)
+	}
+	sort.Strings(names)
+	u := &Universe{
+		names:   names,
+		ids:     make(map[string]bgp.PrefixID, len(names)),
+		origins: make([][]bgp.ASN, len(names)),
+	}
+	for i, p := range names {
+		u.ids[p] = bgp.PrefixID(i)
+		o := make([]bgp.ASN, len(entries[p]))
+		copy(o, entries[p])
+		u.origins[i] = bgp.SortASNs(o)
+	}
+	return u
+}

@@ -1,0 +1,511 @@
+// Package gen generates synthetic router-level Internets with ground-truth
+// routing — the substitution for the paper's >1,300 real BGP feeds (§3.1).
+//
+// The generated topology reproduces the structural features the paper's
+// methodology must cope with:
+//
+//   - a tier-1 clique of fully meshed peers, a level of transit providers
+//     beneath them, regional ISPs, and single-/multi-homed stub ASes;
+//   - multiple routers per transit AS with an IGP topology and a full
+//     iBGP mesh, so different routers of one AS pick different best routes
+//     (hot-potato route diversity, §3.2);
+//   - multiple parallel inter-AS links between router pairs of the same
+//     AS pair (the second diversity source the paper names);
+//   - valley-free relationship policies (local-pref ranking plus export
+//     filters) with a configurable fraction of per-prefix "weird" policies
+//     (local-pref inversions, selective advertisements, route leaks) that
+//     do not fit the customer/peer schema — the reason the paper's model
+//     stays agnostic about relationships;
+//   - vantage points biased toward the top of the hierarchy, as in the
+//     real collector infrastructure.
+//
+// Each AS originates exactly one prefix (§4.1). The generator runs the
+// ground-truth simulation per prefix and records what every vantage point
+// sees, yielding a dataset in the same shape as parsed MRT dumps.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/relation"
+	"asmodel/internal/routersim"
+	"asmodel/internal/topology"
+)
+
+// Config parameterizes the synthetic Internet.
+type Config struct {
+	Seed int64
+
+	// AS population per tier.
+	NumTier1 int // fully meshed top clique
+	NumTier2 int // national transit providers
+	NumTier3 int // regional ISPs
+	NumStub  int // edge networks
+
+	// Routers per AS (upper bounds; actual count is randomized >= 1).
+	RoutersTier1 int
+	RoutersTier2 int
+	RoutersTier3 int
+
+	// MultiHomeProb is the probability that a stub has more than one
+	// provider.
+	MultiHomeProb float64
+	// Tier2PeerProb / Tier3PeerProb are the probabilities that a given
+	// same-tier AS pair establishes a peering.
+	Tier2PeerProb float64
+	Tier3PeerProb float64
+	// ParallelLinkProb is the probability that an AS pair with enough
+	// routers gets a second inter-AS link (and, squared, a third).
+	ParallelLinkProb float64
+
+	// WeirdPolicyFrac is the fraction of prefixes that receive one policy
+	// tweak violating the customer/peer schema.
+	WeirdPolicyFrac float64
+
+	// RouteReflectorProb is the probability that a multi-router AS uses a
+	// route-reflector cluster (RFC 4456) instead of a full iBGP mesh.
+	// Reflection hides intra-AS path diversity from clients, a realism
+	// knob for the ground truth.
+	RouteReflectorProb float64
+
+	// PrefixesPerOrigin is the maximum number of prefixes an AS
+	// originates (each AS gets 1..PrefixesPerOrigin, randomized). The
+	// paper's model setup uses one prefix per AS (§4.1); its §3.2 data
+	// analysis, however, relies on origins announcing many prefixes —
+	// raise this to reproduce the prefixes-per-path distribution.
+	PrefixesPerOrigin int
+
+	// Vantage-point selection: how many ASes host feeds and how many
+	// routers per AS feed at most. Tier-1/2 ASes are chosen first,
+	// mirroring the collector bias the paper reports (§3.1).
+	NumVantageASes  int
+	MaxVantagePerAS int
+}
+
+// DefaultConfig returns a laptop-scale Internet (a few hundred ASes) with
+// every diversity mechanism enabled.
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		NumTier1:           8,
+		NumTier2:           40,
+		NumTier3:           120,
+		NumStub:            250,
+		RoutersTier1:       4,
+		RoutersTier2:       3,
+		RoutersTier3:       2,
+		RouteReflectorProb: 0.3,
+		MultiHomeProb:      0.75,
+		Tier2PeerProb:      0.25,
+		Tier3PeerProb:      0.06,
+		ParallelLinkProb:   0.5,
+		WeirdPolicyFrac:    0.12,
+		NumVantageASes:     40,
+		MaxVantagePerAS:    3,
+	}
+}
+
+// Validate checks the configuration for consistency.
+func (c *Config) Validate() error {
+	if c.NumTier1 < 2 {
+		return fmt.Errorf("gen: need at least 2 tier-1 ASes, have %d", c.NumTier1)
+	}
+	if c.NumTier2 < 1 || c.NumTier3 < 0 || c.NumStub < 0 {
+		return fmt.Errorf("gen: invalid AS population")
+	}
+	if c.RoutersTier1 < 1 || c.RoutersTier2 < 1 || c.RoutersTier3 < 1 {
+		return fmt.Errorf("gen: router bounds must be >= 1")
+	}
+	for _, p := range []float64{c.MultiHomeProb, c.Tier2PeerProb, c.Tier3PeerProb, c.ParallelLinkProb, c.WeirdPolicyFrac, c.RouteReflectorProb} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("gen: probability out of range: %v", p)
+		}
+	}
+	if c.PrefixesPerOrigin < 0 {
+		return fmt.Errorf("gen: PrefixesPerOrigin must be >= 0")
+	}
+	if c.NumVantageASes < 1 {
+		return fmt.Errorf("gen: need at least one vantage AS")
+	}
+	if c.MaxVantagePerAS < 1 {
+		return fmt.Errorf("gen: need at least one vantage point per AS")
+	}
+	return nil
+}
+
+// Internet is a generated ground-truth Internet.
+type Internet struct {
+	Cfg Config
+	RS  *routersim.Internet
+
+	Tier1 []bgp.ASN
+	Tier2 []bgp.ASN
+	Tier3 []bgp.ASN
+	Stubs []bgp.ASN
+
+	// Rels is the ground-truth relationship of each AS edge (from the
+	// perspective of Edge.A).
+	Rels map[topology.Edge]relation.Rel
+
+	// Weird describes the per-prefix policy tweaks that were applied,
+	// keyed by prefix ID.
+	Weird map[bgp.PrefixID]string
+	// QuirksReverted counts weird policies that had to be rolled back
+	// because they made BGP diverge.
+	QuirksReverted int
+
+	vps          []routersim.VantagePoint
+	prefixOrigin []bgp.ASN
+	prefixName   []string
+	prefixByName map[string]bgp.PrefixID
+	policies     map[sessKey]*sessPolicy
+	quirkUndo    map[bgp.PrefixID][]func()
+	rng          *rand.Rand
+}
+
+type sessKey struct {
+	local, remote bgp.RouterID
+}
+
+// sessPolicy is the per-session policy state backing the sim hooks.
+type sessPolicy struct {
+	baseLP      uint32
+	relToRemote relation.Rel
+	lpOverride  map[bgp.PrefixID]uint32
+	expDeny     map[bgp.PrefixID]bool
+	leak        map[bgp.PrefixID]bool
+}
+
+// RelOf returns the ground-truth relationship of a toward b.
+func (in *Internet) RelOf(a, b bgp.ASN) relation.Rel {
+	e := topology.MakeEdge(a, b)
+	r, ok := in.Rels[e]
+	if !ok {
+		return relation.Unknown
+	}
+	if a == e.A {
+		return r
+	}
+	switch r {
+	case relation.Customer:
+		return relation.Provider
+	case relation.Provider:
+		return relation.Customer
+	default:
+		return r
+	}
+}
+
+// ASNs returns all AS numbers, sorted.
+func (in *Internet) ASNs() []bgp.ASN { return in.RS.ASNs() }
+
+// NumPrefixes returns the number of prefixes (one per AS, §4.1).
+func (in *Internet) NumPrefixes() int { return len(in.prefixOrigin) }
+
+// PrefixOrigin returns the AS originating the prefix.
+func (in *Internet) PrefixOrigin(id bgp.PrefixID) bgp.ASN { return in.prefixOrigin[id] }
+
+// PrefixName returns the dataset name of the prefix.
+func (in *Internet) PrefixName(id bgp.PrefixID) string { return in.prefixName[id] }
+
+// PrefixIDByName resolves a prefix name to the generator's own prefix ID.
+// Note that other components (dataset.Universe) assign their own, different
+// dense IDs; names are the only shared key.
+func (in *Internet) PrefixIDByName(name string) (bgp.PrefixID, bool) {
+	if in.prefixByName == nil {
+		in.prefixByName = make(map[string]bgp.PrefixID, len(in.prefixName))
+		for i, n := range in.prefixName {
+			in.prefixByName[n] = bgp.PrefixID(i)
+		}
+	}
+	id, ok := in.prefixByName[name]
+	return id, ok
+}
+
+// VantagePoints returns the generated feeds, sorted by ID.
+func (in *Internet) VantagePoints() []routersim.VantagePoint { return in.vps }
+
+// Generate builds an Internet from the configuration.
+func Generate(cfg Config) (*Internet, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	in := &Internet{
+		Cfg:       cfg,
+		RS:        routersim.New(),
+		Rels:      make(map[topology.Edge]relation.Rel),
+		Weird:     make(map[bgp.PrefixID]string),
+		policies:  make(map[sessKey]*sessPolicy),
+		quirkUndo: make(map[bgp.PrefixID][]func()),
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+	}
+	if err := in.buildTopology(); err != nil {
+		return nil, err
+	}
+	in.RS.Finalize()
+	in.installPolicies()
+	in.assignPrefixes()
+	in.installWeirdPolicies()
+	in.pickVantagePoints()
+	return in, nil
+}
+
+func (in *Internet) buildTopology() error {
+	cfg, rng := &in.Cfg, in.rng
+
+	addAS := func(asn bgp.ASN, maxRouters int) error {
+		n := 1
+		if maxRouters > 1 {
+			n = 1 + rng.Intn(maxRouters)
+		}
+		useRR := n >= 2 && rng.Float64() < cfg.RouteReflectorProb
+		var a *routersim.AS
+		var err error
+		if useRR {
+			a, err = in.RS.AddASRR(asn, n)
+		} else {
+			a, err = in.RS.AddAS(asn, n)
+		}
+		if err != nil {
+			return err
+		}
+		// IGP: ring plus random chords, random costs.
+		if n > 1 {
+			for i := 0; i < n; i++ {
+				j := (i + 1) % n
+				if i < j || n > 2 {
+					if err := in.RS.SetIGPLink(asn, i, j, uint32(1+rng.Intn(10))); err != nil {
+						return err
+					}
+				}
+			}
+			for k := 0; k < n/2; k++ {
+				i, j := rng.Intn(n), rng.Intn(n)
+				if i != j {
+					in.RS.SetIGPLink(asn, i, j, uint32(1+rng.Intn(10))) // duplicate links are fine for SPF
+				}
+			}
+		}
+		_ = a
+		return nil
+	}
+
+	for i := 0; i < cfg.NumTier1; i++ {
+		asn := bgp.ASN(10 + i)
+		in.Tier1 = append(in.Tier1, asn)
+		if err := addAS(asn, cfg.RoutersTier1); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.NumTier2; i++ {
+		asn := bgp.ASN(100 + i)
+		in.Tier2 = append(in.Tier2, asn)
+		if err := addAS(asn, cfg.RoutersTier2); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.NumTier3; i++ {
+		asn := bgp.ASN(1000 + i)
+		in.Tier3 = append(in.Tier3, asn)
+		if err := addAS(asn, cfg.RoutersTier3); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.NumStub; i++ {
+		asn := bgp.ASN(10000 + i)
+		in.Stubs = append(in.Stubs, asn)
+		if err := addAS(asn, 1); err != nil {
+			return err
+		}
+	}
+
+	// Tier-1 full mesh (peering).
+	for i := 0; i < len(in.Tier1); i++ {
+		for j := i + 1; j < len(in.Tier1); j++ {
+			if err := in.linkASes(in.Tier1[i], in.Tier1[j], relation.Peer); err != nil {
+				return err
+			}
+		}
+	}
+	// Tier-2: 1-3 tier-1 providers each, plus same-tier peerings.
+	for _, t2 := range in.Tier2 {
+		for _, p := range pickDistinct(rng, in.Tier1, 1+rng.Intn(3)) {
+			if err := in.linkASes(t2, p, relation.Customer); err != nil {
+				return err
+			}
+		}
+	}
+	for i := 0; i < len(in.Tier2); i++ {
+		for j := i + 1; j < len(in.Tier2); j++ {
+			if rng.Float64() < cfg.Tier2PeerProb {
+				if err := in.linkASes(in.Tier2[i], in.Tier2[j], relation.Peer); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Tier-3: providers from tier-2 (sometimes tier-1), rare peerings.
+	for _, t3 := range in.Tier3 {
+		n := 1 + rng.Intn(3)
+		for k := 0; k < n; k++ {
+			var provider bgp.ASN
+			if rng.Float64() < 0.2 {
+				provider = in.Tier1[rng.Intn(len(in.Tier1))]
+			} else {
+				provider = in.Tier2[rng.Intn(len(in.Tier2))]
+			}
+			if in.RelOf(t3, provider) == relation.Unknown {
+				if err := in.linkASes(t3, provider, relation.Customer); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for i := 0; i < len(in.Tier3); i++ {
+		for j := i + 1; j < len(in.Tier3); j++ {
+			if rng.Float64() < cfg.Tier3PeerProb {
+				if err := in.linkASes(in.Tier3[i], in.Tier3[j], relation.Peer); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	// Stubs: single- or multi-homed to tier-2/3 providers.
+	providersPool := append(append([]bgp.ASN{}, in.Tier2...), in.Tier3...)
+	for _, s := range in.Stubs {
+		n := 1
+		if rng.Float64() < cfg.MultiHomeProb {
+			n = 2 + rng.Intn(3)
+		}
+		for _, p := range pickDistinct(rng, providersPool, n) {
+			if err := in.linkASes(s, p, relation.Customer); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// linkASes records the relationship (relAtoB is a's relationship toward b)
+// and creates 1..3 eBGP links between distinct router pairs.
+func (in *Internet) linkASes(a, b bgp.ASN, relAToB relation.Rel) error {
+	e := topology.MakeEdge(a, b)
+	if _, dup := in.Rels[e]; dup {
+		return nil // already linked
+	}
+	rel := relAToB
+	if a != e.A {
+		switch relAToB {
+		case relation.Customer:
+			rel = relation.Provider
+		case relation.Provider:
+			rel = relation.Customer
+		}
+	}
+	in.Rels[e] = rel
+
+	asA, asB := in.RS.AS(a), in.RS.AS(b)
+	links := 1
+	if in.rng.Float64() < in.Cfg.ParallelLinkProb {
+		links = 2
+		if in.rng.Float64() < in.Cfg.ParallelLinkProb {
+			links = 3
+		}
+	}
+	maxLinks := asA.NumRouters() * asB.NumRouters()
+	if links > maxLinks {
+		links = maxLinks
+	}
+	used := make(map[[2]int]bool)
+	for l := 0; l < links; l++ {
+		for try := 0; try < 20; try++ {
+			ia, ib := in.rng.Intn(asA.NumRouters()), in.rng.Intn(asB.NumRouters())
+			if used[[2]int{ia, ib}] {
+				continue
+			}
+			used[[2]int{ia, ib}] = true
+			if _, _, err := in.RS.ConnectAS(a, ia, b, ib); err != nil {
+				return err
+			}
+			break
+		}
+	}
+	return nil
+}
+
+// pickDistinct samples up to n distinct elements.
+func pickDistinct(rng *rand.Rand, pool []bgp.ASN, n int) []bgp.ASN {
+	if n >= len(pool) {
+		out := make([]bgp.ASN, len(pool))
+		copy(out, pool)
+		return out
+	}
+	idx := rng.Perm(len(pool))[:n]
+	out := make([]bgp.ASN, n)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// installPolicies attaches relationship-based import/export hooks to every
+// eBGP session, with per-prefix override maps for weird policies.
+func (in *Internet) installPolicies() {
+	for _, r := range in.RS.Net.Routers() {
+		for _, p := range r.Peers() {
+			if !p.EBGP {
+				continue
+			}
+			relToRemote := in.RelOf(p.Local.AS, p.Remote.AS)
+			sp := &sessPolicy{
+				baseLP:      relation.LocalPrefFor(relToRemote),
+				relToRemote: relToRemote,
+				lpOverride:  make(map[bgp.PrefixID]uint32),
+				expDeny:     make(map[bgp.PrefixID]bool),
+				leak:        make(map[bgp.PrefixID]bool),
+			}
+			in.policies[sessKey{p.Local.ID, p.Remote.ID}] = sp
+			p.ImportHook = func(rt *bgp.Route) bool {
+				if lp, ok := sp.lpOverride[rt.Prefix]; ok {
+					rt.LocalPref = lp
+				} else {
+					rt.LocalPref = sp.baseLP
+				}
+				return true
+			}
+			p.ExportHook = func(rt *bgp.Route) bool {
+				if sp.expDeny[rt.Prefix] {
+					return false
+				}
+				if sp.leak[rt.Prefix] {
+					return true
+				}
+				return relation.ExportAllowed(rt, sp.relToRemote)
+			}
+		}
+	}
+}
+
+func (in *Internet) assignPrefixes() {
+	maxPer := in.Cfg.PrefixesPerOrigin
+	if maxPer < 1 {
+		maxPer = 1
+	}
+	for _, asn := range in.RS.ASNs() {
+		k := 1
+		if maxPer > 1 {
+			k = 1 + in.rng.Intn(maxPer)
+		}
+		for j := 0; j < k; j++ {
+			name := dataset.SyntheticPrefix(asn)
+			if j > 0 {
+				name = fmt.Sprintf("%s-%d", dataset.SyntheticPrefix(asn), j)
+			}
+			in.prefixOrigin = append(in.prefixOrigin, asn)
+			in.prefixName = append(in.prefixName, name)
+		}
+	}
+}

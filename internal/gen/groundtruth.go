@@ -1,0 +1,264 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/relation"
+	"asmodel/internal/routersim"
+	"asmodel/internal/sim"
+)
+
+// CollectionTime is the synthetic "RIB dump" timestamp stamped on
+// generated records (the paper's snapshot is Sun Nov 13 2005 07:30 UTC).
+const CollectionTime int64 = 1131867000
+
+// installWeirdPolicies applies one schema-violating policy tweak to
+// WeirdPolicyFrac of the prefixes. Each tweak is registered with an undo
+// closure so that RunAll can revert tweaks that make BGP diverge.
+func (in *Internet) installWeirdPolicies() {
+	n := int(in.Cfg.WeirdPolicyFrac * float64(len(in.prefixOrigin)))
+	if n == 0 {
+		return
+	}
+	// Candidate transit ASes with providers and customers.
+	transits := append(append([]bgp.ASN{}, in.Tier2...), in.Tier3...)
+	perm := in.rng.Perm(len(in.prefixOrigin))
+	applied := 0
+	for _, pi := range perm {
+		if applied >= n {
+			break
+		}
+		prefix := bgp.PrefixID(pi)
+		asn := transits[in.rng.Intn(len(transits))]
+		if asn == in.prefixOrigin[pi] {
+			continue
+		}
+		switch in.rng.Intn(3) {
+		case 0:
+			if in.quirkPreferProvider(prefix, asn) {
+				in.Weird[prefix] = fmt.Sprintf("AS%d prefers provider routes for %s", asn, in.PrefixName(prefix))
+				applied++
+			}
+		case 1:
+			if in.quirkSelectiveExport(prefix) {
+				in.Weird[prefix] = fmt.Sprintf("origin AS%d withholds %s from one provider", in.prefixOrigin[pi], in.PrefixName(prefix))
+				applied++
+			}
+		default:
+			if in.quirkLeak(prefix, asn) {
+				in.Weird[prefix] = fmt.Sprintf("AS%d leaks %s upward", asn, in.PrefixName(prefix))
+				applied++
+			}
+		}
+	}
+}
+
+// sessionsOf returns the eBGP session policies of an AS toward neighbors
+// with the given relationship, deterministically ordered.
+func (in *Internet) sessionsOf(asn bgp.ASN, rel relation.Rel) []*sessPolicy {
+	a := in.RS.AS(asn)
+	if a == nil {
+		return nil
+	}
+	type keyed struct {
+		k  sessKey
+		sp *sessPolicy
+	}
+	var out []keyed
+	for _, r := range a.Routers {
+		for _, p := range r.Peers() {
+			if !p.EBGP {
+				continue
+			}
+			k := sessKey{p.Local.ID, p.Remote.ID}
+			if sp := in.policies[k]; sp != nil && sp.relToRemote == rel {
+				out = append(out, keyed{k, sp})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].k.local != out[j].k.local {
+			return out[i].k.local < out[j].k.local
+		}
+		return out[i].k.remote < out[j].k.remote
+	})
+	sps := make([]*sessPolicy, len(out))
+	for i, o := range out {
+		sps[i] = o.sp
+	}
+	return sps
+}
+
+// quirkPreferProvider makes asn prefer provider-learned routes for the
+// prefix (local-pref inversion).
+func (in *Internet) quirkPreferProvider(prefix bgp.PrefixID, asn bgp.ASN) bool {
+	provSessions := in.sessionsOf(asn, relation.Customer) // I am the customer
+	if len(provSessions) == 0 {
+		return false
+	}
+	for _, sp := range provSessions {
+		sp := sp
+		sp.lpOverride[prefix] = relation.LPCustomer + 10
+		in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.lpOverride, prefix) })
+	}
+	return true
+}
+
+// quirkSelectiveExport makes the origin AS withhold its prefix from one of
+// its providers (selective advertisement). Requires >= 2 provider
+// sessions so the prefix stays globally reachable.
+func (in *Internet) quirkSelectiveExport(prefix bgp.PrefixID) bool {
+	origin := in.prefixOrigin[prefix]
+	provSessions := in.sessionsOf(origin, relation.Customer)
+	if len(provSessions) < 2 {
+		return false
+	}
+	sp := provSessions[in.rng.Intn(len(provSessions))]
+	sp.expDeny[prefix] = true
+	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.expDeny, prefix) })
+	return true
+}
+
+// quirkLeak makes asn export the prefix to providers/peers even when it
+// was not learned from a customer (a controlled route leak).
+func (in *Internet) quirkLeak(prefix bgp.PrefixID, asn bgp.ASN) bool {
+	var sessions []*sessPolicy
+	sessions = append(sessions, in.sessionsOf(asn, relation.Customer)...) // toward providers
+	sessions = append(sessions, in.sessionsOf(asn, relation.Peer)...)
+	if len(sessions) == 0 {
+		return false
+	}
+	sp := sessions[in.rng.Intn(len(sessions))]
+	sp.leak[prefix] = true
+	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.leak, prefix) })
+	return true
+}
+
+// pickVantagePoints selects observation feeds: every tier-1 AS first, then
+// tier-2, tier-3 and stubs until NumVantageASes is reached, with 1..Max
+// router feeds per chosen AS.
+func (in *Internet) pickVantagePoints() {
+	order := append([]bgp.ASN{}, in.Tier1...)
+	order = append(order, shuffled(in.rng, in.Tier2)...)
+	order = append(order, shuffled(in.rng, in.Tier3)...)
+	order = append(order, shuffled(in.rng, in.Stubs)...)
+	count := in.Cfg.NumVantageASes
+	if count > len(order) {
+		count = len(order)
+	}
+	for _, asn := range order[:count] {
+		a := in.RS.AS(asn)
+		nFeeds := min(in.Cfg.MaxVantagePerAS, a.NumRouters())
+		for _, ri := range in.rng.Perm(a.NumRouters())[:nFeeds] {
+			in.vps = append(in.vps, routersim.VantagePoint{
+				ID:     dataset.ObsPointID(fmt.Sprintf("op%d-%d", asn, ri)),
+				Router: a.Routers[ri],
+			})
+		}
+	}
+	routersim.SortVantagePoints(in.vps)
+}
+
+func shuffled(rng *rand.Rand, s []bgp.ASN) []bgp.ASN {
+	out := make([]bgp.ASN, len(s))
+	copy(out, s)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// RunAll simulates every prefix and returns the ground-truth dataset of
+// vantage-point observations. Weird policies that cause divergence are
+// reverted (and counted) so the returned routing is always a stable one.
+func (in *Internet) RunAll() (*dataset.Dataset, error) {
+	ds := &dataset.Dataset{}
+	for pi := range in.prefixOrigin {
+		prefix := bgp.PrefixID(pi)
+		err := in.RS.RunPrefix(prefix, in.prefixOrigin[pi])
+		if err == sim.ErrDiverged && len(in.quirkUndo[prefix]) > 0 {
+			for _, undo := range in.quirkUndo[prefix] {
+				undo()
+			}
+			delete(in.quirkUndo, prefix)
+			delete(in.Weird, prefix)
+			in.QuirksReverted++
+			err = in.RS.RunPrefix(prefix, in.prefixOrigin[pi])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("gen: prefix %s: %w", in.PrefixName(prefix), err)
+		}
+		routersim.Observe(ds, in.PrefixName(prefix), CollectionTime-7200, in.vps)
+	}
+	return ds, nil
+}
+
+// RunOne re-simulates a single prefix in the ground truth (used by
+// what-if comparisons after topology edits).
+func (in *Internet) RunOne(prefix bgp.PrefixID) error {
+	return in.RS.RunPrefix(prefix, in.prefixOrigin[prefix])
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DisableASLink administratively disables every eBGP session between two
+// ASes in the ground-truth Internet, returning the number of sessions
+// taken down. Used to validate what-if predictions: the same link can be
+// removed from both the model and the ground truth, and the outcomes
+// compared.
+func (in *Internet) DisableASLink(a, b bgp.ASN) int {
+	return in.setASLinkDisabled(a, b, true)
+}
+
+// EnableASLink re-enables previously disabled sessions between two ASes.
+func (in *Internet) EnableASLink(a, b bgp.ASN) int {
+	return in.setASLinkDisabled(a, b, false)
+}
+
+func (in *Internet) setASLinkDisabled(a, b bgp.ASN, down bool) int {
+	asA := in.RS.AS(a)
+	if asA == nil {
+		return 0
+	}
+	n := 0
+	for _, r := range asA.Routers {
+		for _, p := range r.Peers() {
+			if p.Remote.AS != b {
+				continue
+			}
+			p.SetDisabled(down)
+			if rev := p.Remote.PeerTo(r.ID); rev != nil {
+				rev.SetDisabled(down)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// ObservedPathSet returns, per vantage AS, the distinct best AS-paths
+// currently selected by that AS's vantage routers for the last-run
+// prefix, each prepended with the vantage AS (dataset convention).
+func (in *Internet) ObservedPathSet() map[bgp.ASN]map[string]bool {
+	out := make(map[bgp.ASN]map[string]bool)
+	for _, vp := range in.vps {
+		best := vp.Router.Best()
+		if best == nil {
+			continue
+		}
+		set := out[vp.Router.AS]
+		if set == nil {
+			set = make(map[string]bool)
+			out[vp.Router.AS] = set
+		}
+		set[best.Path.Prepend(vp.Router.AS).String()] = true
+	}
+	return out
+}

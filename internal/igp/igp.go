@@ -1,0 +1,112 @@
+// Package igp provides a small interior-gateway-protocol substrate: a
+// weighted undirected graph of routers with Dijkstra shortest-path-first
+// computation. The ground-truth router-level simulation uses it to obtain
+// the IGP cost from each router to each BGP next hop, which drives the
+// hot-potato step of the BGP decision process (paper §2).
+package igp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Infinity is the distance reported for unreachable routers.
+const Infinity = math.MaxUint32
+
+// Graph is a weighted undirected router graph. Router handles are dense
+// indices assigned by AddNode.
+type Graph struct {
+	adj [][]halfEdge
+}
+
+type halfEdge struct {
+	to   int
+	cost uint32
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddNode adds a router and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// NumNodes returns the router count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// AddLink adds an undirected link with the given positive cost.
+func (g *Graph) AddLink(a, b int, cost uint32) error {
+	if a < 0 || a >= len(g.adj) || b < 0 || b >= len(g.adj) {
+		return fmt.Errorf("igp: link endpoint out of range (%d, %d)", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("igp: self link at %d", a)
+	}
+	if cost == 0 || cost >= Infinity {
+		return fmt.Errorf("igp: invalid link cost %d", cost)
+	}
+	g.adj[a] = append(g.adj[a], halfEdge{b, cost})
+	g.adj[b] = append(g.adj[b], halfEdge{a, cost})
+	return nil
+}
+
+// SPF computes shortest-path distances from src to every router
+// (Dijkstra). Unreachable routers get Infinity.
+func (g *Graph) SPF(src int) []uint32 {
+	n := len(g.adj)
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	pq := &spfQueue{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(spfItem)
+		if it.dist > uint64(dist[it.node]) {
+			continue // stale entry
+		}
+		for _, e := range g.adj[it.node] {
+			nd := it.dist + uint64(e.cost)
+			if nd < uint64(dist[e.to]) {
+				dist[e.to] = uint32(nd)
+				heap.Push(pq, spfItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// AllPairs computes the full distance matrix; result[i][j] is the cost
+// from i to j.
+func (g *Graph) AllPairs() [][]uint32 {
+	out := make([][]uint32, len(g.adj))
+	for i := range out {
+		out[i] = g.SPF(i)
+	}
+	return out
+}
+
+type spfItem struct {
+	node int
+	dist uint64
+}
+
+type spfQueue []spfItem
+
+func (q spfQueue) Len() int            { return len(q) }
+func (q spfQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q spfQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *spfQueue) Push(x interface{}) { *q = append(*q, x.(spfItem)) }
+func (q *spfQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}

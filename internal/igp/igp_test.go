@@ -1,0 +1,196 @@
+package igp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasics(t *testing.T) {
+	g := NewGraph()
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	if g.NumNodes() != 3 {
+		t.Fatalf("nodes=%d", g.NumNodes())
+	}
+	if err := g.AddLink(a, b, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLink(b, c, 3); err != nil {
+		t.Fatal(err)
+	}
+	dist := g.SPF(a)
+	if dist[a] != 0 || dist[b] != 2 || dist[c] != 5 {
+		t.Fatalf("dist=%v", dist)
+	}
+}
+
+func TestShortcut(t *testing.T) {
+	g := NewGraph()
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	g.AddLink(a, b, 10)
+	g.AddLink(a, c, 1)
+	g.AddLink(c, b, 2)
+	if d := g.SPF(a); d[b] != 3 {
+		t.Fatalf("dist to b = %d, want 3 via c", d[b])
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode()
+	b := g.AddNode()
+	d := g.SPF(a)
+	if d[b] != Infinity {
+		t.Fatalf("disconnected dist = %d", d[b])
+	}
+	// Out-of-range source yields all-Infinity.
+	d = g.SPF(99)
+	if d[a] != Infinity {
+		t.Fatal("bad source should yield Infinity distances")
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	g := NewGraph()
+	a := g.AddNode()
+	b := g.AddNode()
+	if err := g.AddLink(a, a, 1); err == nil {
+		t.Error("self link should fail")
+	}
+	if err := g.AddLink(a, 5, 1); err == nil {
+		t.Error("out-of-range should fail")
+	}
+	if err := g.AddLink(a, b, 0); err == nil {
+		t.Error("zero cost should fail")
+	}
+	if err := g.AddLink(a, b, Infinity); err == nil {
+		t.Error("infinite cost should fail")
+	}
+}
+
+func TestAllPairsSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := NewGraph()
+	const n = 30
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(i, rng.Intn(i), uint32(1+rng.Intn(10)))
+	}
+	for e := 0; e < n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddLink(a, b, uint32(1+rng.Intn(10)))
+		}
+	}
+	d := g.AllPairs()
+	for i := 0; i < n; i++ {
+		if d[i][i] != 0 {
+			t.Fatalf("d[%d][%d]=%d", i, i, d[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("asymmetric: d[%d][%d]=%d d[%d][%d]=%d", i, j, d[i][j], j, i, d[j][i])
+			}
+		}
+	}
+}
+
+// TestTriangleInequality: SPF distances must satisfy d(a,c) <= d(a,b)+d(b,c).
+func TestTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 5 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			g.AddNode()
+		}
+		for i := 1; i < n; i++ {
+			g.AddLink(i, rng.Intn(i), uint32(1+rng.Intn(20)))
+		}
+		d := g.AllPairs()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if uint64(d[a][c]) > uint64(d[a][b])+uint64(d[b][c]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSPFMatchesBFSOnUnitCosts: with all costs 1, SPF equals BFS hops.
+func TestSPFMatchesBFSOnUnitCosts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := NewGraph()
+	const n = 40
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	addLink := func(a, b int) {
+		g.AddLink(a, b, 1)
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+	for i := 1; i < n; i++ {
+		addLink(i, rng.Intn(i))
+	}
+	for e := 0; e < 20; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			addLink(a, b)
+		}
+	}
+	dist := g.SPF(0)
+	bfs := make([]int, n)
+	for i := range bfs {
+		bfs[i] = -1
+	}
+	bfs[0] = 0
+	q := []int{0}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range adj[u] {
+			if bfs[v] == -1 {
+				bfs[v] = bfs[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if uint32(bfs[i]) != dist[i] {
+			t.Fatalf("node %d: bfs=%d spf=%d", i, bfs[i], dist[i])
+		}
+	}
+}
+
+func BenchmarkSPF100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph()
+	const n = 100
+	for i := 0; i < n; i++ {
+		g.AddNode()
+	}
+	for i := 1; i < n; i++ {
+		g.AddLink(i, rng.Intn(i), uint32(1+rng.Intn(10)))
+	}
+	for e := 0; e < 200; e++ {
+		a, bn := rng.Intn(n), rng.Intn(n)
+		if a != bn {
+			g.AddLink(a, bn, uint32(1+rng.Intn(10)))
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.SPF(i % n)
+	}
+}

@@ -1,0 +1,171 @@
+// Package lg parses looking-glass / route-server BGP table dumps in the
+// classic "show ip bgp" format that many of the paper's observation
+// sources (route servers, looking glasses) publish:
+//
+//	BGP table version is 1234, local router ID is 198.32.162.100
+//	Status codes: s suppressed, d damped, h history, * valid, > best, i - internal
+//	Origin codes: i - IGP, e - EGP, ? - incomplete
+//
+//	   Network          Next Hop            Metric LocPrf Weight Path
+//	*> 3.0.0.0          205.215.45.50            0             0 4006 701 80 i
+//	*  4.17.225.0/24    157.130.182.254          0             0 701 6389 8063 i
+//	*>                  157.130.182.254                        0 701 6389 8063 i
+//
+// The parser is column-based like the real format: the "Path" column
+// offset is taken from the header line, which removes the ambiguity
+// between the Metric/LocPrf/Weight numbers and the first AS of the path.
+package lg
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+// Options controls parsing.
+type Options struct {
+	// Obs is the observation-point identifier recorded on every route.
+	Obs dataset.ObsPointID
+	// LocalAS is the AS hosting the looking glass; it is prepended to
+	// every path (the table stores paths as received, neighbor first).
+	LocalAS bgp.ASN
+	// BestOnly keeps only best routes ("*>"); by default all valid
+	// routes are kept, since alternates are exactly the route diversity
+	// the model wants (§3.2).
+	BestOnly bool
+	// Learned is the timestamp stored on records (tables carry none).
+	Learned int64
+}
+
+// Stats reports what Parse encountered.
+type Stats struct {
+	Lines     int
+	Routes    int // valid route lines parsed
+	Best      int // of which best (*>)
+	SkippedAS int // dropped: AS_SET ("{...}") in path
+	SkippedNB int // dropped: non-best with BestOnly
+	Malformed int // dropped: unparsable route lines
+}
+
+// Parse reads a "show ip bgp" style table and appends records to a
+// dataset. It returns parsing statistics. An error is returned only for
+// I/O failures or a missing header line; malformed route lines are
+// counted and skipped, as real looking-glass output is ragged.
+func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
+	if opts.Obs == "" || opts.LocalAS == 0 {
+		return nil, fmt.Errorf("lg: Options.Obs and Options.LocalAS are required")
+	}
+	st := &Stats{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+
+	pathCol := -1
+	lastNetwork := ""
+	for sc.Scan() {
+		st.Lines++
+		line := sc.Text()
+		if pathCol < 0 {
+			if idx := strings.Index(line, "Path"); idx >= 0 && strings.Contains(line, "Network") {
+				pathCol = idx
+			}
+			continue
+		}
+		if len(strings.TrimSpace(line)) == 0 {
+			continue
+		}
+		status := line
+		if len(status) > 3 {
+			status = line[:3]
+		}
+		if !strings.Contains(status, "*") {
+			continue // suppressed/damped/history or continuation noise
+		}
+		best := strings.Contains(status, ">")
+		if opts.BestOnly && !best {
+			st.SkippedNB++
+			continue
+		}
+		if len(line) <= pathCol {
+			st.Malformed++
+			continue
+		}
+
+		// Network column starts right after the three status characters.
+		// Additional paths for the previous network leave it blank, so a
+		// space there marks a continuation line (exactly how the format
+		// is emitted).
+		network := lastNetwork
+		if line[3] != ' ' {
+			fields := strings.Fields(line[3:min(len(line), pathCol)])
+			if len(fields) == 0 {
+				st.Malformed++
+				continue
+			}
+			network = fields[0]
+			lastNetwork = network
+		}
+		if network == "" {
+			st.Malformed++
+			continue
+		}
+
+		pathText := strings.TrimSpace(line[pathCol:])
+		if pathText == "" {
+			st.Malformed++
+			continue
+		}
+		// Drop the origin code when present.
+		toks := strings.Fields(pathText)
+		if last := toks[len(toks)-1]; last == "i" || last == "e" || last == "?" {
+			toks = toks[:len(toks)-1]
+		}
+		if hasASSet(toks) {
+			st.SkippedAS++
+			continue
+		}
+		path, err := bgp.ParsePath(strings.Join(toks, " "))
+		if err != nil {
+			st.Malformed++
+			continue
+		}
+		full := path.Prepend(opts.LocalAS)
+		ds.Records = append(ds.Records, dataset.Record{
+			Obs:     opts.Obs,
+			ObsAS:   opts.LocalAS,
+			Prefix:  network,
+			Path:    full,
+			Learned: opts.Learned,
+		})
+		st.Routes++
+		if best {
+			st.Best++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if pathCol < 0 {
+		return nil, fmt.Errorf("lg: no \"Network ... Path\" header found")
+	}
+	return st, nil
+}
+
+func hasASSet(toks []string) bool {
+	for _, t := range toks {
+		if strings.ContainsAny(t, "{}") {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package lg
+
+import (
+	"strings"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+const sampleTable = `BGP table version is 1234, local router ID is 198.32.162.100
+Status codes: s suppressed, d damped, h history, * valid, > best, i - internal
+Origin codes: i - IGP, e - EGP, ? - incomplete
+
+   Network          Next Hop            Metric LocPrf Weight Path
+*> 3.0.0.0          205.215.45.50            0             0 4006 701 80 i
+*  4.17.225.0/24    157.130.182.254          0             0 701 6389 8063 19198 i
+*>                  157.130.182.253                        0 7018 6389 8063 19198 i
+*  5.0.0.0/8        10.0.0.1                 0             0 13237 {3320,3356} e
+s  6.1.0.0/16       10.0.0.2                 0             0 701 ?
+*> 198.51.100.0/24  10.0.0.3                 0             0 3356 24249 ?
+`
+
+func TestParse(t *testing.T) {
+	ds := &dataset.Dataset{}
+	st, err := Parse(strings.NewReader(sampleTable), Options{Obs: "lg1", LocalAS: 65000, Learned: 77}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes != 4 {
+		t.Fatalf("routes=%d stats=%+v records=%+v", st.Routes, st, ds.Records)
+	}
+	if st.Best != 3 {
+		t.Errorf("best=%d", st.Best)
+	}
+	if st.SkippedAS != 1 {
+		t.Errorf("skippedAS=%d", st.SkippedAS)
+	}
+	for _, r := range ds.Records {
+		if err := r.Valid(); err != nil {
+			t.Errorf("invalid record: %v", err)
+		}
+		if r.ObsAS != 65000 || r.Obs != "lg1" || r.Learned != 77 {
+			t.Errorf("metadata wrong: %+v", r)
+		}
+		if first, _ := r.Path.First(); first != 65000 {
+			t.Errorf("path not prepended with local AS: %v", r.Path)
+		}
+	}
+	// The continuation line must inherit the previous network.
+	found := false
+	for _, r := range ds.Records {
+		if r.Prefix == "4.17.225.0/24" && r.Path.Equal(bgp.Path{65000, 7018, 6389, 8063, 19198}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("continuation route missing: %+v", ds.Records)
+	}
+	// The suppressed route (s) must be dropped.
+	for _, r := range ds.Records {
+		if r.Prefix == "6.1.0.0/16" {
+			t.Error("suppressed route parsed")
+		}
+	}
+}
+
+func TestParseBestOnly(t *testing.T) {
+	ds := &dataset.Dataset{}
+	st, err := Parse(strings.NewReader(sampleTable), Options{Obs: "lg1", LocalAS: 65000, BestOnly: true}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes != 3 || st.SkippedNB != 2 { // the alternate path and the AS-set line are both non-best
+		t.Fatalf("stats=%+v", st)
+	}
+	for _, r := range ds.Records {
+		if r.Prefix == "4.17.225.0/24" && r.Path.Contains(701) {
+			t.Error("non-best route kept despite BestOnly")
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	ds := &dataset.Dataset{}
+	if _, err := Parse(strings.NewReader(sampleTable), Options{}, ds); err == nil {
+		t.Error("missing options accepted")
+	}
+	if _, err := Parse(strings.NewReader("no header here\n* 1.0.0.0 x 0 1 i\n"), Options{Obs: "x", LocalAS: 1}, ds); err == nil {
+		t.Error("missing header accepted")
+	}
+}
+
+func TestParseRaggedLines(t *testing.T) {
+	table := `   Network          Next Hop            Metric LocPrf Weight Path
+*> 3.0.0.0          205.215.45.50            0             0 4006 701 i
+*> short
+garbage line
+*> 9.9.9.0/24       10.0.0.1                 0             0 bogus path i
+`
+	ds := &dataset.Dataset{}
+	st, err := Parse(strings.NewReader(table), Options{Obs: "lg", LocalAS: 2}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Routes != 1 {
+		t.Fatalf("routes=%d stats=%+v", st.Routes, st)
+	}
+	if st.Malformed != 2 {
+		t.Errorf("malformed=%d", st.Malformed)
+	}
+}
+
+func TestParseFeedsPipeline(t *testing.T) {
+	// Parsed looking-glass output must work as model input.
+	table := `   Network          Next Hop            Metric LocPrf Weight Path
+*> 192.0.2.0/24     10.0.0.1                 0             0 20 40 i
+*  192.0.2.0/24     10.0.0.2                 0             0 30 40 i
+`
+	ds := &dataset.Dataset{}
+	if _, err := Parse(strings.NewReader(table), Options{Obs: "lg", LocalAS: 10}, ds); err != nil {
+		t.Fatal(err)
+	}
+	ds.Normalize()
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d", ds.Len())
+	}
+	paths := ds.ObservedPaths("192.0.2.0/24")
+	if len(paths[10]) != 2 {
+		t.Fatalf("diversity lost: %+v", paths)
+	}
+}

@@ -1,0 +1,244 @@
+// Package metrics implements the paper's evaluation metrics (§4.2): for
+// every observed AS-path, whether the simulated model achieved a RIB-Out
+// match (some quasi-router selected the observed route as best), a
+// potential RIB-Out match (the observed route was present but lost only in
+// the final router-ID tie-break), a bare RIB-In match (present but
+// eliminated earlier — the policies are wrong), or no RIB-In match at all
+// (the observing AS never learned the route). It also provides the
+// disagreement taxonomy of Table 2 and the per-prefix 50/90/100% RIB-Out
+// coverage counters.
+package metrics
+
+import (
+	"fmt"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/sim"
+)
+
+// MatchKind classifies one observed AS-path against the simulated state of
+// the observing AS.
+type MatchKind uint8
+
+// Match kinds, strongest first.
+const (
+	// RIBOut: at least one quasi-router selected the observed route as its
+	// best route.
+	RIBOut MatchKind = iota
+	// PotentialRIBOut: a RIB-In match that lost only the final lowest-
+	// router-ID tie-break ("an unlucky decision in the simulation, rather
+	// than using incorrect policies", §4.2).
+	PotentialRIBOut
+	// RIBInOnly: the observed route is in some quasi-router's RIB-In but
+	// was eliminated before the tie-break.
+	RIBInOnly
+	// NoRIBIn: no quasi-router of the observing AS learned the route.
+	NoRIBIn
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case RIBOut:
+		return "rib-out"
+	case PotentialRIBOut:
+		return "potential-rib-out"
+	case RIBInOnly:
+		return "rib-in"
+	case NoRIBIn:
+		return "no-rib-in"
+	default:
+		return "unknown"
+	}
+}
+
+// Classifier evaluates observed paths against the network's converged
+// per-prefix state. Build it once per network; use after each Run.
+type Classifier struct {
+	net       *sim.Network
+	asRouters map[bgp.ASN][]*sim.Router
+}
+
+// NewClassifier indexes the network's routers by AS.
+func NewClassifier(net *sim.Network) *Classifier {
+	c := &Classifier{net: net, asRouters: make(map[bgp.ASN][]*sim.Router)}
+	for _, r := range net.Routers() {
+		c.asRouters[r.AS] = append(c.asRouters[r.AS], r)
+	}
+	return c
+}
+
+// Routers returns the quasi-routers of an AS (creation order).
+func (c *Classifier) Routers(asn bgp.ASN) []*sim.Router { return c.asRouters[asn] }
+
+// Classify evaluates one observed full path (observation AS first) against
+// the network state of the last Run. It also returns the decision step
+// that eliminated the observed route when the result is RIBInOnly or
+// PotentialRIBOut (StepNone otherwise).
+func (c *Classifier) Classify(observed bgp.Path) (MatchKind, bgp.Step) {
+	obsAS, ok := observed.First()
+	if !ok {
+		return NoRIBIn, bgp.StepNone
+	}
+	want := observed[1:]
+	routers := c.asRouters[obsAS]
+	if len(routers) == 0 {
+		return NoRIBIn, bgp.StepNone
+	}
+
+	// RIB-Out: any router whose best route carries the wanted path.
+	// A zero-length want matches a locally originated best route.
+	for _, r := range routers {
+		if best := r.Best(); best != nil && best.Path.Equal(want) {
+			return RIBOut, bgp.StepNone
+		}
+	}
+	// RIB-In: find the wanted path among candidates; keep the latest
+	// elimination step (the step closest to winning).
+	bestStep := bgp.StepNone
+	found := false
+	for _, r := range routers {
+		cands, elim := r.DecideRIB()
+		for i, cand := range cands {
+			if cand.Path.Equal(want) {
+				found = true
+				if elim[i] > bestStep {
+					bestStep = elim[i]
+				}
+			}
+		}
+	}
+	if !found {
+		return NoRIBIn, bgp.StepNone
+	}
+	if bestStep == bgp.StepRouterID {
+		return PotentialRIBOut, bgp.StepRouterID
+	}
+	return RIBInOnly, bestStep
+}
+
+// Summary aggregates match results over many observed paths.
+type Summary struct {
+	Total           int
+	RIBOut          int
+	PotentialRIBOut int
+	RIBInOnly       int
+	NoRIBIn         int
+	// ByStep counts, for non-RIB-Out paths that had a RIB-In match, the
+	// decision step at which the observed route was eliminated. This
+	// yields Table 2's "shorter AS-path exists" (StepASPathLen) and
+	// "lowest neighbor ID" (StepRouterID) rows.
+	ByStep map[bgp.Step]int
+}
+
+// NewSummary returns an empty summary.
+func NewSummary() *Summary { return &Summary{ByStep: make(map[bgp.Step]int)} }
+
+// Record adds one classified path.
+func (s *Summary) Record(kind MatchKind, step bgp.Step) {
+	s.Total++
+	switch kind {
+	case RIBOut:
+		s.RIBOut++
+	case PotentialRIBOut:
+		s.PotentialRIBOut++
+		s.ByStep[step]++
+	case RIBInOnly:
+		s.RIBInOnly++
+		s.ByStep[step]++
+	case NoRIBIn:
+		s.NoRIBIn++
+	}
+}
+
+// Merge adds another summary into s.
+func (s *Summary) Merge(o *Summary) {
+	s.Total += o.Total
+	s.RIBOut += o.RIBOut
+	s.PotentialRIBOut += o.PotentialRIBOut
+	s.RIBInOnly += o.RIBInOnly
+	s.NoRIBIn += o.NoRIBIn
+	for st, n := range o.ByStep {
+		s.ByStep[st] += n
+	}
+}
+
+// Agree returns the number of exact best-path agreements (RIB-Out
+// matches) — Table 2's "AS-paths which agree".
+func (s *Summary) Agree() int { return s.RIBOut }
+
+// Disagree returns Total - Agree.
+func (s *Summary) Disagree() int { return s.Total - s.RIBOut }
+
+// RIBInMatches returns all paths that were at least learned somewhere in
+// the observing AS (the paper's upper bound on achievable prediction).
+func (s *Summary) RIBInMatches() int { return s.RIBOut + s.PotentialRIBOut + s.RIBInOnly }
+
+// DownToTieBreak returns paths matched at least down to the final
+// tie-break — the paper's headline ">80% of the test cases" quantity
+// (RIB-Out plus potential RIB-Out).
+func (s *Summary) DownToTieBreak() int { return s.RIBOut + s.PotentialRIBOut }
+
+// Frac renders n/Total as a fraction in [0, 1].
+func (s *Summary) Frac(n int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(n) / float64(s.Total)
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("total=%d rib-out=%d (%.1f%%) potential=%d (%.1f%%) rib-in-only=%d (%.1f%%) no-rib-in=%d (%.1f%%)",
+		s.Total, s.RIBOut, 100*s.Frac(s.RIBOut), s.PotentialRIBOut, 100*s.Frac(s.PotentialRIBOut),
+		s.RIBInOnly, 100*s.Frac(s.RIBInOnly), s.NoRIBIn, 100*s.Frac(s.NoRIBIn))
+}
+
+// Coverage tracks the per-prefix RIB-Out coverage counters: "for how many
+// prefixes we find RIB-Out matches for at least 50%, 90%, or 100% of
+// their respective unique AS-paths" (§4.2).
+type Coverage struct {
+	Prefixes int
+	At50     int
+	At90     int
+	At100    int
+}
+
+// RecordPrefix adds one prefix given its matched and total unique path
+// counts. Prefixes with no observed paths are ignored.
+func (c *Coverage) RecordPrefix(matched, total int) {
+	if total == 0 {
+		return
+	}
+	c.Prefixes++
+	frac := float64(matched) / float64(total)
+	if frac >= 0.5 {
+		c.At50++
+	}
+	if frac >= 0.9 {
+		c.At90++
+	}
+	if frac >= 1.0 {
+		c.At100++
+	}
+}
+
+// EvaluatePrefix classifies every observed path of one prefix against the
+// network's current (post-Run) state, updating the summary, and returns
+// the number of RIB-Out matches and the number of observed paths.
+func EvaluatePrefix(c *Classifier, observed map[bgp.ASN][]bgp.Path, sum *Summary) (matched, total int) {
+	asns := make([]bgp.ASN, 0, len(observed))
+	for a := range observed {
+		asns = append(asns, a)
+	}
+	bgp.SortASNs(asns)
+	for _, a := range asns {
+		for _, p := range observed[a] {
+			kind, step := c.Classify(p)
+			sum.Record(kind, step)
+			total++
+			if kind == RIBOut {
+				matched++
+			}
+		}
+	}
+	return matched, total
+}

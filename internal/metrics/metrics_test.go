@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/sim"
+)
+
+// diamond builds the tie-break scenario: origin AS4 reachable from AS1 via
+// AS2 (wins tie-break) and AS3 (loses tie-break).
+func diamond(t *testing.T) (*sim.Network, *Classifier) {
+	t.Helper()
+	net := sim.NewNetwork(bgp.QuasiRouterConfig)
+	r1, _ := net.AddRouter(1, 0)
+	r2, _ := net.AddRouter(2, 0)
+	r3, _ := net.AddRouter(3, 0)
+	r4, _ := net.AddRouter(4, 0)
+	net.Connect(r1, r2)
+	net.Connect(r1, r3)
+	net.Connect(r2, r4)
+	net.Connect(r3, r4)
+	if err := net.Run(1, []bgp.RouterID{r4.ID}); err != nil {
+		t.Fatal(err)
+	}
+	return net, NewClassifier(net)
+}
+
+func TestClassifyKinds(t *testing.T) {
+	_, c := diamond(t)
+	tests := []struct {
+		path bgp.Path
+		want MatchKind
+	}{
+		{bgp.Path{1, 2, 4}, RIBOut},          // the selected route
+		{bgp.Path{1, 3, 4}, PotentialRIBOut}, // lost only the tie-break
+		{bgp.Path{1, 2, 3, 4}, NoRIBIn},      // never propagated
+		{bgp.Path{9, 4}, NoRIBIn},            // unknown observing AS
+		{bgp.Path{4}, RIBOut},                // origin observes itself
+	}
+	for _, tt := range tests {
+		got, _ := c.Classify(tt.path)
+		if got != tt.want {
+			t.Errorf("Classify(%v) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+	if kind, _ := c.Classify(bgp.Path{}); kind != NoRIBIn {
+		t.Error("empty path should be NoRIBIn")
+	}
+}
+
+func TestClassifyRIBInOnly(t *testing.T) {
+	// Extend the diamond: make AS1 see a long path via AS5 that loses at
+	// the AS-path-length step.
+	net := sim.NewNetwork(bgp.QuasiRouterConfig)
+	r1, _ := net.AddRouter(1, 0)
+	r2, _ := net.AddRouter(2, 0)
+	r5, _ := net.AddRouter(5, 0)
+	r6, _ := net.AddRouter(6, 0)
+	r4, _ := net.AddRouter(4, 0)
+	net.Connect(r1, r2)
+	net.Connect(r2, r4)
+	net.Connect(r1, r5)
+	net.Connect(r5, r6)
+	net.Connect(r6, r4)
+	if err := net.Run(1, []bgp.RouterID{r4.ID}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClassifier(net)
+	kind, step := c.Classify(bgp.Path{1, 5, 6, 4})
+	if kind != RIBInOnly {
+		t.Fatalf("kind=%v want RIBInOnly", kind)
+	}
+	if step != bgp.StepASPathLen {
+		t.Errorf("step=%v want as-path-length", step)
+	}
+}
+
+func TestSummaryAccounting(t *testing.T) {
+	s := NewSummary()
+	s.Record(RIBOut, bgp.StepNone)
+	s.Record(RIBOut, bgp.StepNone)
+	s.Record(PotentialRIBOut, bgp.StepRouterID)
+	s.Record(RIBInOnly, bgp.StepASPathLen)
+	s.Record(NoRIBIn, bgp.StepNone)
+	if s.Total != 5 || s.Agree() != 2 || s.Disagree() != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	if s.RIBInMatches() != 4 {
+		t.Errorf("RIBInMatches=%d", s.RIBInMatches())
+	}
+	if s.DownToTieBreak() != 3 {
+		t.Errorf("DownToTieBreak=%d", s.DownToTieBreak())
+	}
+	if s.ByStep[bgp.StepRouterID] != 1 || s.ByStep[bgp.StepASPathLen] != 1 {
+		t.Errorf("ByStep=%v", s.ByStep)
+	}
+	if s.Frac(s.RIBOut) != 0.4 {
+		t.Errorf("Frac=%v", s.Frac(s.RIBOut))
+	}
+	if !strings.Contains(s.String(), "total=5") {
+		t.Errorf("String()=%q", s.String())
+	}
+
+	o := NewSummary()
+	o.Record(NoRIBIn, bgp.StepNone)
+	s.Merge(o)
+	if s.Total != 6 || s.NoRIBIn != 2 {
+		t.Errorf("after merge: %+v", s)
+	}
+	empty := NewSummary()
+	if empty.Frac(3) != 0 {
+		t.Error("empty Frac should be 0")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	var c Coverage
+	c.RecordPrefix(0, 0) // ignored
+	c.RecordPrefix(1, 2) // 50%
+	c.RecordPrefix(9, 10)
+	c.RecordPrefix(10, 10)
+	c.RecordPrefix(0, 5)
+	if c.Prefixes != 4 {
+		t.Fatalf("prefixes=%d", c.Prefixes)
+	}
+	if c.At50 != 3 || c.At90 != 2 || c.At100 != 1 {
+		t.Errorf("coverage: %+v", c)
+	}
+}
+
+func TestEvaluatePrefix(t *testing.T) {
+	_, c := diamond(t)
+	observed := map[bgp.ASN][]bgp.Path{
+		1: {{1, 2, 4}, {1, 3, 4}},
+		2: {{2, 4}},
+	}
+	sum := NewSummary()
+	matched, total := EvaluatePrefix(c, observed, sum)
+	if total != 3 || matched != 2 {
+		t.Fatalf("matched=%d total=%d", matched, total)
+	}
+	if sum.PotentialRIBOut != 1 {
+		t.Errorf("potential=%d", sum.PotentialRIBOut)
+	}
+}
+
+func TestMatchKindString(t *testing.T) {
+	for _, k := range []MatchKind{RIBOut, PotentialRIBOut, RIBInOnly, NoRIBIn, MatchKind(99)} {
+		if k.String() == "" {
+			t.Error("empty kind string")
+		}
+	}
+}
+
+func TestClassifierRouters(t *testing.T) {
+	net, c := diamond(t)
+	if len(c.Routers(1)) != 1 {
+		t.Error("Routers(1)")
+	}
+	if c.Routers(99) != nil {
+		t.Error("Routers(unknown) should be nil")
+	}
+	_ = net
+}

@@ -1,0 +1,62 @@
+package model
+
+import (
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/relation"
+)
+
+// ApplyRelationshipPolicies installs the §3.3 baseline policies on the
+// model: local-pref ranking by inferred relationship plus valley-free
+// export rules. Meaningful on the initial single-quasi-router model
+// (Table 2, "Customer/Peering Policies" column).
+func (m *Model) ApplyRelationshipPolicies(inf *relation.Inference) {
+	relation.ApplyPolicies(m.Net, inf)
+}
+
+// ClearHooks removes all import/export hooks (reverting relationship
+// policies), leaving per-prefix policies intact.
+func (m *Model) ClearHooks() {
+	for _, r := range m.Net.Routers() {
+		for _, p := range r.Peers() {
+			p.ImportHook = nil
+			p.ExportHook = nil
+		}
+	}
+}
+
+// PredictPaths simulates the prefix and returns the distinct AS-paths the
+// given AS selects (one per quasi-router), each prepended with the AS
+// itself so they are comparable with dataset records. The result is
+// sorted and de-duplicated.
+func (m *Model) PredictPaths(prefixName string, obsAS bgp.ASN) ([]bgp.Path, error) {
+	id, ok := m.Universe.ID(prefixName)
+	if !ok {
+		return nil, errUnknownPrefix(prefixName)
+	}
+	if err := m.RunPrefix(id); err != nil {
+		return nil, err
+	}
+	seen := make(map[bgp.PathKey]bgp.Path)
+	for _, q := range m.qrs[obsAS] {
+		if b := q.Best(); b != nil {
+			p := b.Path.Prepend(obsAS)
+			seen[p.Key()] = p
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, string(k))
+	}
+	sort.Strings(keys)
+	out := make([]bgp.Path, len(keys))
+	for i, k := range keys {
+		out[i] = seen[bgp.PathKey(k)]
+	}
+	return out, nil
+}
+
+type errUnknownPrefix string
+
+func (e errUnknownPrefix) Error() string { return "model: unknown prefix " + string(e) }

@@ -1,0 +1,117 @@
+package model
+
+import (
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/relation"
+)
+
+// TestRelationshipBaseline exercises the Table-2 policy baseline on a
+// valley topology: with valley-free policies applied, a peer route must
+// not transit another peer; clearing hooks restores plain shortest path.
+func TestRelationshipBaseline(t *testing.T) {
+	// 10 -- 20 tier-1 peers; 200 is a customer of 20; 30 peers with both
+	// tier-1s (rel inferred as unknown/peer).
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op10", "P20", 10, 20),
+		rec("op20", "P10", 20, 10),
+		rec("op10", "P200", 10, 20, 200),
+		rec("op20", "P200", 20, 200),
+		rec("op30a", "P10", 30, 10),
+		rec("op30b", "P20", 30, 20),
+	}}
+	m := buildModel(t, ds)
+	inf := relation.Infer(ds, []bgp.ASN{10, 20})
+	m.ApplyRelationshipPolicies(inf)
+
+	// P10 (originated by tier-1 10): AS30 hears it directly, but AS20's
+	// copy must not reach 30 through 20 (peer route to a peer).
+	id, _ := m.Universe.ID("P10")
+	if err := m.RunPrefix(id); err != nil {
+		t.Fatal(err)
+	}
+	q30 := m.QuasiRouters(30)[0]
+	routes, _ := q30.RIBIn()
+	for _, rt := range routes {
+		if rt.Path.Equal(bgp.Path{20, 10}) {
+			t.Errorf("valley-free violation: AS30 received %v", rt.Path)
+		}
+	}
+	// The customer route of AS20 must still reach the peer AS10.
+	paths, err := m.PredictPaths("P200", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 || !paths[0].Equal(bgp.Path{10, 20, 200}) {
+		t.Errorf("customer route lost: %v", paths)
+	}
+
+	// ClearHooks restores unrestricted propagation.
+	m.ClearHooks()
+	if err := m.RunPrefix(id); err != nil {
+		t.Fatal(err)
+	}
+	routes, _ = q30.RIBIn()
+	found := false
+	for _, rt := range routes {
+		if rt.Path.Equal(bgp.Path{20, 10}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ClearHooks did not restore propagation")
+	}
+}
+
+func TestErrUnknownPrefixMessage(t *testing.T) {
+	err := errUnknownPrefix("Pxyz")
+	if err.Error() != "model: unknown prefix Pxyz" {
+		t.Errorf("message: %q", err.Error())
+	}
+}
+
+func TestPathChangeChanged(t *testing.T) {
+	a := bgp.Path{1, 2}
+	b := bgp.Path{1, 3}
+	cases := []struct {
+		before, after []bgp.Path
+		want          bool
+	}{
+		{nil, nil, false},
+		{[]bgp.Path{a}, []bgp.Path{a}, false},
+		{[]bgp.Path{a}, []bgp.Path{b}, true},
+		{[]bgp.Path{a}, []bgp.Path{a, b}, true},
+		{[]bgp.Path{a, b}, []bgp.Path{a}, true},
+	}
+	for i, c := range cases {
+		pc := PathChange{Before: c.before, After: c.after}
+		if pc.Changed() != c.want {
+			t.Errorf("case %d: Changed()=%v want %v", i, pc.Changed(), c.want)
+		}
+	}
+}
+
+// TestRefineMaxIterationsBudget: an impossible requirement with a tiny
+// budget must stop at the budget without error.
+func TestRefineMaxIterationsBudget(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+		rec("op1c", "P4", 1, 5, 4),
+	}}
+	m := buildModel(t, ds)
+	res, err := m.Refine(ds, RefineConfig{MaxIterations: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 1 {
+		t.Errorf("iterations=%d", res.Iterations)
+	}
+	// One iteration cannot settle three diverse paths plus verification;
+	// either it converged trivially (unlikely) or reported unsatisfied.
+	if !res.Converged && res.UnsatisfiedRequirements == 0 {
+		t.Error("non-converged run must report unsatisfied requirements")
+	}
+}

@@ -1,0 +1,146 @@
+package model
+
+import (
+	"testing"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/gen"
+	"asmodel/internal/topology"
+)
+
+// genDataset produces a synthetic-Internet dataset for integration tests.
+func genDataset(t testing.TB, seed int64) *dataset.Dataset {
+	t.Helper()
+	cfg := gen.Config{
+		Seed:             seed,
+		NumTier1:         4,
+		NumTier2:         12,
+		NumTier3:         25,
+		NumStub:          40,
+		RoutersTier1:     3,
+		RoutersTier2:     2,
+		RoutersTier3:     2,
+		MultiHomeProb:    0.6,
+		Tier2PeerProb:    0.2,
+		Tier3PeerProb:    0.05,
+		ParallelLinkProb: 0.4,
+		WeirdPolicyFrac:  0.08,
+		NumVantageASes:   16,
+		MaxVantagePerAS:  2,
+	}
+	in, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := in.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds.Normalize()
+}
+
+// TestEndToEndTrainingExact verifies the paper's central claim: "we can
+// build an AS-routing model that matches the training set exactly".
+func TestEndToEndTrainingExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	ds := genDataset(t, 11)
+	g := topology.FromDataset(ds)
+	u := dataset.NewUniverse(ds)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("refinement did not converge: %+v", res)
+	}
+	ev, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training set not exactly matched: %v", ev.Summary)
+	}
+	if ev.Coverage.At100 != ev.Coverage.Prefixes {
+		t.Fatalf("coverage: %+v", ev.Coverage)
+	}
+	t.Logf("training: %d paths exactly matched; %d quasi-routers (+%d), %d filters, %d MED rules, %d iterations",
+		ev.Summary.Total, m.NumQuasiRouters(), res.QuasiRoutersAdded, res.FiltersAdded-res.FiltersRemoved, res.MEDRules, res.Iterations)
+}
+
+// TestEndToEndValidation reproduces the paper's §5 headline: on a held-out
+// observation-point split, a large majority of paths should be matched at
+// least down to the final tie-break (paper: >80%).
+func TestEndToEndValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	full := genDataset(t, 12)
+	train, valid := full.SplitByObsPoint(0.5, 99)
+	if train.Len() == 0 || valid.Len() == 0 {
+		t.Fatal("degenerate split")
+	}
+	// The paper derives the AS graph from ALL feeds (§4.5) but trains
+	// policies only on the training half.
+	g := topology.FromDataset(full)
+	u := dataset.NewUniverse(full)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Refine(train, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("training refinement did not converge: %+v", res)
+	}
+	ev, err := m.Evaluate(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down := ev.Summary.Frac(ev.Summary.DownToTieBreak())
+	ribIn := ev.Summary.Frac(ev.Summary.RIBInMatches())
+	t.Logf("validation: %v; down-to-tie-break=%.1f%% rib-in=%.1f%%", ev.Summary, 100*down, 100*ribIn)
+	if down < 0.60 {
+		t.Errorf("down-to-tie-break fraction %.2f below sanity floor 0.60", down)
+	}
+	if ribIn < down {
+		t.Error("metric ordering violated: RIB-In must bound down-to-tie-break")
+	}
+}
+
+// TestEndToEndUnseenPrefixes evaluates the origin split (§4.2/§4.7): the
+// model refined on half the origins predicts paths for the other half's
+// prefixes purely from the diversified topology.
+func TestEndToEndUnseenPrefixes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	full := genDataset(t, 13)
+	train, valid := full.SplitByOrigin(0.5, 7)
+	g := topology.FromDataset(full)
+	u := dataset.NewUniverse(full)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refine(train, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := m.Evaluate(valid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unseen prefixes: %v", ev.Summary)
+	// Without per-prefix policies the match rate is necessarily lower,
+	// but the topology alone must still beat total failure.
+	if frac := ev.Summary.Frac(ev.Summary.RIBInMatches()); frac < 0.3 {
+		t.Errorf("RIB-In fraction %.2f suspiciously low for unseen prefixes", frac)
+	}
+}

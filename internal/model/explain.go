@@ -1,0 +1,100 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asmodel/internal/bgp"
+)
+
+// CandidateReport describes one candidate route at a quasi-router after
+// convergence: its path, attributes, where it was learned, and the
+// decision step that eliminated it (StepNone for the selected route).
+type CandidateReport struct {
+	Path       bgp.Path
+	LocalPref  uint32
+	MED        uint32
+	From       bgp.RouterID // announcing quasi-router (0 = locally originated)
+	Eliminated bgp.Step
+}
+
+// RouterReport is the post-convergence decision state of one quasi-router
+// for one prefix.
+type RouterReport struct {
+	Router     bgp.RouterID
+	Best       bgp.Path // nil when the quasi-router selected no route
+	HasBest    bool
+	Candidates []CandidateReport
+}
+
+// Explanation reports how an AS's quasi-routers decided on a prefix.
+type Explanation struct {
+	Prefix  string
+	AS      bgp.ASN
+	Routers []RouterReport
+}
+
+// ExplainPath simulates the prefix and reports, for every quasi-router of
+// the AS, the full candidate set with the elimination step of each route
+// — the paper's Figure 4 methodology turned into a queryable diagnostic.
+func (m *Model) ExplainPath(prefixName string, asn bgp.ASN) (*Explanation, error) {
+	id, ok := m.Universe.ID(prefixName)
+	if !ok {
+		return nil, errUnknownPrefix(prefixName)
+	}
+	if len(m.qrs[asn]) == 0 {
+		return nil, fmt.Errorf("model: unknown AS %d", asn)
+	}
+	if err := m.RunPrefix(id); err != nil {
+		return nil, err
+	}
+	ex := &Explanation{Prefix: prefixName, AS: asn}
+	for _, q := range m.qrs[asn] {
+		rr := RouterReport{Router: q.ID}
+		if b := q.Best(); b != nil {
+			rr.Best = b.Path
+			rr.HasBest = true
+		}
+		cands, elim := q.DecideRIB()
+		for i, c := range cands {
+			rr.Candidates = append(rr.Candidates, CandidateReport{
+				Path:       c.Path,
+				LocalPref:  c.LocalPref,
+				MED:        c.MED,
+				From:       c.Peer,
+				Eliminated: elim[i],
+			})
+		}
+		sort.SliceStable(rr.Candidates, func(i, j int) bool {
+			return rr.Candidates[i].Eliminated < rr.Candidates[j].Eliminated
+		})
+		ex.Routers = append(ex.Routers, rr)
+	}
+	return ex, nil
+}
+
+// String renders the explanation for terminals.
+func (ex *Explanation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "prefix %s at AS %d (%d quasi-routers):\n", ex.Prefix, ex.AS, len(ex.Routers))
+	for _, rr := range ex.Routers {
+		if rr.HasBest {
+			fmt.Fprintf(&b, "  quasi-router %s selects [%s]\n", rr.Router, rr.Best)
+		} else {
+			fmt.Fprintf(&b, "  quasi-router %s selects no route\n", rr.Router)
+		}
+		for _, c := range rr.Candidates {
+			verdict := "BEST"
+			if c.Eliminated != bgp.StepNone {
+				verdict = "lost at " + c.Eliminated.String()
+			}
+			from := "local"
+			if c.From != 0 {
+				from = "from " + c.From.String()
+			}
+			fmt.Fprintf(&b, "    [%s] lp=%d med=%d %s — %s\n", c.Path, c.LocalPref, c.MED, from, verdict)
+		}
+	}
+	return b.String()
+}

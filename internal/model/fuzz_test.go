@@ -1,0 +1,189 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/topology"
+)
+
+// randomObservations generates a random AS graph together with a random
+// set of loop-free observed paths over it: for a handful of prefixes,
+// several random simple paths from random observation ASes to the
+// prefix's origin. Every such path set is realizable routing (each AS can
+// always be split into enough quasi-routers), so refinement must converge
+// and match it exactly — the paper's central training-set claim.
+func randomObservations(rng *rand.Rand) *dataset.Dataset {
+	nAS := 6 + rng.Intn(14)
+	asns := make([]bgp.ASN, nAS)
+	for i := range asns {
+		asns[i] = bgp.ASN(i + 1)
+	}
+	// Random connected graph.
+	adj := make(map[bgp.ASN]map[bgp.ASN]bool)
+	addEdge := func(a, b bgp.ASN) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[bgp.ASN]bool{}
+		}
+		if adj[b] == nil {
+			adj[b] = map[bgp.ASN]bool{}
+		}
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	for i := 1; i < nAS; i++ {
+		addEdge(asns[i], asns[rng.Intn(i)])
+	}
+	extra := nAS + rng.Intn(2*nAS)
+	for e := 0; e < extra; e++ {
+		addEdge(asns[rng.Intn(nAS)], asns[rng.Intn(nAS)])
+	}
+
+	// Random simple path from obs toward origin via random walk with
+	// backtracking avoidance; returns nil when the walk strands.
+	randomPath := func(obs, origin bgp.ASN) bgp.Path {
+		path := bgp.Path{obs}
+		seen := map[bgp.ASN]bool{obs: true}
+		cur := obs
+		for cur != origin && len(path) < nAS {
+			var cands []bgp.ASN
+			for n := range adj[cur] {
+				if !seen[n] {
+					cands = append(cands, n)
+				}
+			}
+			if len(cands) == 0 {
+				return nil
+			}
+			bgp.SortASNs(cands)
+			// Prefer stepping straight to the origin when adjacent, so
+			// walks terminate often.
+			next := cands[rng.Intn(len(cands))]
+			for _, c := range cands {
+				if c == origin && rng.Intn(2) == 0 {
+					next = c
+				}
+			}
+			path = append(path, next)
+			seen[next] = true
+			cur = next
+		}
+		if cur != origin {
+			return nil
+		}
+		return path
+	}
+
+	ds := &dataset.Dataset{}
+	nPrefixes := 1 + rng.Intn(4)
+	for p := 0; p < nPrefixes; p++ {
+		origin := asns[rng.Intn(nAS)]
+		prefix := dataset.SyntheticPrefix(origin)
+		nPaths := 1 + rng.Intn(5)
+		for k := 0; k < nPaths; k++ {
+			obs := asns[rng.Intn(nAS)]
+			if obs == origin {
+				ds.Records = append(ds.Records, dataset.Record{
+					Obs: dataset.ObsPointID(fmt.Sprintf("op%d-%d", obs, k)), ObsAS: obs,
+					Prefix: prefix, Path: bgp.Path{origin},
+				})
+				continue
+			}
+			if path := randomPath(obs, origin); path != nil {
+				ds.Records = append(ds.Records, dataset.Record{
+					Obs: dataset.ObsPointID(fmt.Sprintf("op%d-%d", obs, k)), ObsAS: obs,
+					Prefix: prefix, Path: path,
+				})
+			}
+		}
+	}
+	return ds.Normalize()
+}
+
+// TestRefineRandomizedAlwaysMatchesTraining is the paper's central claim
+// under fuzzing: for arbitrary loop-free observed path sets, refinement
+// converges and the refined model RIB-Out matches every observed path.
+func TestRefineRandomizedAlwaysMatchesTraining(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for seed := 0; seed < trials; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ds := randomObservations(rng)
+		if ds.Len() == 0 {
+			continue
+		}
+		g := topology.FromDataset(ds)
+		u := dataset.NewUniverse(ds)
+		m, err := NewInitial(g, u)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := m.Refine(ds, RefineConfig{})
+		if err != nil {
+			t.Fatalf("seed %d: refine: %v", seed, err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: refinement did not converge: %+v\ndata:\n%s", seed, res, dumpDS(ds))
+		}
+		ev, err := m.Evaluate(ds)
+		if err != nil {
+			t.Fatalf("seed %d: evaluate: %v", seed, err)
+		}
+		if ev.Summary.RIBOut != ev.Summary.Total {
+			t.Fatalf("seed %d: training not exactly matched: %v\ndata:\n%s", seed, ev.Summary, dumpDS(ds))
+		}
+	}
+}
+
+// TestRefineRandomizedDeterministic: identical inputs yield identical
+// refined models (byte-identical serialization).
+func TestRefineRandomizedDeterministic(t *testing.T) {
+	for seed := 0; seed < 10; seed++ {
+		build := func() string {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			ds := randomObservations(rng)
+			if ds.Len() == 0 {
+				return ""
+			}
+			m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+				t.Fatal(err)
+			}
+			var b stringsBuilder
+			if err := m.Save(&b); err != nil {
+				t.Fatal(err)
+			}
+			return b.String()
+		}
+		if build() != build() {
+			t.Fatalf("seed %d: refinement not deterministic", seed)
+		}
+	}
+}
+
+func dumpDS(ds *dataset.Dataset) string {
+	var b stringsBuilder
+	ds.Write(&b)
+	return b.String()
+}
+
+// stringsBuilder is a minimal strings.Builder clone avoiding an import
+// cycle with the strings helpers in this test file.
+type stringsBuilder struct{ buf []byte }
+
+func (b *stringsBuilder) Write(p []byte) (int, error) {
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+func (b *stringsBuilder) String() string { return string(b.buf) }

@@ -1,0 +1,218 @@
+// Package model implements the paper's primary contribution: the
+// AS-routing model built from observed BGP paths. An AS is represented by
+// one or more quasi-routers — logical partitions of its route-selection
+// behaviour, not physical routers (§4.1) — connected by BGP sessions along
+// the edges of the AS-level graph, with per-prefix policies (export
+// filters and MED ranking) synthesised by an iterative refinement
+// heuristic (§4.6) until the simulated route propagation reproduces every
+// observed AS-path of a training set.
+//
+// The refined model predicts routes for held-out observation points and
+// unseen prefixes (§4.7) and supports what-if edits such as de-peering a
+// link.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/metrics"
+	"asmodel/internal/sim"
+	"asmodel/internal/topology"
+)
+
+// Model is an AS-routing model: a quasi-router topology plus per-prefix
+// policies, executable by the sim engine one prefix at a time.
+type Model struct {
+	// Net is the underlying propagation network. Callers may inspect it
+	// but should mutate topology and policies only through Model methods.
+	Net *sim.Network
+	// Universe maps prefix names to dense IDs and records origins.
+	Universe *dataset.Universe
+	// Graph is the AS-level topology the model was built from.
+	Graph *topology.Graph
+
+	qrs     map[bgp.ASN][]*sim.Router
+	nextIdx map[bgp.ASN]uint16
+}
+
+// NewInitial builds the paper's initial model (§4.5): one quasi-router per
+// AS of the graph and one BGP session per AS-level edge. Quasi-router IDs
+// follow the ASN<<16|index convention so the final tie-break behaves like
+// the paper's IP-address assignment.
+func NewInitial(g *topology.Graph, u *dataset.Universe) (*Model, error) {
+	m := &Model{
+		Net:      sim.NewNetwork(bgp.QuasiRouterConfig),
+		Universe: u,
+		Graph:    g,
+		qrs:      make(map[bgp.ASN][]*sim.Router),
+		nextIdx:  make(map[bgp.ASN]uint16),
+	}
+	for _, asn := range g.Nodes() {
+		if _, err := m.addQR(asn); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range g.Edges() {
+		if _, _, err := m.Net.Connect(m.qrs[e.A][0], m.qrs[e.B][0]); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+func (m *Model) addQR(asn bgp.ASN) (*sim.Router, error) {
+	idx := m.nextIdx[asn]
+	r, err := m.Net.AddRouter(asn, idx)
+	if err != nil {
+		return nil, err
+	}
+	m.nextIdx[asn] = idx + 1
+	m.qrs[asn] = append(m.qrs[asn], r)
+	return r, nil
+}
+
+// QuasiRouters returns the quasi-routers of an AS in creation order.
+func (m *Model) QuasiRouters(asn bgp.ASN) []*sim.Router { return m.qrs[asn] }
+
+// NumQuasiRouters returns the total quasi-router count.
+func (m *Model) NumQuasiRouters() int { return m.Net.NumRouters() }
+
+// QuasiRouterHistogram returns, for every AS, its quasi-router count —
+// the paper's measure of how much internal structure was needed.
+func (m *Model) QuasiRouterHistogram() map[bgp.ASN]int {
+	out := make(map[bgp.ASN]int, len(m.qrs))
+	for asn, rs := range m.qrs {
+		out[asn] = len(rs)
+	}
+	return out
+}
+
+// DuplicateQR clones a quasi-router (§4.6): the new quasi-router gets a
+// session to every remote the source has, with the source's own per-prefix
+// policies copied, while export filters installed on remote sessions
+// toward the source are not copied (they are keyed by receiving router).
+func (m *Model) DuplicateQR(src *sim.Router) (*sim.Router, error) {
+	q, err := m.addQR(src.AS)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range src.Peers() {
+		np, _, err := m.Net.Connect(q, p.Remote)
+		if err != nil {
+			return nil, err
+		}
+		np.CopyPoliciesFrom(p)
+	}
+	return q, nil
+}
+
+// origins returns the quasi-routers that originate the prefix: every
+// quasi-router of every origin AS (§4.1: one prefix per AS; all of an
+// AS's quasi-routers announce it).
+func (m *Model) origins(prefix bgp.PrefixID) []bgp.RouterID {
+	if int(prefix) < 0 || int(prefix) >= m.Universe.Len() {
+		return nil
+	}
+	var ids []bgp.RouterID
+	for _, asn := range m.Universe.Origins(prefix) {
+		for _, r := range m.qrs[asn] {
+			ids = append(ids, r.ID)
+		}
+	}
+	return ids
+}
+
+// RunPrefix propagates the prefix through the model until convergence.
+// It returns an error if the prefix has no origin present in the model.
+func (m *Model) RunPrefix(prefix bgp.PrefixID) error {
+	ids := m.origins(prefix)
+	if len(ids) == 0 {
+		return fmt.Errorf("model: prefix %d has no origin AS in the model", prefix)
+	}
+	return m.Net.Run(prefix, ids)
+}
+
+// Evaluation is the outcome of evaluating a model against a dataset.
+type Evaluation struct {
+	// Summary aggregates per-path match kinds (§4.2 metrics).
+	Summary *metrics.Summary
+	// Coverage counts prefixes with ≥50/90/100% of their unique paths
+	// RIB-Out matched.
+	Coverage metrics.Coverage
+	// SkippedPrefixes counts dataset prefixes that could not be simulated
+	// (unknown to the universe or origin missing from the model).
+	SkippedPrefixes int
+	// Diverged counts prefixes whose propagation exhausted the message
+	// budget (possible only with local-pref-based policies).
+	Diverged int
+}
+
+// Evaluate simulates every prefix of the dataset through the model and
+// classifies every distinct observed path. Prefixes are processed in
+// universe order for determinism.
+func (m *Model) Evaluate(ds *dataset.Dataset) (*Evaluation, error) {
+	ev := &Evaluation{Summary: metrics.NewSummary()}
+	cls := metrics.NewClassifier(m.Net)
+
+	byPrefix := make(map[bgp.PrefixID]map[bgp.ASN][]bgp.Path)
+	for _, name := range ds.Prefixes() {
+		id, ok := m.Universe.ID(name)
+		if !ok || len(m.origins(id)) == 0 {
+			ev.SkippedPrefixes++
+			continue
+		}
+		byPrefix[id] = ds.ObservedPaths(name)
+	}
+	ids := make([]int, 0, len(byPrefix))
+	for id := range byPrefix {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+
+	for _, id := range ids {
+		prefix := bgp.PrefixID(id)
+		if err := m.RunPrefix(prefix); err != nil {
+			if err == sim.ErrDiverged {
+				ev.Diverged++
+				continue
+			}
+			return nil, err
+		}
+		matched, total := metrics.EvaluatePrefix(cls, byPrefix[prefix], ev.Summary)
+		ev.Coverage.RecordPrefix(matched, total)
+	}
+	return ev, nil
+}
+
+// PolicyStats summarizes the policy volume installed in the model.
+type PolicyStats struct {
+	ExportDenies  int
+	ImportActions int
+	Sessions      int
+	QuasiRouters  int
+	ASes          int
+	MaxQRsPerAS   int
+}
+
+// Stats computes the model's current size.
+func (m *Model) Stats() PolicyStats {
+	var s PolicyStats
+	s.QuasiRouters = m.Net.NumRouters()
+	s.ASes = len(m.qrs)
+	s.Sessions = m.Net.NumSessions()
+	for _, r := range m.Net.Routers() {
+		for _, p := range r.Peers() {
+			s.ExportDenies += p.ExportDenyCount()
+			s.ImportActions += p.ImportActionCount()
+		}
+	}
+	for _, rs := range m.qrs {
+		if len(rs) > s.MaxQRsPerAS {
+			s.MaxQRsPerAS = len(rs)
+		}
+	}
+	return s
+}

@@ -1,0 +1,575 @@
+package model
+
+import (
+	"strings"
+
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/metrics"
+	"asmodel/internal/topology"
+)
+
+func rec(obs string, prefix string, path ...bgp.ASN) dataset.Record {
+	return dataset.Record{Obs: dataset.ObsPointID(obs), ObsAS: path[0], Prefix: prefix, Path: bgp.Path(path)}
+}
+
+// buildModel constructs an initial model from a dataset plus optional
+// extra AS edges (edges known from data outside the observed paths).
+func buildModel(t *testing.T, ds *dataset.Dataset, extraEdges ...topology.Edge) *Model {
+	t.Helper()
+	g := topology.FromDataset(ds)
+	for _, e := range extraEdges {
+		g.AddEdge(e.A, e.B)
+	}
+	u := dataset.NewUniverse(ds)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// evaluateAll asserts the model RIB-Out matches all (or `want` fraction
+// of) unique observed paths of ds.
+func evaluateAll(t *testing.T, m *Model, ds *dataset.Dataset) *Evaluation {
+	t.Helper()
+	ev, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestInitialModel(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a", "P5", 1, 2, 5),
+	}}
+	m := buildModel(t, ds)
+	if m.NumQuasiRouters() != 4 {
+		t.Fatalf("quasi-routers=%d want 4 (one per AS)", m.NumQuasiRouters())
+	}
+	if got := len(m.QuasiRouters(2)); got != 1 {
+		t.Fatalf("AS2 has %d quasi-routers", got)
+	}
+	hist := m.QuasiRouterHistogram()
+	if hist[1] != 1 || hist[4] != 1 {
+		t.Errorf("histogram=%v", hist)
+	}
+	st := m.Stats()
+	if st.ASes != 4 || st.QuasiRouters != 4 || st.Sessions != 3 || st.MaxQRsPerAS != 1 {
+		t.Errorf("stats=%+v", st)
+	}
+	// Unknown prefix origination.
+	if err := m.RunPrefix(999); err == nil {
+		t.Error("RunPrefix with bad ID should fail")
+	}
+}
+
+// TestRefineTieBreak reproduces the first half of the paper's Figure 5:
+// the observed path loses the simulated tie-break and a per-prefix
+// ranking policy must fix it.
+func TestRefineTieBreak(t *testing.T) {
+	// Diamond: origin AS4; AS1 observes [1 3 4] but the simulation picks
+	// [1 2 4] (AS2 has the lower router ID).
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds, topology.MakeEdge(1, 2), topology.MakeEdge(2, 4))
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("refinement did not converge: %+v", res)
+	}
+	if res.QuasiRoutersAdded != 0 {
+		t.Errorf("no duplication should be needed, added %d", res.QuasiRoutersAdded)
+	}
+	if res.MEDRules == 0 {
+		t.Error("expected a MED ranking rule")
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+}
+
+// TestRefineFigure5 reproduces the full Figure 5 walkthrough: prefix p1
+// needs a ranking policy at AS1; prefix p2 needs a second quasi-router
+// plus a filter and a ranking policy.
+func TestRefineFigure5(t *testing.T) {
+	// Topology (Figure 5): AS1-AS2, AS2-AS3, AS3-AS4, AS1-AS4, AS1-AS5,
+	// AS4-AS5. p1 originated at AS3, p2 at AS4.
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P3", 1, 4, 3),  // p1: observed via AS4
+		rec("op1", "P4", 1, 4),     // p2: direct
+		rec("op1b", "P4", 1, 5, 4), // p2: also via AS5 -> needs 2nd quasi-router
+	}}
+	m := buildModel(t, ds, topology.MakeEdge(1, 2), topology.MakeEdge(2, 3))
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if got := len(m.QuasiRouters(1)); got != 2 {
+		t.Errorf("AS1 quasi-routers = %d, want 2", got)
+	}
+	if res.FiltersAdded == 0 {
+		t.Error("expected a filter (deny AS4->AS1.b for p2)")
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+	// Both observed paths for P4 must be predicted simultaneously.
+	paths, err := m.PredictPaths("P4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("PredictPaths(P4, AS1) = %v, want both observed paths", paths)
+	}
+}
+
+// TestRefineLongerPathPreferred: the observed path is strictly longer than
+// the simulated one from a different neighbor, so an export filter (not
+// just MED) is required.
+func TestRefineLongerPathPreferred(t *testing.T) {
+	// AS1 observes [1 5 6 4]; the direct edge 1-4 (known from P1's
+	// observation) would win otherwise.
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 5, 6, 4),
+		rec("op4", "P1", 4, 1), // creates edge 1-4 in the AS graph
+	}}
+	m := buildModel(t, ds)
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if res.FiltersAdded == 0 {
+		t.Error("expected export filters against the shorter path")
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+}
+
+// TestRefineFilterDeletion: a stale export filter blocks the observed
+// path; the heuristic must delete it (Figure 7 mechanism).
+func TestRefineFilterDeletion(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 7, 4),
+	}}
+	m := buildModel(t, ds)
+	u := m.Universe
+	id, _ := u.ID("P4")
+	// Manually install a filter blocking AS7 -> AS1 for P4.
+	q7 := m.QuasiRouters(7)[0]
+	q1 := m.QuasiRouters(1)[0]
+	q7.PeerTo(q1.ID).DenyExport(id)
+
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if res.FiltersRemoved == 0 {
+		t.Error("expected the blocking filter to be removed")
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+}
+
+// TestRefineDiversityAcrossNeighbors: AS1 observes two equal-length paths
+// through different neighbors; one quasi-router cannot hold both.
+func TestRefineDiversityAcrossNeighbors(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if got := len(m.QuasiRouters(1)); got != 2 {
+		t.Errorf("AS1 quasi-routers = %d, want 2", got)
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+}
+
+// TestRefineDeepDiversity: diversity three hops from the origin must
+// propagate through intermediate ASes (multiple quasi-routers at several
+// levels).
+func TestRefineDeepDiversity(t *testing.T) {
+	// Origin AS9. Paths diverge at AS5 (via 6 or 7) and are both carried
+	// through AS3 and AS2 to the observation point AS1.
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P9", 1, 2, 3, 5, 6, 9),
+		rec("op1b", "P9", 1, 2, 3, 5, 7, 9),
+	}}
+	m := buildModel(t, ds)
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v (unsat=%d)", res, res.UnsatisfiedRequirements)
+	}
+	for _, asn := range []bgp.ASN{5, 3, 2, 1} {
+		if got := len(m.QuasiRouters(asn)); got != 2 {
+			t.Errorf("AS%d quasi-routers = %d, want 2", asn, got)
+		}
+	}
+	ev := evaluateAll(t, m, ds)
+	if ev.Summary.RIBOut != ev.Summary.Total {
+		t.Fatalf("training not fully matched: %v", ev.Summary)
+	}
+}
+
+func TestRefineAblationNoDuplication(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	res, err := m.Refine(ds, RefineConfig{DisableDuplication: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cannot converge without duplication on diverse paths")
+	}
+	if res.QuasiRoutersAdded != 0 {
+		t.Error("duplication happened despite being disabled")
+	}
+	if res.UnsatisfiedRequirements == 0 {
+		t.Error("expected unsatisfied requirements")
+	}
+}
+
+func TestRefineAblationLocalPref(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds, topology.MakeEdge(1, 2), topology.MakeEdge(2, 4))
+	res, err := m.Refine(ds, RefineConfig{UseLocalPref: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LocalPrefRules == 0 {
+		t.Error("expected local-pref rules")
+	}
+	if res.MEDRules != 0 || res.FiltersAdded != 0 {
+		t.Error("local-pref mode should not add MED rules or filters")
+	}
+	if !res.Converged {
+		t.Errorf("simple case should still converge: %+v", res)
+	}
+}
+
+func TestEvaluateSkipsUnknownPrefixes(t *testing.T) {
+	train := &dataset.Dataset{Records: []dataset.Record{rec("a", "P4", 1, 2, 4)}}
+	m := buildModel(t, train)
+	other := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a", "Punknown", 1, 2, 99),
+	}}
+	ev, err := m.Evaluate(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SkippedPrefixes != 1 {
+		t.Errorf("skipped=%d want 1", ev.SkippedPrefixes)
+	}
+	if ev.Summary.Total != 1 {
+		t.Errorf("total=%d", ev.Summary.Total)
+	}
+}
+
+func TestValidationClassification(t *testing.T) {
+	// Train on one observation point; validate on another whose path the
+	// model never saw but which shares the topology: metrics must come out
+	// as RIB-Out / potential / no-RIB-In sensibly.
+	train := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 2, 4),
+	}}
+	valid := &dataset.Dataset{Records: []dataset.Record{
+		rec("op9", "P4", 3, 4),    // AS3 observes directly: trivially matched
+		rec("op8", "P4", 1, 3, 4), // unobserved diversity at AS1
+	}}
+	full := &dataset.Dataset{Records: append(append([]dataset.Record{}, train.Records...), valid.Records...)}
+	g := topology.FromDataset(full)
+	u := dataset.NewUniverse(full)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Refine(train, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ev := evaluateAll(t, m, valid)
+	if ev.Summary.Total != 2 {
+		t.Fatalf("total=%d", ev.Summary.Total)
+	}
+	// [3 4] must be a RIB-Out match; [1 3 4] should at least be in the
+	// RIB (potential or rib-in) because AS3 propagates its best route.
+	if ev.Summary.RIBOut < 1 {
+		t.Errorf("expected at least one RIB-Out: %v", ev.Summary)
+	}
+	if ev.Summary.NoRIBIn > 1 {
+		t.Errorf("too many no-rib-in: %v", ev.Summary)
+	}
+}
+
+func TestWhatIfDepeer(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 2, 4),
+		rec("op1", "P4b", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	changes, err := m.WhatIfDepeer("P4", 2, 4, []bgp.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || !changes[0].Changed() {
+		t.Fatalf("expected a path change, got %+v", changes)
+	}
+	// After restoration the original prediction returns.
+	after, err := m.PredictPaths("P4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 || !after[0].Equal(bgp.Path{1, 2, 4}) {
+		t.Errorf("restored prediction = %v", after)
+	}
+	// Errors.
+	if _, err := m.RemoveASEdge(1, 99); err == nil {
+		t.Error("unknown AS should fail")
+	}
+	if _, err := m.RemoveASEdge(1, 4); err == nil {
+		t.Error("non-adjacent ASes should fail")
+	}
+	if _, err := m.PredictPaths("nope", 1); err == nil {
+		t.Error("unknown prefix should fail")
+	}
+}
+
+func TestRefineIdempotentSecondPass(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+		rec("op1", "P3", 1, 3),
+	}}
+	m := buildModel(t, ds)
+	res1, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Converged {
+		t.Fatal("first refine did not converge")
+	}
+	before := m.Stats()
+	res2, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Converged {
+		t.Fatal("second refine did not converge")
+	}
+	if res2.QuasiRoutersAdded != 0 || res2.FiltersAdded != 0 {
+		t.Errorf("second refine changed the model: %+v", res2)
+	}
+	after := m.Stats()
+	if before != after {
+		t.Errorf("model changed on idempotent refine: %+v vs %+v", before, after)
+	}
+}
+
+func TestCoverageCounters(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	// Unrefined: one of the two paths matches (tie-break winner).
+	ev := evaluateAll(t, m, ds)
+	if ev.Coverage.Prefixes != 1 {
+		t.Fatalf("coverage prefixes=%d", ev.Coverage.Prefixes)
+	}
+	if ev.Coverage.At100 != 0 || ev.Coverage.At50 != 1 {
+		t.Errorf("coverage=%+v summary=%v", ev.Coverage, ev.Summary)
+	}
+	// The losing path must be a potential RIB-Out (lost only tie-break).
+	if ev.Summary.PotentialRIBOut != 1 {
+		t.Errorf("potential=%d summary=%v", ev.Summary.PotentialRIBOut, ev.Summary)
+	}
+}
+
+func TestClassifierIntegration(t *testing.T) {
+	// Direct use of metrics on a refined model.
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m.Universe.ID("P4")
+	if err := m.RunPrefix(id); err != nil {
+		t.Fatal(err)
+	}
+	cls := metrics.NewClassifier(m.Net)
+	for _, p := range []bgp.Path{{1, 2, 4}, {1, 3, 4}} {
+		kind, _ := cls.Classify(p)
+		if kind != metrics.RIBOut {
+			t.Errorf("path %v: %v, want rib-out", p, kind)
+		}
+	}
+}
+
+func TestWhatIfPeer(t *testing.T) {
+	// Line 1-2-3-4; adding edge 1-4 should shorten AS1's path to P4.
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1", "P4", 1, 2, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	changes, err := m.WhatIfPeer("P4", 1, 4, []bgp.ASN{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 1 || !changes[0].Changed() {
+		t.Fatalf("expected a change: %+v", changes)
+	}
+	if len(changes[0].After) != 1 || !changes[0].After[0].Equal(bgp.Path{1, 4}) {
+		t.Errorf("after=%v, want direct path", changes[0].After)
+	}
+	// The hypothetical peering must be fully retracted.
+	after, err := m.PredictPaths("P4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != 1 || !after[0].Equal(bgp.Path{1, 2, 3, 4}) {
+		t.Errorf("peering not retracted: %v", after)
+	}
+	// Errors: existing edge, unknown AS.
+	if err := m.AddASEdge(1, 2); err == nil {
+		t.Error("existing edge accepted")
+	}
+	if err := m.AddASEdge(1, 99); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestExplainPath(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+	}}
+	m := buildModel(t, ds)
+	if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	ex, err := m.ExplainPath("P4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Routers) != 2 {
+		t.Fatalf("routers=%d", len(ex.Routers))
+	}
+	bests := map[string]bool{}
+	for _, rr := range ex.Routers {
+		if !rr.HasBest {
+			t.Errorf("router %s has no best", rr.Router)
+		}
+		bests[rr.Best.String()] = true
+		if len(rr.Candidates) == 0 {
+			t.Errorf("router %s has no candidates", rr.Router)
+		}
+		// First candidate (sorted) is the winner.
+		if rr.Candidates[0].Eliminated != bgp.StepNone {
+			t.Errorf("first candidate not BEST: %+v", rr.Candidates[0])
+		}
+	}
+	if !bests["2 4"] || !bests["3 4"] {
+		t.Errorf("bests=%v", bests)
+	}
+	out := ex.String()
+	for _, want := range []string{"quasi-router", "BEST", "P4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explanation missing %q:\n%s", want, out)
+		}
+	}
+	// Errors.
+	if _, err := m.ExplainPath("nope", 1); err == nil {
+		t.Error("unknown prefix accepted")
+	}
+	if _, err := m.ExplainPath("P4", 99); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+// TestUnblockPathDuplicationFallback: a pre-existing filter blocks the
+// shorter observed path, and removing it would evict the quasi-router's
+// other (longer) reserved path — so the heuristic must grow the AS
+// instead of deleting the filter.
+func TestUnblockPathDuplicationFallback(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 6, 4),
+		rec("op1b", "P4", 1, 7, 5, 4),
+	}}
+	m := buildModel(t, ds)
+	id, _ := m.Universe.ID("P4")
+	// Block AS6 -> AS1 up front, so AS1.0 settles on the longer path.
+	q6 := m.QuasiRouters(6)[0]
+	q1 := m.QuasiRouters(1)[0]
+	q6.PeerTo(q1.ID).DenyExport(id)
+
+	var logLines int
+	res, err := m.Refine(ds, RefineConfig{Logf: func(string, ...interface{}) { logLines++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("not converged: %+v", res)
+	}
+	if logLines == 0 {
+		t.Error("Logf never called")
+	}
+	if res.QuasiRoutersAdded == 0 {
+		t.Error("expected the duplication fallback to grow AS1")
+	}
+	paths, err := m.PredictPaths("P4", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("paths=%v, want both observed", paths)
+	}
+}

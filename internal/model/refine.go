@@ -1,0 +1,493 @@
+package model
+
+import (
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/sim"
+)
+
+// RefineConfig controls the iterative refinement heuristic. The zero value
+// is the paper's configuration: quasi-router duplication enabled, policies
+// realised as export filters plus MED ranking.
+type RefineConfig struct {
+	// MaxIterations bounds the outer refinement loop; 0 selects an
+	// automatic budget (a small multiple of the longest observed AS-path,
+	// matching the paper's convergence observation in §4.6).
+	MaxIterations int
+	// DisableDuplication turns off quasi-router duplication (ablation
+	// E10a): only policies on the single-router topology remain.
+	DisableDuplication bool
+	// DisableMED turns off MED ranking (ablation E10b): only export
+	// filters are installed, so equal-length contenders are resolved by
+	// the router-ID tie-break alone.
+	DisableMED bool
+	// UseLocalPref replaces filters+MED by local-pref raising (ablation
+	// E10c). The paper reports this approach caused divergence; the
+	// engine's message budget detects it.
+	UseLocalPref bool
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...interface{})
+}
+
+// RefineResult reports what the refinement did.
+type RefineResult struct {
+	// Iterations is the number of outer iterations executed.
+	Iterations int
+	// Converged is true when every training requirement ended RIB-Out
+	// matched.
+	Converged bool
+	// QuasiRoutersAdded counts duplications performed.
+	QuasiRoutersAdded int
+	// FiltersAdded / FiltersRemoved count export-deny installs and
+	// deletions (§4.6 filter deletion, Figure 7).
+	FiltersAdded   int
+	FiltersRemoved int
+	// MEDRules counts import-MED preferences installed.
+	MEDRules int
+	// LocalPrefRules counts import local-pref rules (UseLocalPref only).
+	LocalPrefRules int
+	// UnsatisfiedRequirements counts (AS, suffix) requirements that could
+	// not be RIB-Out matched within the budget.
+	UnsatisfiedRequirements int
+	// SkippedPrefixes counts training prefixes outside the model universe
+	// or without an origin AS in the model.
+	SkippedPrefixes int
+	// DivergedPrefixes counts prefixes abandoned because propagation
+	// diverged (possible only with UseLocalPref).
+	DivergedPrefixes int
+	// MaxPathLen is the longest observed AS-path in the training set; the
+	// paper expects Iterations to be a small multiple of it (§4.6).
+	MaxPathLen int
+	// VerifyRounds counts verify-and-reopen rounds (see Refine).
+	VerifyRounds int
+}
+
+// requirement: the AS must have a quasi-router whose best route for the
+// prefix carries exactly this AS-path suffix.
+type requirement struct {
+	as     bgp.ASN
+	suffix bgp.Path
+	key    bgp.PathKey
+}
+
+type prefixWork struct {
+	id     bgp.PrefixID
+	reqs   []requirement
+	done   bool // no further processing (satisfied, stuck, or diverged)
+	ok     bool // fully RIB-Out matched
+	gaveUp bool // propagation diverged; never retried
+}
+
+// Refine runs the iterative refinement heuristic (§4.6) until every
+// observed AS-path of the training set is RIB-Out matched, the model
+// stops changing, or the iteration budget is exhausted.
+//
+// Policies are per-prefix and cannot interfere across prefixes, but
+// quasi-router duplications change the shared topology: a new quasi-router
+// advertises routes for every prefix and can invalidate previously
+// satisfied ones. Refine therefore runs to a fixpoint: the inner loop
+// settles every prefix, then a verification sweep re-simulates all
+// settled prefixes and re-opens any the topology growth broke, until a
+// sweep finds nothing broken (or the iteration budget runs out).
+func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult, error) {
+	res := &RefineResult{}
+	works, maxLen := m.buildWork(train, res)
+	res.MaxPathLen = maxLen
+
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 4*maxLen + 8
+	}
+
+	iter := 0
+	for iter < maxIter {
+		// Inner loop: settle every open prefix.
+		for iter < maxIter {
+			iter++
+			res.Iterations = iter
+			changedAny := false
+			pending := 0
+			for _, w := range works {
+				if w.done {
+					continue
+				}
+				if err := m.RunPrefix(w.id); err != nil {
+					if err == sim.ErrDiverged {
+						res.DivergedPrefixes++
+						w.done = true
+						w.gaveUp = true
+						continue
+					}
+					return nil, err
+				}
+				changed, satisfied := m.refinePrefix(w, cfg, res)
+				if changed {
+					changedAny = true
+					pending++
+					continue
+				}
+				w.done = true
+				w.ok = satisfied
+			}
+			if cfg.Logf != nil {
+				cfg.Logf("refine: iteration %d: %d prefixes changed, %d quasi-routers, %d filters",
+					iter, pending, m.Net.NumRouters(), res.FiltersAdded-res.FiltersRemoved)
+			}
+			if !changedAny {
+				break
+			}
+		}
+		// Verification sweep: re-open settled prefixes that later
+		// topology growth invalidated.
+		res.VerifyRounds++
+		reopened := 0
+		for _, w := range works {
+			if !w.done || w.gaveUp || !w.ok {
+				continue
+			}
+			if err := m.RunPrefix(w.id); err != nil {
+				if err == sim.ErrDiverged {
+					w.ok = false
+					continue
+				}
+				return nil, err
+			}
+			if m.countUnsatisfied(w) > 0 {
+				w.done = false
+				w.ok = false
+				reopened++
+			}
+		}
+		if cfg.Logf != nil && reopened > 0 {
+			cfg.Logf("refine: verification reopened %d prefixes", reopened)
+		}
+		if reopened == 0 {
+			break
+		}
+	}
+
+	// Final accounting.
+	res.Converged = true
+	for _, w := range works {
+		if w.done && w.ok {
+			continue
+		}
+		if w.gaveUp {
+			res.Converged = false
+			res.UnsatisfiedRequirements += len(w.reqs)
+			continue
+		}
+		if err := m.RunPrefix(w.id); err != nil {
+			if err == sim.ErrDiverged {
+				res.Converged = false
+				res.UnsatisfiedRequirements += len(w.reqs)
+				continue
+			}
+			return nil, err
+		}
+		unsat := m.countUnsatisfied(w)
+		if unsat > 0 {
+			res.Converged = false
+			res.UnsatisfiedRequirements += unsat
+		}
+	}
+	return res, nil
+}
+
+// buildWork derives the deduplicated (AS, suffix) requirements per prefix.
+// Requirements are ordered by suffix length (origin side first), matching
+// the paper's walk from the origin toward the observation points.
+func (m *Model) buildWork(train *dataset.Dataset, res *RefineResult) ([]*prefixWork, int) {
+	var works []*prefixWork
+	maxLen := 1
+	for _, name := range train.Prefixes() {
+		id, ok := m.Universe.ID(name)
+		if !ok || len(m.origins(id)) == 0 {
+			res.SkippedPrefixes++
+			continue
+		}
+		w := &prefixWork{id: id}
+		seen := make(map[bgp.ASN]map[bgp.PathKey]struct{})
+		for _, paths := range train.ObservedPaths(name) {
+			for _, p := range paths {
+				if len(p) > maxLen {
+					maxLen = len(p)
+				}
+				for i := range p {
+					a := p[i]
+					if len(m.qrs[a]) == 0 {
+						continue // AS unknown to the model topology
+					}
+					suffix := p[i+1:]
+					k := suffix.Key()
+					set := seen[a]
+					if set == nil {
+						set = make(map[bgp.PathKey]struct{})
+						seen[a] = set
+					}
+					if _, dup := set[k]; dup {
+						continue
+					}
+					set[k] = struct{}{}
+					w.reqs = append(w.reqs, requirement{as: a, suffix: suffix, key: k})
+				}
+			}
+		}
+		sort.Slice(w.reqs, func(i, j int) bool {
+			ri, rj := w.reqs[i], w.reqs[j]
+			if len(ri.suffix) != len(rj.suffix) {
+				return len(ri.suffix) < len(rj.suffix)
+			}
+			if ri.as != rj.as {
+				return ri.as < rj.as
+			}
+			return ri.key < rj.key
+		})
+		works = append(works, w)
+	}
+	return works, maxLen
+}
+
+// qrSatisfies reports whether the quasi-router's current best route
+// realizes the requirement suffix (locally originated for the empty
+// suffix).
+func qrSatisfies(q *sim.Router, suffix bgp.Path) bool {
+	if len(suffix) == 0 {
+		return q.Local() != nil && q.Best() == q.Local()
+	}
+	b := q.Best()
+	return b != nil && b.Path.Equal(suffix)
+}
+
+func (m *Model) countUnsatisfied(w *prefixWork) int {
+	unsat := 0
+	for _, rq := range w.reqs {
+		found := false
+		for _, q := range m.qrs[rq.as] {
+			if qrSatisfies(q, rq.suffix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			unsat++
+		}
+	}
+	return unsat
+}
+
+// refinePrefix performs one heuristic iteration (Figure 6) for one prefix
+// against the network's converged state. It returns whether the model was
+// changed and whether every requirement was already RIB-Out matched.
+func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult) (changed, satisfied bool) {
+	prefix := w.id
+	type reqKey struct {
+		as  bgp.ASN
+		key bgp.PathKey
+	}
+	resvByQR := make(map[bgp.RouterID]bgp.PathKey)
+	resvReq := make(map[reqKey]bool)
+
+	// Pass 1: reserve quasi-routers that already RIB-Out match a
+	// requirement (lowest ID first; one quasi-router per distinct suffix).
+	for _, rq := range w.reqs {
+		for _, q := range m.qrs[rq.as] {
+			if _, taken := resvByQR[q.ID]; taken {
+				continue
+			}
+			if qrSatisfies(q, rq.suffix) {
+				resvByQR[q.ID] = rq.key
+				resvReq[reqKey{rq.as, rq.key}] = true
+				break
+			}
+		}
+	}
+
+	satisfied = true
+	for _, rq := range w.reqs {
+		if resvReq[reqKey{rq.as, rq.key}] {
+			continue
+		}
+		satisfied = false
+		if len(rq.suffix) == 0 {
+			continue // origination is structural; nothing to adjust
+		}
+
+		// RIB-In matches: quasi-routers that learned the wanted route,
+		// with the session that delivered it.
+		type inMatch struct {
+			q    *sim.Router
+			from *sim.Peer
+		}
+		var all []inMatch
+		var free []inMatch
+		for _, q := range m.qrs[rq.as] {
+			routes, from := q.RIBIn()
+			for i, rt := range routes {
+				if rt.Path.Equal(rq.suffix) {
+					im := inMatch{q, from[i]}
+					all = append(all, im)
+					if _, taken := resvByQR[q.ID]; !taken {
+						free = append(free, im)
+					}
+					break
+				}
+			}
+		}
+
+		switch {
+		case len(free) > 0:
+			// RIB-In match at an unreserved quasi-router: adjust its
+			// policies so the wanted route wins (§4.6).
+			im := free[0]
+			m.steerSelection(im.q, im.from, rq, prefix, cfg, res)
+			resvByQR[im.q.ID] = rq.key
+			resvReq[reqKey{rq.as, rq.key}] = true
+			changed = true
+
+		case len(all) > 0:
+			// All RIB-In matches live on reserved quasi-routers:
+			// duplicate one and adjust the copy.
+			if cfg.DisableDuplication {
+				continue
+			}
+			src := all[0]
+			nq, err := m.DuplicateQR(src.q)
+			if err != nil {
+				continue
+			}
+			res.QuasiRoutersAdded++
+			// The copy's RIB-In materializes next run; use the source's
+			// RIB-In as the proxy for policy synthesis.
+			from := nq.PeerTo(src.from.Remote.ID)
+			m.steerSelectionProxy(nq, src.q, from, rq, prefix, cfg, res)
+			resvByQR[nq.ID] = rq.key
+			resvReq[reqKey{rq.as, rq.key}] = true
+			changed = true
+
+		default:
+			// No RIB-In anywhere: either the upstream AS is not ready yet
+			// (fixed in a later iteration) or one of our own filters
+			// blocks the observed path (Figure 7 — delete it).
+			if m.unblockPath(rq, prefix, cfg, res, resvByQR) {
+				changed = true
+			}
+		}
+	}
+	return changed, satisfied
+}
+
+// steerSelection installs policies at quasi-router q so that the route
+// delivered by `from` (carrying rq.suffix) becomes q's best: export
+// filters at the announcing neighbors of strictly shorter contenders,
+// plus a MED preference for the desired session (§4.6). With UseLocalPref
+// the mechanism is a local-pref raise instead.
+func (m *Model) steerSelection(q *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult) {
+	for _, p := range q.Peers() {
+		p.ClearImport(prefix)
+	}
+	if cfg.UseLocalPref {
+		from.SetImportLocalPref(prefix, 200)
+		res.LocalPrefRules++
+		return
+	}
+	routes, fromPeers := q.RIBIn()
+	for i, rt := range routes {
+		if len(rt.Path) >= len(rq.suffix) {
+			continue
+		}
+		// Filter at the announcing neighbor: deny its export toward q.
+		ann := fromPeers[i].Remote.PeerTo(q.ID)
+		if ann != nil && !ann.ExportDenied(prefix) {
+			ann.DenyExport(prefix)
+			res.FiltersAdded++
+		}
+	}
+	if !cfg.DisableMED {
+		from.SetImportMED(prefix, 0)
+		res.MEDRules++
+	}
+}
+
+// steerSelectionProxy is steerSelection for a freshly duplicated
+// quasi-router nq whose RIB-In is still empty: the source's RIB-In stands
+// in for the contenders nq will receive after the next run.
+func (m *Model) steerSelectionProxy(nq, src *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult) {
+	for _, p := range nq.Peers() {
+		p.ClearImport(prefix)
+	}
+	if cfg.UseLocalPref {
+		if from != nil {
+			from.SetImportLocalPref(prefix, 200)
+			res.LocalPrefRules++
+		}
+		return
+	}
+	routes, fromPeers := src.RIBIn()
+	for i, rt := range routes {
+		if len(rt.Path) >= len(rq.suffix) {
+			continue
+		}
+		ann := fromPeers[i].Remote.PeerTo(nq.ID)
+		if ann != nil && !ann.ExportDenied(prefix) {
+			ann.DenyExport(prefix)
+			res.FiltersAdded++
+		}
+	}
+	if !cfg.DisableMED && from != nil {
+		from.SetImportMED(prefix, 0)
+		res.MEDRules++
+	}
+}
+
+// unblockPath handles the no-RIB-In case of the heuristic: when the
+// announcing neighbor AS already RIB-Out matches its suffix, a previously
+// installed export filter must be blocking the observed path (Figure 7).
+// The filter is removed if re-admitting the route cannot evict a reserved
+// route (admitted path not shorter than the receiver's desired path);
+// otherwise a quasi-router of the receiving AS is duplicated so an
+// unfiltered session exists next iteration.
+func (m *Model) unblockPath(rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult, resvByQR map[bgp.RouterID]bgp.PathKey) bool {
+	neighbor := rq.suffix[0]
+	nSuffix := rq.suffix[1:]
+	var nq *sim.Router
+	for _, q := range m.qrs[neighbor] {
+		if qrSatisfies(q, nSuffix) {
+			nq = q
+			break
+		}
+	}
+	if nq == nil {
+		return false // upstream not ready; a later iteration will fix it
+	}
+	var blocked []*sim.Peer
+	for _, p := range nq.Peers() {
+		if p.Remote.AS == rq.as && p.ExportDenied(prefix) {
+			blocked = append(blocked, p)
+		}
+	}
+	for _, p := range blocked {
+		if key, taken := resvByQR[p.Remote.ID]; taken && len(rq.suffix) < key.Len() {
+			continue // unsafe: the admitted route would evict the reserved one
+		}
+		p.AllowExport(prefix)
+		res.FiltersRemoved++
+		return true
+	}
+	if len(blocked) == 0 || cfg.DisableDuplication {
+		return false
+	}
+	// Every filtered session points at a reserved quasi-router that the
+	// admitted route would evict: grow the AS instead.
+	nqr, err := m.DuplicateQR(blocked[0].Remote)
+	if err != nil {
+		return false
+	}
+	for _, p := range nqr.Peers() {
+		p.ClearImport(prefix)
+	}
+	res.QuasiRoutersAdded++
+	return true
+}

@@ -1,0 +1,267 @@
+package model
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/sim"
+	"asmodel/internal/topology"
+)
+
+// The model serialization is a line-oriented, versioned text format so a
+// refined model (hours of refinement on a large dataset) can be stored
+// and re-loaded for prediction and what-if studies. Captured state:
+// prefix universe, quasi-router topology (including duplicates), sessions
+// and all per-prefix policies. Import/export *hooks* (relationship
+// baselines) are code, not data, and are not serialized.
+const saveMagic = "asmodel-model-v1"
+
+// Save writes the model to w.
+func (m *Model) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, saveMagic)
+
+	// Universe.
+	fmt.Fprintf(bw, "prefixes %d\n", m.Universe.Len())
+	for i := 0; i < m.Universe.Len(); i++ {
+		id := bgp.PrefixID(i)
+		fmt.Fprintf(bw, "prefix %s", m.Universe.Name(id))
+		for _, o := range m.Universe.Origins(id) {
+			fmt.Fprintf(bw, " %d", o)
+		}
+		fmt.Fprintln(bw)
+	}
+
+	// Quasi-routers per AS (counts suffice: IDs are ASN<<16|index).
+	asns := make([]bgp.ASN, 0, len(m.qrs))
+	for a := range m.qrs {
+		asns = append(asns, a)
+	}
+	bgp.SortASNs(asns)
+	for _, a := range asns {
+		fmt.Fprintf(bw, "as %d %d\n", a, len(m.qrs[a]))
+	}
+
+	// Sessions and policies, sorted so the output is canonical regardless
+	// of construction order (each session once, from the lower router ID;
+	// policy lines carry their owning direction).
+	var sessLines, polLines []string
+	for _, r := range m.Net.Routers() {
+		for _, p := range r.Peers() {
+			local, remote := uint32(r.ID), uint32(p.Remote.ID)
+			if r.ID < p.Remote.ID {
+				sessLines = append(sessLines, fmt.Sprintf("session %d %d", local, remote))
+			}
+			p.VisitExportDenies(func(prefix bgp.PrefixID) {
+				polLines = append(polLines, fmt.Sprintf("deny %d %d %d", local, remote, prefix))
+			})
+			p.VisitImportActions(func(v sim.ImportActionView) {
+				flags := ""
+				if v.Deny {
+					flags += "d"
+				}
+				if v.HasMED {
+					flags += "m"
+				}
+				if v.HasLP {
+					flags += "l"
+				}
+				polLines = append(polLines, fmt.Sprintf("import %d %d %d %s %d %d", local, remote, v.Prefix, flags, v.MED, v.LocalPref))
+			})
+		}
+	}
+	sort.Strings(sessLines)
+	sort.Strings(polLines)
+	for _, l := range sessLines {
+		fmt.Fprintln(bw, l)
+	}
+	for _, l := range polLines {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}
+
+// Load reads a model written by Save.
+func Load(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	if !sc.Scan() || sc.Text() != saveMagic {
+		return nil, fmt.Errorf("model: not a saved model (missing %q header)", saveMagic)
+	}
+
+	entries := make(map[string][]bgp.ASN)
+	type qrCount struct {
+		asn bgp.ASN
+		n   int
+	}
+	var qrCounts []qrCount
+	type sess struct{ a, b bgp.RouterID }
+	var sessions []sess
+	type denyRule struct {
+		local, remote bgp.RouterID
+		prefix        bgp.PrefixID
+	}
+	var denies []denyRule
+	type importRule struct {
+		local, remote bgp.RouterID
+		prefix        bgp.PrefixID
+		flags         string
+		med, lp       uint32
+	}
+	var imports []importRule
+
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(why string) error {
+			return fmt.Errorf("model: line %d: %s: %q", lineNo, why, line)
+		}
+		switch f[0] {
+		case "prefixes":
+			// informational; ignored
+		case "prefix":
+			if len(f) < 2 {
+				return nil, fail("prefix needs a name")
+			}
+			var origins []bgp.ASN
+			for _, s := range f[2:] {
+				v, err := strconv.ParseUint(s, 10, 32)
+				if err != nil {
+					return nil, fail("bad origin")
+				}
+				origins = append(origins, bgp.ASN(v))
+			}
+			entries[f[1]] = origins
+		case "as":
+			if len(f) != 3 {
+				return nil, fail("as needs ASN and count")
+			}
+			asn, err1 := strconv.ParseUint(f[1], 10, 32)
+			n, err2 := strconv.Atoi(f[2])
+			if err1 != nil || err2 != nil || n < 1 {
+				return nil, fail("bad as line")
+			}
+			qrCounts = append(qrCounts, qrCount{bgp.ASN(asn), n})
+		case "session":
+			a, b, err := parseIDPair(f, 3)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			sessions = append(sessions, sess{a, b})
+		case "deny":
+			a, b, err := parseIDPair(f, 4)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			pfx, err := strconv.Atoi(f[3])
+			if err != nil {
+				return nil, fail("bad prefix id")
+			}
+			denies = append(denies, denyRule{a, b, bgp.PrefixID(pfx)})
+		case "import":
+			if len(f) != 7 {
+				return nil, fail("import needs 7 fields")
+			}
+			a, b, err := parseIDPair(f, 7)
+			if err != nil {
+				return nil, fail(err.Error())
+			}
+			pfx, err1 := strconv.Atoi(f[3])
+			med, err2 := strconv.ParseUint(f[5], 10, 32)
+			lp, err3 := strconv.ParseUint(f[6], 10, 32)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fail("bad import numbers")
+			}
+			imports = append(imports, importRule{a, b, bgp.PrefixID(pfx), f[4], uint32(med), uint32(lp)})
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		Net:      sim.NewNetwork(bgp.QuasiRouterConfig),
+		Universe: dataset.NewUniverseFrom(entries),
+		Graph:    topology.NewGraph(),
+		qrs:      make(map[bgp.ASN][]*sim.Router),
+		nextIdx:  make(map[bgp.ASN]uint16),
+	}
+	for _, qc := range qrCounts {
+		m.Graph.AddNode(qc.asn)
+		for i := 0; i < qc.n; i++ {
+			if _, err := m.addQR(qc.asn); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, s := range sessions {
+		ra, rb := m.Net.Router(s.a), m.Net.Router(s.b)
+		if ra == nil || rb == nil {
+			return nil, fmt.Errorf("model: session references unknown router %s/%s", s.a, s.b)
+		}
+		if _, _, err := m.Net.Connect(ra, rb); err != nil {
+			return nil, err
+		}
+		m.Graph.AddEdge(ra.AS, rb.AS)
+	}
+	peerOf := func(local, remote bgp.RouterID) (*sim.Peer, error) {
+		r := m.Net.Router(local)
+		if r == nil {
+			return nil, fmt.Errorf("model: unknown router %s", local)
+		}
+		p := r.PeerTo(remote)
+		if p == nil {
+			return nil, fmt.Errorf("model: no session %s -> %s", local, remote)
+		}
+		return p, nil
+	}
+	for _, d := range denies {
+		p, err := peerOf(d.local, d.remote)
+		if err != nil {
+			return nil, err
+		}
+		p.DenyExport(d.prefix)
+	}
+	for _, im := range imports {
+		p, err := peerOf(im.local, im.remote)
+		if err != nil {
+			return nil, err
+		}
+		if strings.Contains(im.flags, "d") {
+			p.DenyImport(im.prefix)
+		}
+		if strings.Contains(im.flags, "m") {
+			p.SetImportMED(im.prefix, im.med)
+		}
+		if strings.Contains(im.flags, "l") {
+			p.SetImportLocalPref(im.prefix, im.lp)
+		}
+	}
+	return m, nil
+}
+
+func parseIDPair(f []string, want int) (bgp.RouterID, bgp.RouterID, error) {
+	if len(f) < 3 {
+		return 0, 0, fmt.Errorf("need at least 3 fields")
+	}
+	a, err1 := strconv.ParseUint(f[1], 10, 32)
+	b, err2 := strconv.ParseUint(f[2], 10, 32)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad router IDs")
+	}
+	_ = want
+	return bgp.RouterID(a), bgp.RouterID(b), nil
+}

@@ -1,0 +1,158 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/topology"
+)
+
+// refineSample builds and refines a model with duplicates and policies.
+func refineSample(t *testing.T) (*Model, *dataset.Dataset) {
+	t.Helper()
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+		rec("op1", "P3", 1, 3),
+		rec("op5", "P4", 5, 1, 2, 4),
+	}}
+	g := topology.FromDataset(ds)
+	u := dataset.NewUniverse(ds)
+	m, err := NewInitial(g, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Refine(ds, RefineConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("sample refinement did not converge: %+v", res)
+	}
+	return m, ds
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, ds := refineSample(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical structure.
+	s1, s2 := m.Stats(), m2.Stats()
+	if s1 != s2 {
+		t.Fatalf("stats differ: %+v vs %+v", s1, s2)
+	}
+	if m2.Universe.Len() != m.Universe.Len() {
+		t.Fatal("universe size differs")
+	}
+
+	// Identical predictions on every prefix and observation AS.
+	for _, name := range ds.Prefixes() {
+		for _, asn := range ds.ObsASes() {
+			p1, err1 := m.PredictPaths(name, asn)
+			p2, err2 := m2.PredictPaths(name, asn)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("error mismatch for %s@%d: %v vs %v", name, asn, err1, err2)
+			}
+			if len(p1) != len(p2) {
+				t.Fatalf("prediction count differs for %s@%d: %v vs %v", name, asn, p1, p2)
+			}
+			for i := range p1 {
+				if !p1[i].Equal(p2[i]) {
+					t.Fatalf("prediction differs for %s@%d: %v vs %v", name, asn, p1, p2)
+				}
+			}
+		}
+	}
+
+	// Identical evaluation.
+	ev1, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := m2.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev1.Summary.String() != ev2.Summary.String() {
+		t.Fatalf("evaluations differ: %v vs %v", ev1.Summary, ev2.Summary)
+	}
+
+	// Double round trip is byte-identical (canonical form).
+	var buf2 bytes.Buffer
+	if err := m2.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("second save differs from first (non-canonical serialization)")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []string{
+		"",                           // no header
+		"garbage\n",                  // wrong header
+		"asmodel-model-v1\nprefix\n", // prefix without name
+		"asmodel-model-v1\nas 1\n",   // as without count
+		"asmodel-model-v1\nas 1 0\n", // zero quasi-routers
+		"asmodel-model-v1\nsession x y\n",
+		"asmodel-model-v1\nwhat 1 2\n", // unknown directive
+		"asmodel-model-v1\nas 1 1\nas 2 1\ndeny 65536 131072 0\n", // deny without session
+		"asmodel-model-v1\nsession 65536 131072\n",                // session with unknown routers
+		"asmodel-model-v1\nas 1 1\nas 2 1\nimport 65536 131072 0 m x 0\n",
+	}
+	for i, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted: %q", i, c)
+		}
+	}
+}
+
+func TestLoadIgnoresCommentsAndBlanks(t *testing.T) {
+	m, _ := refineSample(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	padded := strings.Replace(buf.String(), "\n", "\n# comment\n\n", 1)
+	if _, err := Load(strings.NewReader(padded)); err != nil {
+		t.Fatalf("comments/blanks should be ignored: %v", err)
+	}
+}
+
+func TestSaveLoadPreservesImportDeny(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{rec("op1", "P2", 1, 2)}}
+	g := topology.FromDataset(ds)
+	m, err := NewInitial(g, dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := m.QuasiRouters(1)[0]
+	q2 := m.QuasiRouters(2)[0]
+	q1.PeerTo(q2.ID).DenyImport(0)
+	q1.PeerTo(q2.ID).SetImportLocalPref(0, 42)
+
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m2.Universe.ID("P2")
+	if err := m2.RunPrefix(id); err != nil {
+		t.Fatal(err)
+	}
+	if m2.QuasiRouters(1)[0].Best() != nil {
+		t.Error("import deny lost in round trip")
+	}
+}

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"fmt"
+
+	"asmodel/internal/bgp"
+)
+
+// RemoveASEdge administratively disables every BGP session between the two
+// ASes (what-if de-peering, the question class the paper motivates in
+// §1). It returns the number of sessions taken down. The AS-level graph
+// is updated so later analyses see the edited topology.
+func (m *Model) RemoveASEdge(a, b bgp.ASN) (int, error) {
+	if len(m.qrs[a]) == 0 || len(m.qrs[b]) == 0 {
+		return 0, fmt.Errorf("model: unknown AS in edge (%d, %d)", a, b)
+	}
+	n := m.setEdgeDisabled(a, b, true)
+	if n == 0 {
+		return 0, fmt.Errorf("model: no sessions between AS %d and AS %d", a, b)
+	}
+	m.Graph.RemoveEdge(a, b)
+	return n, nil
+}
+
+// RestoreASEdge re-enables previously removed sessions between two ASes.
+func (m *Model) RestoreASEdge(a, b bgp.ASN) int {
+	n := m.setEdgeDisabled(a, b, false)
+	if n > 0 {
+		m.Graph.AddEdge(a, b)
+	}
+	return n
+}
+
+func (m *Model) setEdgeDisabled(a, b bgp.ASN, down bool) int {
+	n := 0
+	for _, q := range m.qrs[a] {
+		for _, p := range q.Peers() {
+			if p.Remote.AS != b {
+				continue
+			}
+			p.SetDisabled(down)
+			if rev := p.Remote.PeerTo(q.ID); rev != nil {
+				rev.SetDisabled(down)
+			}
+			n++
+		}
+	}
+	return n
+}
+
+// PathChange describes how an AS's predicted path set for a prefix changed
+// between two model states.
+type PathChange struct {
+	Prefix string
+	AS     bgp.ASN
+	Before []bgp.Path
+	After  []bgp.Path
+}
+
+// Changed reports whether the path sets differ.
+func (c *PathChange) Changed() bool {
+	if len(c.Before) != len(c.After) {
+		return true
+	}
+	for i := range c.Before {
+		if !c.Before[i].Equal(c.After[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// WhatIfDepeer predicts how the given ASes' routes toward the prefix
+// change when the link (a, b) is removed, restoring the link afterwards.
+func (m *Model) WhatIfDepeer(prefixName string, a, b bgp.ASN, watch []bgp.ASN) ([]PathChange, error) {
+	changes := make([]PathChange, 0, len(watch))
+	for _, asn := range watch {
+		before, err := m.PredictPaths(prefixName, asn)
+		if err != nil {
+			return nil, err
+		}
+		changes = append(changes, PathChange{Prefix: prefixName, AS: asn, Before: before})
+	}
+	if _, err := m.RemoveASEdge(a, b); err != nil {
+		return nil, err
+	}
+	defer m.RestoreASEdge(a, b)
+	for i, asn := range watch {
+		after, err := m.PredictPaths(prefixName, asn)
+		if err != nil {
+			return nil, err
+		}
+		changes[i].After = after
+	}
+	return changes, nil
+}
+
+// AddASEdge creates a new adjacency between two ASes that are not yet
+// connected in the model (what-if: "what if a peering link was added?").
+// A session is established between the lowest-ID quasi-router of each
+// side.
+func (m *Model) AddASEdge(a, b bgp.ASN) error {
+	if len(m.qrs[a]) == 0 || len(m.qrs[b]) == 0 {
+		return fmt.Errorf("model: unknown AS in edge (%d, %d)", a, b)
+	}
+	if m.Graph.HasEdge(a, b) {
+		return fmt.Errorf("model: ASes %d and %d are already adjacent", a, b)
+	}
+	if _, _, err := m.Net.Connect(m.qrs[a][0], m.qrs[b][0]); err != nil {
+		return err
+	}
+	m.Graph.AddEdge(a, b)
+	return nil
+}
+
+// WhatIfPeer predicts how the given ASes' routes toward the prefix change
+// when a new peering (a, b) is added. Unlike RemoveASEdge, an added
+// session cannot be fully retracted from the engine, so WhatIfPeer
+// disables the new session afterwards, which restores the previous
+// routing exactly.
+func (m *Model) WhatIfPeer(prefixName string, a, b bgp.ASN, watch []bgp.ASN) ([]PathChange, error) {
+	changes := make([]PathChange, 0, len(watch))
+	for _, asn := range watch {
+		before, err := m.PredictPaths(prefixName, asn)
+		if err != nil {
+			return nil, err
+		}
+		changes = append(changes, PathChange{Prefix: prefixName, AS: asn, Before: before})
+	}
+	if err := m.AddASEdge(a, b); err != nil {
+		return nil, err
+	}
+	defer func() {
+		m.setEdgeDisabled(a, b, true)
+		m.Graph.RemoveEdge(a, b)
+	}()
+	for i, asn := range watch {
+		after, err := m.PredictPaths(prefixName, asn)
+		if err != nil {
+			return nil, err
+		}
+		changes[i].After = after
+	}
+	return changes, nil
+}

@@ -1,0 +1,306 @@
+package mrt
+
+import (
+	"fmt"
+	"net/netip"
+
+	"asmodel/internal/bgp"
+)
+
+// BGP path attribute type codes (RFC 4271 §5, RFC 6793).
+const (
+	attrOrigin          = 1
+	attrASPath          = 2
+	attrNextHop         = 3
+	attrMED             = 4
+	attrLocalPref       = 5
+	attrAtomicAggregate = 6
+	attrAggregator      = 7
+	attrCommunities     = 8
+	attrAS4Path         = 17
+)
+
+// Attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+// SegmentType distinguishes AS_PATH segment kinds.
+type SegmentType uint8
+
+// AS_PATH segment types (RFC 4271 §4.3).
+const (
+	ASSet      SegmentType = 1
+	ASSequence SegmentType = 2
+)
+
+// Segment is one AS_PATH segment.
+type Segment struct {
+	Type SegmentType
+	ASNs []bgp.ASN
+}
+
+// PathAttrs holds the decoded BGP path attributes of one route.
+type PathAttrs struct {
+	Origin       bgp.Origin
+	Segments     []Segment
+	NextHop      netip.Addr
+	MED          uint32
+	HasMED       bool
+	LocalPref    uint32
+	HasLocalPref bool
+	AtomicAgg    bool
+	AggregatorAS bgp.ASN
+	Aggregator   netip.Addr
+	Communities  []uint32
+	AS4Segments  []Segment
+}
+
+// Path flattens the AS_PATH into a bgp.Path. AS4_PATH, when present and
+// longer, replaces the tail per RFC 6793 §4.2.3 (the common
+// reconstruction). AS_SET segments contribute their members in order but
+// set hasSet, letting callers drop aggregated routes the way the paper's
+// data pipeline effectively does.
+func (a *PathAttrs) Path() (path bgp.Path, hasSet bool) {
+	segs := a.Segments
+	if len(a.AS4Segments) > 0 {
+		n2 := countASNs(a.Segments)
+		n4 := countASNs(a.AS4Segments)
+		if n4 >= n2 {
+			segs = a.AS4Segments
+		} else {
+			// Keep the leading (n2-n4) ASNs of AS_PATH, then AS4_PATH.
+			var lead bgp.Path
+			need := n2 - n4
+			for _, s := range a.Segments {
+				for _, asn := range s.ASNs {
+					if len(lead) == need {
+						break
+					}
+					lead = append(lead, asn)
+				}
+				if s.Type == ASSet {
+					hasSet = true
+				}
+			}
+			path = lead
+			segs = a.AS4Segments
+		}
+	}
+	for _, s := range segs {
+		if s.Type == ASSet {
+			hasSet = true
+		}
+		path = append(path, s.ASNs...)
+	}
+	return path, hasSet
+}
+
+func countASNs(segs []Segment) int {
+	n := 0
+	for _, s := range segs {
+		n += len(s.ASNs)
+	}
+	return n
+}
+
+// parseAttrs decodes a BGP path-attribute block. as4 selects 4-byte AS
+// numbers inside AS_PATH (TABLE_DUMP_V2 RIB entries and BGP4MP_MESSAGE_AS4
+// always use 4-byte; classic BGP4MP_MESSAGE uses 2-byte).
+func parseAttrs(raw []byte, as4 bool) (*PathAttrs, error) {
+	attrs := &PathAttrs{Origin: bgp.OriginIncomplete}
+	c := &cursor{b: raw}
+	for c.remaining() > 0 {
+		flags, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		var alen int
+		if flags&flagExtLen != 0 {
+			v, err := c.u16()
+			if err != nil {
+				return nil, err
+			}
+			alen = int(v)
+		} else {
+			v, err := c.u8()
+			if err != nil {
+				return nil, err
+			}
+			alen = int(v)
+		}
+		val, err := c.bytes(alen)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case attrOrigin:
+			if alen != 1 {
+				return nil, fmt.Errorf("mrt: ORIGIN length %d", alen)
+			}
+			attrs.Origin = bgp.Origin(val[0])
+		case attrASPath:
+			segs, err := parseSegments(val, as4)
+			if err != nil {
+				return nil, err
+			}
+			attrs.Segments = segs
+		case attrAS4Path:
+			segs, err := parseSegments(val, true)
+			if err != nil {
+				return nil, err
+			}
+			attrs.AS4Segments = segs
+		case attrNextHop:
+			a, ok := netip.AddrFromSlice(val)
+			if !ok {
+				return nil, fmt.Errorf("mrt: NEXT_HOP length %d", alen)
+			}
+			attrs.NextHop = a
+		case attrMED:
+			if alen != 4 {
+				return nil, fmt.Errorf("mrt: MED length %d", alen)
+			}
+			attrs.MED = be32(val)
+			attrs.HasMED = true
+		case attrLocalPref:
+			if alen != 4 {
+				return nil, fmt.Errorf("mrt: LOCAL_PREF length %d", alen)
+			}
+			attrs.LocalPref = be32(val)
+			attrs.HasLocalPref = true
+		case attrAtomicAggregate:
+			attrs.AtomicAgg = true
+		case attrAggregator:
+			switch alen {
+			case 6:
+				attrs.AggregatorAS = bgp.ASN(uint32(val[0])<<8 | uint32(val[1]))
+				a, _ := netip.AddrFromSlice(val[2:6])
+				attrs.Aggregator = a
+			case 8:
+				attrs.AggregatorAS = bgp.ASN(be32(val))
+				a, _ := netip.AddrFromSlice(val[4:8])
+				attrs.Aggregator = a
+			default:
+				return nil, fmt.Errorf("mrt: AGGREGATOR length %d", alen)
+			}
+		case attrCommunities:
+			if alen%4 != 0 {
+				return nil, fmt.Errorf("mrt: COMMUNITIES length %d", alen)
+			}
+			for i := 0; i < alen; i += 4 {
+				attrs.Communities = append(attrs.Communities, be32(val[i:]))
+			}
+		default:
+			// Unknown attributes are skipped (they were length-delimited).
+		}
+	}
+	return attrs, nil
+}
+
+func parseSegments(raw []byte, as4 bool) ([]Segment, error) {
+	var segs []Segment
+	c := &cursor{b: raw}
+	for c.remaining() > 0 {
+		t, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		n, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		seg := Segment{Type: SegmentType(t), ASNs: make([]bgp.ASN, 0, n)}
+		for i := 0; i < int(n); i++ {
+			if as4 {
+				v, err := c.u32()
+				if err != nil {
+					return nil, err
+				}
+				seg.ASNs = append(seg.ASNs, bgp.ASN(v))
+			} else {
+				v, err := c.u16()
+				if err != nil {
+					return nil, err
+				}
+				seg.ASNs = append(seg.ASNs, bgp.ASN(v))
+			}
+		}
+		segs = append(segs, seg)
+	}
+	return segs, nil
+}
+
+func be32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+// encodeAttrs serializes path attributes (always 4-byte AS numbers when
+// as4 is set). It emits the attributes in canonical type order.
+func encodeAttrs(a *PathAttrs, as4 bool) []byte {
+	var out []byte
+	add := func(flags, typ byte, val []byte) {
+		if len(val) > 255 {
+			out = append(out, flags|flagExtLen, typ, byte(len(val)>>8), byte(len(val)))
+		} else {
+			out = append(out, flags, typ, byte(len(val)))
+		}
+		out = append(out, val...)
+	}
+	add(flagTransitive, attrOrigin, []byte{byte(a.Origin)})
+	add(flagTransitive, attrASPath, encodeSegments(a.Segments, as4))
+	if a.NextHop.IsValid() && a.NextHop.Is4() {
+		nh := a.NextHop.As4()
+		add(flagTransitive, attrNextHop, nh[:])
+	}
+	if a.HasMED {
+		add(flagOptional, attrMED, be32bytes(a.MED))
+	}
+	if a.HasLocalPref {
+		add(flagTransitive, attrLocalPref, be32bytes(a.LocalPref))
+	}
+	if a.AtomicAgg {
+		add(flagTransitive, attrAtomicAggregate, nil)
+	}
+	if len(a.Communities) > 0 {
+		var val []byte
+		for _, cm := range a.Communities {
+			val = append(val, be32bytes(cm)...)
+		}
+		add(flagOptional|flagTransitive, attrCommunities, val)
+	}
+	return out
+}
+
+func encodeSegments(segs []Segment, as4 bool) []byte {
+	var out []byte
+	for _, s := range segs {
+		out = append(out, byte(s.Type), byte(len(s.ASNs)))
+		for _, asn := range s.ASNs {
+			if as4 {
+				out = append(out, be32bytes(uint32(asn))...)
+			} else {
+				out = append(out, byte(asn>>8), byte(asn))
+			}
+		}
+	}
+	return out
+}
+
+func be32bytes(v uint32) []byte {
+	return []byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// SequencePath wraps a bgp.Path into a single AS_SEQUENCE segment.
+func SequencePath(p bgp.Path) []Segment {
+	if len(p) == 0 {
+		return nil
+	}
+	return []Segment{{Type: ASSequence, ASNs: p.Clone()}}
+}

@@ -1,0 +1,201 @@
+package mrt
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+
+	"asmodel/internal/bgp"
+)
+
+// BGP message types (RFC 4271 §4.1).
+const (
+	bgpMsgUpdate = 2
+)
+
+// bgpMarker is the all-ones 16-byte BGP message marker.
+var bgpMarker = bytes.Repeat([]byte{0xff}, 16)
+
+// BGP4MP is a decoded BGP4MP_MESSAGE / BGP4MP_MESSAGE_AS4 record carrying
+// a BGP UPDATE. Non-UPDATE messages (OPEN, KEEPALIVE, NOTIFICATION) are
+// reported with Update == nil.
+type BGP4MP struct {
+	PeerAS    bgp.ASN
+	LocalAS   bgp.ASN
+	Interface uint16
+	PeerAddr  netip.Addr
+	LocalAddr netip.Addr
+	Update    *Update
+}
+
+// Update is a BGP UPDATE message body.
+type Update struct {
+	Withdrawn []netip.Prefix
+	Attrs     *PathAttrs
+	NLRI      []netip.Prefix
+}
+
+// ParseBGP4MP decodes a BGP4MP or BGP4MP_ET record containing a
+// BGP4MP_MESSAGE or BGP4MP_MESSAGE_AS4.
+func ParseBGP4MP(rec *Record) (*BGP4MP, error) {
+	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+		return nil, fmt.Errorf("mrt: record type %d is not BGP4MP", rec.Type)
+	}
+	as4 := rec.Subtype == SubtypeBGP4MPMessageAS4
+	if !as4 && rec.Subtype != SubtypeBGP4MPMessage {
+		return nil, fmt.Errorf("mrt: unsupported BGP4MP subtype %d", rec.Subtype)
+	}
+	c := &cursor{b: rec.Body}
+	m := &BGP4MP{}
+	var err error
+	if as4 {
+		var v uint32
+		if v, err = c.u32(); err != nil {
+			return nil, err
+		}
+		m.PeerAS = bgp.ASN(v)
+		if v, err = c.u32(); err != nil {
+			return nil, err
+		}
+		m.LocalAS = bgp.ASN(v)
+	} else {
+		var v uint16
+		if v, err = c.u16(); err != nil {
+			return nil, err
+		}
+		m.PeerAS = bgp.ASN(v)
+		if v, err = c.u16(); err != nil {
+			return nil, err
+		}
+		m.LocalAS = bgp.ASN(v)
+	}
+	if m.Interface, err = c.u16(); err != nil {
+		return nil, err
+	}
+	afi, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	v6 := afi == 2
+	if m.PeerAddr, err = c.addr(v6); err != nil {
+		return nil, err
+	}
+	if m.LocalAddr, err = c.addr(v6); err != nil {
+		return nil, err
+	}
+
+	// BGP message: marker(16) length(2) type(1) body.
+	marker, err := c.bytes(16)
+	if err != nil {
+		return nil, err
+	}
+	if !bytes.Equal(marker, bgpMarker) {
+		return nil, fmt.Errorf("mrt: bad BGP marker")
+	}
+	msgLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	if msgLen < 19 {
+		return nil, fmt.Errorf("mrt: BGP message length %d too small", msgLen)
+	}
+	msgType, err := c.u8()
+	if err != nil {
+		return nil, err
+	}
+	body, err := c.bytes(int(msgLen) - 19)
+	if err != nil {
+		return nil, err
+	}
+	if msgType != bgpMsgUpdate {
+		return m, nil
+	}
+	u, err := parseUpdate(body, as4)
+	if err != nil {
+		return nil, err
+	}
+	m.Update = u
+	return m, nil
+}
+
+func parseUpdate(body []byte, as4 bool) (*Update, error) {
+	c := &cursor{b: body}
+	u := &Update{}
+	wlen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	wraw, err := c.bytes(int(wlen))
+	if err != nil {
+		return nil, err
+	}
+	wc := &cursor{b: wraw}
+	for wc.remaining() > 0 {
+		p, err := wc.nlriPrefix(false)
+		if err != nil {
+			return nil, err
+		}
+		u.Withdrawn = append(u.Withdrawn, p)
+	}
+	alen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	araw, err := c.bytes(int(alen))
+	if err != nil {
+		return nil, err
+	}
+	if len(araw) > 0 {
+		if u.Attrs, err = parseAttrs(araw, as4); err != nil {
+			return nil, err
+		}
+	}
+	for c.remaining() > 0 {
+		p, err := c.nlriPrefix(false)
+		if err != nil {
+			return nil, err
+		}
+		u.NLRI = append(u.NLRI, p)
+	}
+	return u, nil
+}
+
+// WriteBGP4MPUpdate emits a BGP4MP_MESSAGE_AS4 record carrying an UPDATE
+// (IPv4 peers and prefixes).
+func (wr *Writer) WriteBGP4MPUpdate(timestamp uint32, peerAS, localAS bgp.ASN, peerAddr, localAddr netip.Addr, u *Update) error {
+	if !peerAddr.Is4() || !localAddr.Is4() {
+		return fmt.Errorf("mrt: WriteBGP4MPUpdate supports IPv4 peers only")
+	}
+	var msg []byte
+	// UPDATE body.
+	var wraw []byte
+	for _, p := range u.Withdrawn {
+		wraw = putNLRIPrefix(wraw, p)
+	}
+	var araw []byte
+	if u.Attrs != nil {
+		araw = encodeAttrs(u.Attrs, true)
+	}
+	body := []byte{byte(len(wraw) >> 8), byte(len(wraw))}
+	body = append(body, wraw...)
+	body = append(body, byte(len(araw)>>8), byte(len(araw)))
+	body = append(body, araw...)
+	for _, p := range u.NLRI {
+		body = putNLRIPrefix(body, p)
+	}
+	msgLen := 19 + len(body)
+	msg = append(msg, bgpMarker...)
+	msg = append(msg, byte(msgLen>>8), byte(msgLen), bgpMsgUpdate)
+	msg = append(msg, body...)
+
+	rec := be32bytes(uint32(peerAS))
+	rec = append(rec, be32bytes(uint32(localAS))...)
+	rec = append(rec, 0, 0) // interface index
+	rec = append(rec, 0, 1) // AFI IPv4
+	pa := peerAddr.As4()
+	la := localAddr.As4()
+	rec = append(rec, pa[:]...)
+	rec = append(rec, la[:]...)
+	rec = append(rec, msg...)
+	return wr.WriteRecord(timestamp, TypeBGP4MP, SubtypeBGP4MPMessageAS4, rec)
+}

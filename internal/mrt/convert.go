@@ -1,0 +1,165 @@
+package mrt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/netip"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+// ConvertStats reports what ToDataset encountered.
+type ConvertStats struct {
+	Records       int // MRT records read
+	RIBRecords    int // RIB records decoded
+	Entries       int // per-peer routes converted
+	SkippedASSet  int // routes dropped because of AS_SET aggregation
+	SkippedNoPath int // routes dropped for missing/empty AS_PATH
+	SkippedPeer   int // routes dropped for invalid peer references
+	IPv6Records   int // IPv6 RIB records (converted like IPv4)
+}
+
+// ToDataset converts a TABLE_DUMP_V2 RIB dump stream into a dataset: one
+// record per (peer, prefix) route, with the peer acting as the
+// observation point. Paths are recorded with the observation AS first
+// (prepending the peer AS when the table's AS_PATH does not already start
+// with it, as with route servers). Routes carrying AS_SET aggregation are
+// dropped, mirroring the paper's per-path data handling.
+func ToDataset(r io.Reader) (*dataset.Dataset, *ConvertStats, error) {
+	rd := NewReader(r)
+	ds := &dataset.Dataset{}
+	st := &ConvertStats{}
+	var pit *PeerIndexTable
+	for {
+		rec, err := rd.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, st, err
+		}
+		st.Records++
+		if rec.Type != TypeTableDumpV2 {
+			continue
+		}
+		switch rec.Subtype {
+		case SubtypePeerIndexTable:
+			if pit, err = ParsePeerIndexTable(rec); err != nil {
+				return nil, st, err
+			}
+		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
+			if pit == nil {
+				return nil, st, fmt.Errorf("mrt: RIB record before PEER_INDEX_TABLE")
+			}
+			rib, err := ParseRIB(rec)
+			if err != nil {
+				return nil, st, err
+			}
+			st.RIBRecords++
+			if rec.Subtype == SubtypeRIBIPv6Unicast {
+				st.IPv6Records++
+			}
+			convertRIB(ds, st, pit, rib)
+		}
+	}
+	return ds, st, nil
+}
+
+func convertRIB(ds *dataset.Dataset, st *ConvertStats, pit *PeerIndexTable, rib *RIB) {
+	for _, e := range rib.Entries {
+		if int(e.PeerIndex) >= len(pit.Peers) {
+			st.SkippedPeer++
+			continue
+		}
+		peer := pit.Peers[e.PeerIndex]
+		if peer.AS == 0 {
+			st.SkippedPeer++
+			continue
+		}
+		path, hasSet := e.Attrs.Path()
+		if hasSet {
+			st.SkippedASSet++
+			continue
+		}
+		if len(path) == 0 {
+			st.SkippedNoPath++
+			continue
+		}
+		if path[0] != peer.AS {
+			path = path.Prepend(peer.AS)
+		}
+		ds.Records = append(ds.Records, dataset.Record{
+			Obs:     dataset.ObsPointID(fmt.Sprintf("%s|%s", peer.Addr, peer.AS)),
+			ObsAS:   peer.AS,
+			Prefix:  rib.Prefix.String(),
+			Path:    path,
+			Learned: int64(e.Originated),
+		})
+		st.Entries++
+	}
+}
+
+// SyntheticCIDR maps an arbitrary prefix name to a deterministic IPv4 /24
+// inside 10.0.0.0/8, for emitting datasets with non-CIDR prefix names
+// (such as the synthetic "P<asn>") as MRT dumps.
+func SyntheticCIDR(name string) netip.Prefix {
+	if p, err := netip.ParsePrefix(name); err == nil && p.Addr().Is4() {
+		return p
+	}
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(v >> 16), byte(v >> 8), 0}), 24)
+}
+
+// FromDataset writes a dataset as a TABLE_DUMP_V2 MRT dump: one peer per
+// observation point and one RIB record per prefix. Prefix names that are
+// not parseable CIDRs are mapped through SyntheticCIDR. The inverse of
+// ToDataset up to prefix naming.
+func FromDataset(w io.Writer, ds *dataset.Dataset, timestamp uint32) error {
+	points := ds.ObsPoints()
+	peerIdx := make(map[dataset.ObsPointID]uint16, len(points))
+	peers := make([]PeerEntry, len(points))
+	obsAS := make(map[dataset.ObsPointID]bgp.ASN)
+	for _, r := range ds.Records {
+		obsAS[r.Obs] = r.ObsAS
+	}
+	for i, p := range points {
+		peerIdx[p] = uint16(i)
+		peers[i] = PeerEntry{
+			BGPID: netip.AddrFrom4([4]byte{10, 255, byte(i >> 8), byte(i)}),
+			Addr:  netip.AddrFrom4([4]byte{10, 254, byte(i >> 8), byte(i)}),
+			AS:    obsAS[p],
+		}
+	}
+	mw := NewWriter(w)
+	tw, err := NewTableDumpWriter(mw, timestamp, "asmodel", peers)
+	if err != nil {
+		return err
+	}
+	byPrefix := ds.ByPrefix()
+	for _, name := range ds.Prefixes() {
+		var entries []RIBEntry
+		for _, ri := range byPrefix[name] {
+			rec := &ds.Records[ri]
+			// The AS_PATH stored in a RIB is the path as received from
+			// the peer, which starts with the peer's AS — exactly our
+			// record convention.
+			entries = append(entries, RIBEntry{
+				PeerIndex:  peerIdx[rec.Obs],
+				Originated: uint32(rec.Learned),
+				Attrs: &PathAttrs{
+					Origin:   bgp.OriginIGP,
+					Segments: SequencePath(rec.Path),
+					NextHop:  peers[peerIdx[rec.Obs]].Addr,
+				},
+			})
+		}
+		if err := tw.WriteRIB(timestamp, SyntheticCIDR(name), entries); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,447 @@
+package mrt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord(12345, TypeBGP4MP, SubtypeBGP4MPMessage, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteRecord(99, TypeTableDumpV2, SubtypePeerIndexTable, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	rec1, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Timestamp != 12345 || rec1.Type != TypeBGP4MP || len(rec1.Body) != 3 {
+		t.Errorf("rec1=%+v", rec1)
+	}
+	rec2, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.Timestamp != 99 || len(rec2.Body) != 0 {
+		t.Errorf("rec2=%+v", rec2)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestReaderTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord(1, TypeBGP4MP, 1, []byte{1, 2, 3, 4, 5})
+	raw := buf.Bytes()
+	// Cut the body short.
+	r := NewReader(bytes.NewReader(raw[:len(raw)-2]))
+	if _, err := r.Next(); err != ErrTruncated {
+		t.Errorf("want ErrTruncated, got %v", err)
+	}
+	// Cut inside the header.
+	r = NewReader(bytes.NewReader(raw[:6]))
+	if _, err := r.Next(); err != ErrTruncated {
+		t.Errorf("want ErrTruncated for short header, got %v", err)
+	}
+}
+
+func TestAttrsRoundTrip(t *testing.T) {
+	a := &PathAttrs{
+		Origin:       bgp.OriginIGP,
+		Segments:     SequencePath(bgp.Path{3356, 1239, 24249}),
+		NextHop:      netip.AddrFrom4([4]byte{10, 0, 0, 1}),
+		MED:          50,
+		HasMED:       true,
+		LocalPref:    120,
+		HasLocalPref: true,
+		AtomicAgg:    true,
+		Communities:  []uint32{3356<<16 | 70, 666},
+	}
+	raw := encodeAttrs(a, true)
+	got, err := parseAttrs(raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Origin != a.Origin || got.MED != 50 || !got.HasMED || got.LocalPref != 120 || !got.HasLocalPref {
+		t.Errorf("got=%+v", got)
+	}
+	if !got.AtomicAgg {
+		t.Error("atomic aggregate lost")
+	}
+	if len(got.Communities) != 2 || got.Communities[0] != 3356<<16|70 {
+		t.Errorf("communities=%v", got.Communities)
+	}
+	path, hasSet := got.Path()
+	if hasSet {
+		t.Error("unexpected AS_SET")
+	}
+	if !path.Equal(bgp.Path{3356, 1239, 24249}) {
+		t.Errorf("path=%v", path)
+	}
+	if got.NextHop != a.NextHop {
+		t.Errorf("nexthop=%v", got.NextHop)
+	}
+}
+
+func TestAttrs2ByteASPath(t *testing.T) {
+	a := &PathAttrs{Origin: bgp.OriginEGP, Segments: SequencePath(bgp.Path{701, 1239})}
+	raw := encodeAttrs(a, false)
+	got, err := parseAttrs(raw, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := got.Path()
+	if !path.Equal(bgp.Path{701, 1239}) {
+		t.Errorf("path=%v", path)
+	}
+}
+
+func TestASSetDetection(t *testing.T) {
+	a := &PathAttrs{Segments: []Segment{
+		{Type: ASSequence, ASNs: []bgp.ASN{1, 2}},
+		{Type: ASSet, ASNs: []bgp.ASN{7, 9}},
+	}}
+	path, hasSet := a.Path()
+	if !hasSet {
+		t.Error("AS_SET not detected")
+	}
+	if len(path) != 4 {
+		t.Errorf("path=%v", path)
+	}
+}
+
+func TestAS4PathReconstruction(t *testing.T) {
+	// AS_PATH has 3 hops (with AS_TRANS), AS4_PATH has the true tail of 2.
+	a := &PathAttrs{
+		Segments:    SequencePath(bgp.Path{100, 23456, 23456}),
+		AS4Segments: SequencePath(bgp.Path{655400, 655500}),
+	}
+	path, _ := a.Path()
+	if !path.Equal(bgp.Path{100, 655400, 655500}) {
+		t.Errorf("reconstructed path=%v", path)
+	}
+	// AS4_PATH longer than AS_PATH: AS4 wins entirely.
+	b := &PathAttrs{
+		Segments:    SequencePath(bgp.Path{100}),
+		AS4Segments: SequencePath(bgp.Path{655400, 655500}),
+	}
+	path, _ = b.Path()
+	if !path.Equal(bgp.Path{655400, 655500}) {
+		t.Errorf("as4-dominant path=%v", path)
+	}
+}
+
+func TestExtendedLengthAttr(t *testing.T) {
+	// A path long enough to force the extended-length encoding (>255B).
+	long := make(bgp.Path, 100)
+	for i := range long {
+		long[i] = bgp.ASN(i + 1)
+	}
+	a := &PathAttrs{Segments: SequencePath(long)}
+	raw := encodeAttrs(a, true)
+	got, err := parseAttrs(raw, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, _ := got.Path()
+	if !path.Equal(long) {
+		t.Error("extended-length attr round trip failed")
+	}
+}
+
+func TestAttrsTruncatedErrors(t *testing.T) {
+	a := &PathAttrs{Origin: bgp.OriginIGP, Segments: SequencePath(bgp.Path{1, 2, 3})}
+	raw := encodeAttrs(a, true)
+	for cut := 1; cut < len(raw); cut++ {
+		if _, err := parseAttrs(raw[:cut], true); err == nil {
+			// Some prefixes of the encoding are valid attribute blocks
+			// (whole attributes); only complain when the cut lands inside
+			// an attribute and parsing still succeeded with wrong data.
+			got, _ := parseAttrs(raw[:cut], true)
+			if got == nil {
+				t.Errorf("cut=%d: nil attrs with nil error", cut)
+			}
+		}
+	}
+	// A flags byte alone must fail.
+	if _, err := parseAttrs([]byte{0x40}, true); err == nil {
+		t.Error("lone flags byte should fail")
+	}
+}
+
+func buildPIT(t *testing.T) (*bytes.Buffer, []PeerEntry) {
+	t.Helper()
+	peers := []PeerEntry{
+		{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 1}), AS: 3356},
+		{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 2}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 2}), AS: 701},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if _, err := NewTableDumpWriter(w, 1000, "test-view", peers); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, peers
+}
+
+func TestPeerIndexTableRoundTrip(t *testing.T) {
+	buf, peers := buildPIT(t)
+	r := NewReader(buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pit, err := ParsePeerIndexTable(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pit.ViewName != "test-view" {
+		t.Errorf("view=%q", pit.ViewName)
+	}
+	if len(pit.Peers) != 2 || pit.Peers[0].AS != peers[0].AS || pit.Peers[1].Addr != peers[1].Addr {
+		t.Errorf("peers=%+v", pit.Peers)
+	}
+	if _, err := ParsePeerIndexTable(&Record{Type: TypeBGP4MP}); err == nil {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestRIBRoundTrip(t *testing.T) {
+	peers := []PeerEntry{
+		{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 1}), AS: 3356},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	tw, err := NewTableDumpWriter(w, 1000, "v", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := netip.MustParsePrefix("192.0.2.0/24")
+	entries := []RIBEntry{{
+		PeerIndex:  0,
+		Originated: 555,
+		Attrs: &PathAttrs{
+			Origin:   bgp.OriginIGP,
+			Segments: SequencePath(bgp.Path{3356, 1239, 24249}),
+			NextHop:  peers[0].Addr,
+		},
+	}}
+	if err := tw.WriteRIB(1001, prefix, entries); err != nil {
+		t.Fatal(err)
+	}
+	// Bad peer index must fail.
+	if err := tw.WriteRIB(1001, prefix, []RIBEntry{{PeerIndex: 9, Attrs: &PathAttrs{}}}); err == nil {
+		t.Error("bad peer index accepted")
+	}
+
+	r := NewReader(&buf)
+	if _, err := r.Next(); err != nil { // PIT
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rib, err := ParseRIB(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Prefix != prefix {
+		t.Errorf("prefix=%v", rib.Prefix)
+	}
+	if len(rib.Entries) != 1 || rib.Entries[0].Originated != 555 {
+		t.Fatalf("entries=%+v", rib.Entries)
+	}
+	path, _ := rib.Entries[0].Attrs.Path()
+	if !path.Equal(bgp.Path{3356, 1239, 24249}) {
+		t.Errorf("path=%v", path)
+	}
+	if _, err := ParseRIB(&Record{Type: TypeTableDumpV2, Subtype: SubtypePeerIndexTable}); err == nil {
+		t.Error("wrong subtype should fail")
+	}
+}
+
+func TestBGP4MPUpdateRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	u := &Update{
+		Withdrawn: []netip.Prefix{netip.MustParsePrefix("198.51.100.0/24")},
+		Attrs: &PathAttrs{
+			Origin:   bgp.OriginIGP,
+			Segments: SequencePath(bgp.Path{65001, 65002}),
+			NextHop:  netip.AddrFrom4([4]byte{10, 0, 0, 9}),
+		},
+		NLRI: []netip.Prefix{netip.MustParsePrefix("192.0.2.0/24"), netip.MustParsePrefix("203.0.113.0/25")},
+	}
+	err := w.WriteBGP4MPUpdate(777, 65001, 65000,
+		netip.AddrFrom4([4]byte{10, 0, 0, 1}), netip.AddrFrom4([4]byte{10, 0, 0, 2}), u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ParseBGP4MP(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeerAS != 65001 || m.LocalAS != 65000 {
+		t.Errorf("ASes: %d %d", m.PeerAS, m.LocalAS)
+	}
+	if m.Update == nil {
+		t.Fatal("no update decoded")
+	}
+	if len(m.Update.Withdrawn) != 1 || m.Update.Withdrawn[0].String() != "198.51.100.0/24" {
+		t.Errorf("withdrawn=%v", m.Update.Withdrawn)
+	}
+	if len(m.Update.NLRI) != 2 || m.Update.NLRI[1].String() != "203.0.113.0/25" {
+		t.Errorf("nlri=%v", m.Update.NLRI)
+	}
+	path, _ := m.Update.Attrs.Path()
+	if !path.Equal(bgp.Path{65001, 65002}) {
+		t.Errorf("path=%v", path)
+	}
+	if _, err := ParseBGP4MP(&Record{Type: TypeTableDumpV2}); err == nil {
+		t.Error("wrong type should fail")
+	}
+}
+
+func TestDatasetMRTRoundTrip(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		{Obs: "op1", ObsAS: 10, Prefix: "P40", Path: bgp.Path{10, 20, 40}, Learned: 100},
+		{Obs: "op1", ObsAS: 10, Prefix: "192.0.2.0/24", Path: bgp.Path{10, 30}, Learned: 200},
+		{Obs: "op2", ObsAS: 11, Prefix: "P40", Path: bgp.Path{11, 20, 40}, Learned: 300},
+	}}
+	var buf bytes.Buffer
+	if err := FromDataset(&buf, ds, 1234); err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := ToDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Entries != 3 || got.Len() != 3 {
+		t.Fatalf("entries=%d records=%d stats=%+v", st.Entries, got.Len(), st)
+	}
+	// Paths and observation ASes survive; prefix names become CIDRs.
+	wantPaths := map[string]bool{"10 20 40": true, "10 30": true, "11 20 40": true}
+	for _, r := range got.Records {
+		if !wantPaths[r.Path.String()] {
+			t.Errorf("unexpected path %q", r.Path)
+		}
+		if err := r.Valid(); err != nil {
+			t.Error(err)
+		}
+	}
+	// The real-CIDR prefix must survive verbatim.
+	found := false
+	for _, r := range got.Records {
+		if r.Prefix == "192.0.2.0/24" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CIDR prefix not preserved")
+	}
+}
+
+func TestSyntheticCIDR(t *testing.T) {
+	a := SyntheticCIDR("P100")
+	b := SyntheticCIDR("P100")
+	c := SyntheticCIDR("P101")
+	if a != b {
+		t.Error("not deterministic")
+	}
+	if a == c {
+		t.Error("collision between distinct names (unlucky hash?)")
+	}
+	if got := SyntheticCIDR("203.0.113.0/24"); got.String() != "203.0.113.0/24" {
+		t.Errorf("real CIDR mangled: %v", got)
+	}
+}
+
+func TestNLRIPrefixProperty(t *testing.T) {
+	f := func(a, b, cc, d byte, bitsRaw uint8) bool {
+		bits := int(bitsRaw) % 33
+		addr := netip.AddrFrom4([4]byte{a, b, cc, d})
+		p := netip.PrefixFrom(addr, bits).Masked()
+		enc := putNLRIPrefix(nil, p)
+		cur := &cursor{b: enc}
+		got, err := cur.nlriPrefix(false)
+		if err != nil {
+			return false
+		}
+		return got.Masked() == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv6RIBParse(t *testing.T) {
+	// Hand-build an IPv6 RIB record.
+	prefix := netip.MustParsePrefix("2001:db8::/32")
+	body := be32bytes(7)
+	body = putNLRIPrefix(body, prefix)
+	attrs := encodeAttrs(&PathAttrs{Origin: bgp.OriginIGP, Segments: SequencePath(bgp.Path{1, 2})}, true)
+	body = append(body, 0, 1) // one entry
+	body = append(body, 0, 0) // peer index 0
+	body = append(body, be32bytes(42)...)
+	body = append(body, byte(len(attrs)>>8), byte(len(attrs)))
+	body = append(body, attrs...)
+	rib, err := ParseRIB(&Record{Type: TypeTableDumpV2, Subtype: SubtypeRIBIPv6Unicast, Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rib.Prefix != prefix || rib.Sequence != 7 {
+		t.Errorf("rib=%+v", rib)
+	}
+}
+
+func TestExtendedTimestampSkip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	body := append(be32bytes(999999), 1, 2, 3)
+	w.WriteRecord(5, TypeBGP4MPET, SubtypeBGP4MPMessageAS4, body)
+	r := NewReader(&buf)
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Microseconds != 999999 {
+		t.Errorf("microseconds=%d", rec.Microseconds)
+	}
+	if len(rec.Body) != 3 {
+		t.Errorf("body=%v", rec.Body)
+	}
+}
+
+func TestFuzzParseRobustness(t *testing.T) {
+	// Random garbage must never panic the parsers.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		body := make([]byte, rng.Intn(64))
+		rng.Read(body)
+		rec := &Record{Type: TypeTableDumpV2, Subtype: SubtypeRIBIPv4Unicast, Body: body}
+		ParseRIB(rec)
+		rec.Subtype = SubtypePeerIndexTable
+		ParsePeerIndexTable(rec)
+		rec4 := &Record{Type: TypeBGP4MP, Subtype: SubtypeBGP4MPMessageAS4, Body: body}
+		ParseBGP4MP(rec4)
+		parseAttrs(body, rng.Intn(2) == 0)
+	}
+}

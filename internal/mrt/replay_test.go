@@ -1,0 +1,133 @@
+package mrt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+
+	"asmodel/internal/bgp"
+)
+
+func writeUpdate(t *testing.T, w *Writer, ts uint32, peerAS bgp.ASN, path bgp.Path, announce []string, withdraw []string) {
+	t.Helper()
+	u := &Update{}
+	if len(announce) > 0 {
+		u.Attrs = &PathAttrs{
+			Origin:   bgp.OriginIGP,
+			Segments: SequencePath(path),
+			NextHop:  netip.AddrFrom4([4]byte{10, 0, 0, 9}),
+		}
+		for _, a := range announce {
+			u.NLRI = append(u.NLRI, netip.MustParsePrefix(a))
+		}
+	}
+	for _, wd := range withdraw {
+		u.Withdrawn = append(u.Withdrawn, netip.MustParsePrefix(wd))
+	}
+	peerAddr := netip.AddrFrom4([4]byte{10, 0, byte(peerAS >> 8), byte(peerAS)})
+	local := netip.AddrFrom4([4]byte{10, 9, 9, 9})
+	if err := w.WriteBGP4MPUpdate(ts, peerAS, 65000, peerAddr, local, u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdatesReplayBasics(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 200, 10, bgp.Path{10, 20, 40}, []string{"192.0.2.0/24"}, nil) // replace
+	writeUpdate(t, w, 300, 11, bgp.Path{11, 40}, []string{"192.0.2.0/24", "198.51.100.0/24"}, nil)
+	writeUpdate(t, w, 400, 11, bgp.Path{}, nil, []string{"198.51.100.0/24"}) // withdraw
+
+	ds, st, err := UpdatesToDataset(bytes.NewReader(buf.Bytes()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Updates != 4 || st.Announces != 4 || st.Withdraws != 1 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d: %+v", ds.Len(), ds.Records)
+	}
+	// Peer 10's final route is the replacement path.
+	for _, r := range ds.Records {
+		if r.ObsAS == 10 {
+			if !r.Path.Equal(bgp.Path{10, 20, 40}) {
+				t.Errorf("peer 10 path=%v", r.Path)
+			}
+			if r.Learned != 200 {
+				t.Errorf("peer 10 learned=%d", r.Learned)
+			}
+		}
+		if err := r.Valid(); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestUpdatesReplayCutoffAndStability(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 5000, 10, bgp.Path{10, 20, 40}, []string{"192.0.2.0/24"}, nil) // after cutoff
+	writeUpdate(t, w, 900, 11, bgp.Path{11, 40}, []string{"203.0.113.0/24"}, nil)    // too fresh
+
+	ds, st, err := UpdatesToDataset(bytes.NewReader(buf.Bytes()), 1000, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AfterCutoff != 1 {
+		t.Errorf("after-cutoff=%d", st.AfterCutoff)
+	}
+	if st.Unstable != 1 {
+		t.Errorf("unstable=%d", st.Unstable)
+	}
+	if ds.Len() != 1 {
+		t.Fatalf("records=%d", ds.Len())
+	}
+	if !ds.Records[0].Path.Equal(bgp.Path{10, 40}) {
+		t.Errorf("path=%v (cutoff should exclude the later replacement)", ds.Records[0].Path)
+	}
+}
+
+func TestUpdatesReplayWithdrawAll(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 200, 10, bgp.Path{}, nil, []string{"192.0.2.0/24"})
+	ds, _, err := UpdatesToDataset(bytes.NewReader(buf.Bytes()), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 0 {
+		t.Fatalf("withdrawn route survived: %+v", ds.Records)
+	}
+}
+
+func TestUpdatesReplayDeterministicOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for as := bgp.ASN(20); as >= 10; as -= 2 {
+		writeUpdate(t, w, 100, as, bgp.Path{as, 40}, []string{"192.0.2.0/24"}, nil)
+	}
+	raw := buf.Bytes()
+	a, _, err := UpdatesToDataset(bytes.NewReader(raw), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := UpdatesToDataset(bytes.NewReader(raw), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Records {
+		if a.Records[i].Obs != b.Records[i].Obs {
+			t.Fatal("non-deterministic order")
+		}
+	}
+	// Sorted by AS.
+	for i := 1; i < a.Len(); i++ {
+		if a.Records[i-1].ObsAS > a.Records[i].ObsAS {
+			t.Fatal("records not sorted by peer AS")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package mrt
+
+import (
+	"fmt"
+	"net/netip"
+
+	"asmodel/internal/bgp"
+)
+
+// PeerEntry describes one collector peer from a PEER_INDEX_TABLE.
+type PeerEntry struct {
+	BGPID netip.Addr
+	Addr  netip.Addr
+	AS    bgp.ASN
+}
+
+// PeerIndexTable is the decoded PEER_INDEX_TABLE record that RIB records
+// reference by peer index.
+type PeerIndexTable struct {
+	CollectorBGPID netip.Addr
+	ViewName       string
+	Peers          []PeerEntry
+}
+
+// ParsePeerIndexTable decodes a TABLE_DUMP_V2 PEER_INDEX_TABLE record.
+func ParsePeerIndexTable(rec *Record) (*PeerIndexTable, error) {
+	if rec.Type != TypeTableDumpV2 || rec.Subtype != SubtypePeerIndexTable {
+		return nil, fmt.Errorf("mrt: record is %d/%d, not a peer index table", rec.Type, rec.Subtype)
+	}
+	c := &cursor{b: rec.Body}
+	pit := &PeerIndexTable{}
+	id, err := c.addr(false)
+	if err != nil {
+		return nil, err
+	}
+	pit.CollectorBGPID = id
+	nameLen, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	name, err := c.bytes(int(nameLen))
+	if err != nil {
+		return nil, err
+	}
+	pit.ViewName = string(name)
+	count, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(count); i++ {
+		ptype, err := c.u8()
+		if err != nil {
+			return nil, err
+		}
+		v6 := ptype&0x01 != 0
+		as4 := ptype&0x02 != 0
+		var pe PeerEntry
+		if pe.BGPID, err = c.addr(false); err != nil {
+			return nil, err
+		}
+		if pe.Addr, err = c.addr(v6); err != nil {
+			return nil, err
+		}
+		if as4 {
+			v, err := c.u32()
+			if err != nil {
+				return nil, err
+			}
+			pe.AS = bgp.ASN(v)
+		} else {
+			v, err := c.u16()
+			if err != nil {
+				return nil, err
+			}
+			pe.AS = bgp.ASN(v)
+		}
+		pit.Peers = append(pit.Peers, pe)
+	}
+	return pit, nil
+}
+
+// RIBEntry is one route of a RIB record: the view of one collector peer.
+type RIBEntry struct {
+	PeerIndex  uint16
+	Originated uint32
+	Attrs      *PathAttrs
+}
+
+// RIB is a decoded RIB_IPV4_UNICAST / RIB_IPV6_UNICAST record.
+type RIB struct {
+	Sequence uint32
+	Prefix   netip.Prefix
+	Entries  []RIBEntry
+}
+
+// ParseRIB decodes a TABLE_DUMP_V2 RIB record (IPv4 or IPv6 unicast).
+func ParseRIB(rec *Record) (*RIB, error) {
+	if rec.Type != TypeTableDumpV2 ||
+		(rec.Subtype != SubtypeRIBIPv4Unicast && rec.Subtype != SubtypeRIBIPv6Unicast) {
+		return nil, fmt.Errorf("mrt: record is %d/%d, not a RIB record", rec.Type, rec.Subtype)
+	}
+	v6 := rec.Subtype == SubtypeRIBIPv6Unicast
+	c := &cursor{b: rec.Body}
+	rib := &RIB{}
+	var err error
+	if rib.Sequence, err = c.u32(); err != nil {
+		return nil, err
+	}
+	if rib.Prefix, err = c.nlriPrefix(v6); err != nil {
+		return nil, err
+	}
+	count, err := c.u16()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(count); i++ {
+		var e RIBEntry
+		if e.PeerIndex, err = c.u16(); err != nil {
+			return nil, err
+		}
+		if e.Originated, err = c.u32(); err != nil {
+			return nil, err
+		}
+		alen, err := c.u16()
+		if err != nil {
+			return nil, err
+		}
+		raw, err := c.bytes(int(alen))
+		if err != nil {
+			return nil, err
+		}
+		// TABLE_DUMP_V2 always encodes AS numbers as 4 bytes (RFC 6396
+		// §4.3.4).
+		if e.Attrs, err = parseAttrs(raw, true); err != nil {
+			return nil, err
+		}
+		rib.Entries = append(rib.Entries, e)
+	}
+	return rib, nil
+}
+
+// TableDumpWriter emits a TABLE_DUMP_V2 snapshot: one PEER_INDEX_TABLE
+// followed by RIB records.
+type TableDumpWriter struct {
+	w     *Writer
+	peers []PeerEntry
+	seq   uint32
+}
+
+// NewTableDumpWriter creates a writer and immediately emits the
+// PEER_INDEX_TABLE for the given peers.
+func NewTableDumpWriter(w *Writer, timestamp uint32, viewName string, peers []PeerEntry) (*TableDumpWriter, error) {
+	body := make([]byte, 0, 16+16*len(peers))
+	collector := netip.AddrFrom4([4]byte{192, 0, 2, 1})
+	cb := collector.As4()
+	body = append(body, cb[:]...)
+	body = append(body, byte(len(viewName)>>8), byte(len(viewName)))
+	body = append(body, viewName...)
+	body = append(body, byte(len(peers)>>8), byte(len(peers)))
+	for _, p := range peers {
+		if !p.Addr.Is4() || !p.BGPID.Is4() {
+			return nil, fmt.Errorf("mrt: TableDumpWriter supports IPv4 peers only")
+		}
+		body = append(body, 0x02) // IPv4 peer, AS4
+		id := p.BGPID.As4()
+		body = append(body, id[:]...)
+		ad := p.Addr.As4()
+		body = append(body, ad[:]...)
+		body = append(body, be32bytes(uint32(p.AS))...)
+	}
+	if err := w.WriteRecord(timestamp, TypeTableDumpV2, SubtypePeerIndexTable, body); err != nil {
+		return nil, err
+	}
+	return &TableDumpWriter{w: w, peers: peers}, nil
+}
+
+// WriteRIB emits one RIB_IPV4_UNICAST record for the prefix with the
+// given per-peer entries. Sequence numbers are assigned automatically.
+func (tw *TableDumpWriter) WriteRIB(timestamp uint32, prefix netip.Prefix, entries []RIBEntry) error {
+	if !prefix.Addr().Is4() {
+		return fmt.Errorf("mrt: WriteRIB supports IPv4 prefixes only")
+	}
+	body := be32bytes(tw.seq)
+	tw.seq++
+	body = putNLRIPrefix(body, prefix)
+	body = append(body, byte(len(entries)>>8), byte(len(entries)))
+	for _, e := range entries {
+		if int(e.PeerIndex) >= len(tw.peers) {
+			return fmt.Errorf("mrt: peer index %d out of range", e.PeerIndex)
+		}
+		body = append(body, byte(e.PeerIndex>>8), byte(e.PeerIndex))
+		body = append(body, be32bytes(e.Originated)...)
+		attrs := encodeAttrs(e.Attrs, true)
+		body = append(body, byte(len(attrs)>>8), byte(len(attrs)))
+		body = append(body, attrs...)
+	}
+	return tw.w.WriteRecord(timestamp, TypeTableDumpV2, SubtypeRIBIPv4Unicast, body)
+}

@@ -1,0 +1,243 @@
+// Package relation infers business relationships between ASes from
+// observed AS-paths using the valley-free heuristic (Gao-style), seeded by
+// the tier-1 clique, as the paper does for its single-router-with-policies
+// baseline (§3.3): "We start by declaring all links between the level-1
+// ASes as peering and then iteratively infer customer-provider
+// relationships."
+//
+// The inferred relationships feed the Table-2 baseline only; the paper's
+// actual AS-routing model is deliberately agnostic about relationships.
+package relation
+
+import (
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/topology"
+)
+
+// Rel is the relationship of an ordered AS pair (a, b) from a's
+// perspective.
+type Rel uint8
+
+// Relationship values.
+const (
+	// Unknown means the edge could not be classified.
+	Unknown Rel = iota
+	// Customer means a is a customer of b (b provides transit to a).
+	Customer
+	// Provider means a is a provider of b.
+	Provider
+	// Peer means a and b exchange traffic settlement-free.
+	Peer
+	// Sibling means a and b belong to the same organization and exchange
+	// all routes. The paper treats siblings like peers for local-pref
+	// purposes (§3.3, footnote 2).
+	Sibling
+)
+
+func (r Rel) String() string {
+	switch r {
+	case Customer:
+		return "customer"
+	case Provider:
+		return "provider"
+	case Peer:
+		return "peer"
+	case Sibling:
+		return "sibling"
+	default:
+		return "unknown"
+	}
+}
+
+// invert flips the perspective of a relationship.
+func (r Rel) invert() Rel {
+	switch r {
+	case Customer:
+		return Provider
+	case Provider:
+		return Customer
+	default:
+		return r
+	}
+}
+
+// Inference holds classified AS adjacencies.
+type Inference struct {
+	rels map[topology.Edge]Rel // stored from the perspective of Edge.A
+}
+
+// Rel returns the relationship of a toward b (Customer means a is b's
+// customer). Unknown for unclassified or unseen pairs.
+func (inf *Inference) Rel(a, b bgp.ASN) Rel {
+	e := topology.MakeEdge(a, b)
+	r := inf.rels[e]
+	if a == e.A {
+		return r
+	}
+	return r.invert()
+}
+
+// Counts tallies the classification, counting each undirected edge once
+// (customer-provider edges counted as Customer).
+func (inf *Inference) Counts() map[Rel]int {
+	out := make(map[Rel]int)
+	for _, r := range inf.rels {
+		if r == Provider {
+			r = Customer
+		}
+		out[r]++
+	}
+	return out
+}
+
+// Len returns the number of classified edges (including Unknown entries).
+func (inf *Inference) Len() int { return len(inf.rels) }
+
+// Infer classifies every edge of the dataset's AS graph. tier1 is the
+// level-1 clique (see topology.Tier1Clique); all tier-1/tier-1 edges are
+// declared peering up front and never reclassified.
+//
+// The remaining edges are voted on path-by-path using the valley-free
+// pattern: on each path (observation AS first, origin last) the AS with
+// the highest degree is taken as the peak; edges on the observation side
+// of the peak are traversed downhill (the nearer-to-observation AS is the
+// customer) and edges on the origin side uphill (the nearer-to-origin AS
+// is the customer). Balanced votes yield siblings, or peers when the edge
+// is repeatedly seen connecting the two highest-degree ASes of a path.
+func Infer(d *dataset.Dataset, tier1 []bgp.ASN) *Inference {
+	g := topology.FromDataset(d)
+	inT1 := make(map[bgp.ASN]bool, len(tier1))
+	for _, a := range tier1 {
+		inT1[a] = true
+	}
+
+	type voteCount struct {
+		aCustOfB int // Edge.A is customer of Edge.B
+		bCustOfA int
+		peakPair int // edge connected the path's two highest-degree ASes
+	}
+	votes := make(map[topology.Edge]*voteCount, g.NumEdges())
+	getVotes := func(e topology.Edge) *voteCount {
+		v := votes[e]
+		if v == nil {
+			v = &voteCount{}
+			votes[e] = v
+		}
+		return v
+	}
+
+	for _, rec := range d.Records {
+		p := rec.Path.StripPrepend()
+		if len(p) < 2 || p.HasLoop() {
+			continue
+		}
+		// Peak = highest-degree AS on the path (ties: first occurrence,
+		// which is closer to the observation point).
+		top := 0
+		for i := 1; i < len(p); i++ {
+			if g.Degree(p[i]) > g.Degree(p[top]) {
+				top = i
+			}
+		}
+		for i := 0; i+1 < len(p); i++ {
+			e := topology.MakeEdge(p[i], p[i+1])
+			v := getVotes(e)
+			var customer bgp.ASN
+			if i < top {
+				customer = p[i] // downhill: receiver is the customer
+			} else {
+				customer = p[i+1] // uphill: sender is the customer
+			}
+			if customer == e.A {
+				v.aCustOfB++
+			} else {
+				v.bCustOfA++
+			}
+		}
+		// Peak-pair marking: the edge between the two highest-degree ASes
+		// adjacent at the peak is a peering candidate (Gao phase 3).
+		var cand []topology.Edge
+		if top > 0 {
+			cand = append(cand, topology.MakeEdge(p[top-1], p[top]))
+		}
+		if top+1 < len(p) {
+			cand = append(cand, topology.MakeEdge(p[top], p[top+1]))
+		}
+		if len(cand) > 0 {
+			best := cand[0]
+			bestDeg := -1
+			for _, e := range cand {
+				d2 := g.Degree(e.A) + g.Degree(e.B)
+				if d2 > bestDeg {
+					bestDeg = d2
+					best = e
+				}
+			}
+			getVotes(best).peakPair++
+		}
+	}
+
+	inf := &Inference{rels: make(map[topology.Edge]Rel, g.NumEdges())}
+	edges := make([]topology.Edge, 0, len(votes))
+	for e := range votes {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].A != edges[j].A {
+			return edges[i].A < edges[j].A
+		}
+		return edges[i].B < edges[j].B
+	})
+	for _, e := range edges {
+		if inT1[e.A] && inT1[e.B] {
+			inf.rels[e] = Peer
+			continue
+		}
+		v := votes[e]
+		a, b := v.aCustOfB, v.bCustOfA
+		switch {
+		case a == 0 && b == 0:
+			inf.rels[e] = Unknown
+		case a > 0 && b > 0 && max(a, b) <= 3*min(a, b):
+			// Balanced votes: routes flow "through" the edge in both
+			// directions. Peak edges are peerings, the rest siblings.
+			if v.peakPair > 0 {
+				inf.rels[e] = Peer
+			} else {
+				inf.rels[e] = Sibling
+			}
+		case a >= b:
+			inf.rels[e] = Customer // A is customer of B
+		default:
+			inf.rels[e] = Provider
+		}
+	}
+	// Edges present in the graph but on no usable path stay Unknown.
+	for _, e := range g.Edges() {
+		if _, ok := inf.rels[e]; !ok {
+			if inT1[e.A] && inT1[e.B] {
+				inf.rels[e] = Peer
+			} else {
+				inf.rels[e] = Unknown
+			}
+		}
+	}
+	return inf
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,73 @@
+package relation
+
+import (
+	"asmodel/internal/bgp"
+	"asmodel/internal/sim"
+)
+
+// Local-pref values used to realize relationship policies (§3.3): routes
+// learned from customers are preferred over peer/sibling/unknown routes,
+// which are preferred over provider routes. Unknown edges get the same
+// local-pref as peerings (footnote 2).
+const (
+	LPCustomer = 100
+	LPPeer     = 90
+	LPProvider = 80
+)
+
+// LocalPrefFor maps the relationship of the announcing neighbor (from the
+// receiving AS's perspective: rel is receiver's relationship toward the
+// sender) to the local-pref assigned on import. A route from my customer
+// (I am its Provider) is the most preferred.
+func LocalPrefFor(relToSender Rel) uint32 {
+	switch relToSender {
+	case Provider: // sender is my customer
+		return LPCustomer
+	case Customer: // sender is my provider
+		return LPProvider
+	default: // peer, sibling, unknown
+		return LPPeer
+	}
+}
+
+// ExportAllowed implements valley-free export: routes learned from a
+// customer (or originated locally) are exported to everyone; routes
+// learned from peers/providers are exported only to customers and
+// siblings. relToReceiver is the exporter's relationship toward the
+// session's remote AS.
+//
+// The route's provenance is encoded in its local-pref, which
+// ApplyPolicies assigns on import — the standard operational encoding.
+func ExportAllowed(r *bgp.Route, relToReceiver Rel) bool {
+	if relToReceiver == Provider || relToReceiver == Sibling {
+		// Receiver is my customer or sibling: export everything.
+		return true
+	}
+	// Receiver is my provider, peer, or unknown: export only my own
+	// prefixes and customer routes.
+	return len(r.Path) == 0 || r.LocalPref == LPCustomer
+}
+
+// ApplyPolicies installs relationship-based import and export hooks on
+// every eBGP session of the network, realizing the paper's §3.3 baseline:
+// local-pref ranking by relationship plus valley-free route filters.
+func ApplyPolicies(n *sim.Network, inf *Inference) {
+	for _, r := range n.Routers() {
+		for _, p := range r.Peers() {
+			if !p.EBGP {
+				continue
+			}
+			localAS, remoteAS := p.Local.AS, p.Remote.AS
+			relToSender := inf.Rel(localAS, remoteAS)
+			lp := LocalPrefFor(relToSender)
+			p.ImportHook = func(rt *bgp.Route) bool {
+				rt.LocalPref = lp
+				return true
+			}
+			relToReceiver := relToSender
+			p.ExportHook = func(rt *bgp.Route) bool {
+				return ExportAllowed(rt, relToReceiver)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package routersim builds router-level Internets on top of the sim
+// engine: ASes containing multiple physical routers joined by a full iBGP
+// mesh and an IGP topology, with eBGP sessions between specific border
+// routers of different ASes. It is the substrate for the synthetic
+// ground-truth Internet (package gen) that substitutes for the paper's
+// Routeviews/RIPE measurement data: hot-potato routing across the iBGP
+// mesh and multiple inter-AS links are exactly the mechanisms the paper
+// identifies as the sources of route diversity (§1, §3.2).
+package routersim
+
+import (
+	"fmt"
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/igp"
+	"asmodel/internal/sim"
+)
+
+// AS is one autonomous system of a router-level Internet.
+type AS struct {
+	ASN     bgp.ASN
+	Routers []*sim.Router
+	// RouteReflector reports whether the AS uses a reflector cluster
+	// instead of a full iBGP mesh.
+	RouteReflector bool
+
+	igpGraph *igp.Graph
+	dist     [][]uint32 // all-pairs IGP distances, filled by Finalize
+}
+
+// NumRouters returns the AS's router count.
+func (a *AS) NumRouters() int { return len(a.Routers) }
+
+// Internet is a router-level topology under construction or in use.
+type Internet struct {
+	Net  *sim.Network
+	ases map[bgp.ASN]*AS
+
+	finalized bool
+}
+
+// New returns an empty router-level Internet using the full ground-truth
+// decision process (hot potato included).
+func New() *Internet {
+	return &Internet{
+		Net:  sim.NewNetwork(bgp.GroundTruthConfig),
+		ases: make(map[bgp.ASN]*AS),
+	}
+}
+
+// AddAS creates an AS with n routers (n >= 1), a full iBGP mesh among
+// them, and an empty IGP graph with one node per router.
+func (in *Internet) AddAS(asn bgp.ASN, n int) (*AS, error) {
+	a, err := in.newAS(asn, n)
+	if err != nil {
+		return nil, err
+	}
+	// Full iBGP mesh.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if _, _, err := in.Net.Connect(a.Routers[i], a.Routers[j]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	in.ases[asn] = a
+	return a, nil
+}
+
+// AddASRR creates an AS with n routers (n >= 2) organized as a single
+// route-reflector cluster (RFC 4456): router 0 is the reflector and
+// routers 1..n-1 are its clients, with iBGP sessions only between the
+// reflector and each client. Compared to a full mesh, reflection hides
+// path diversity (clients only learn the reflector's choices), one of the
+// intra-domain effects the paper's quasi-router abstraction absorbs.
+func (in *Internet) AddASRR(asn bgp.ASN, n int) (*AS, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("routersim: route-reflector AS %d needs at least 2 routers", asn)
+	}
+	a, err := in.newAS(asn, n)
+	if err != nil {
+		return nil, err
+	}
+	rr := a.Routers[0]
+	for i := 1; i < n; i++ {
+		toClient, _, err := in.Net.Connect(rr, a.Routers[i])
+		if err != nil {
+			return nil, err
+		}
+		toClient.Client = true
+	}
+	a.RouteReflector = true
+	in.ases[asn] = a
+	return a, nil
+}
+
+func (in *Internet) newAS(asn bgp.ASN, n int) (*AS, error) {
+	if in.finalized {
+		return nil, fmt.Errorf("routersim: internet already finalized")
+	}
+	if _, dup := in.ases[asn]; dup {
+		return nil, fmt.Errorf("routersim: duplicate AS %d", asn)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("routersim: AS %d needs at least one router", asn)
+	}
+	a := &AS{ASN: asn, igpGraph: igp.NewGraph()}
+	for i := 0; i < n; i++ {
+		r, err := in.Net.AddRouter(asn, uint16(i))
+		if err != nil {
+			return nil, err
+		}
+		a.Routers = append(a.Routers, r)
+		a.igpGraph.AddNode()
+	}
+	return a, nil
+}
+
+// AS returns the AS with the given number, or nil.
+func (in *Internet) AS(asn bgp.ASN) *AS { return in.ases[asn] }
+
+// ASNs returns all AS numbers, sorted.
+func (in *Internet) ASNs() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(in.ases))
+	for a := range in.ases {
+		out = append(out, a)
+	}
+	return bgp.SortASNs(out)
+}
+
+// SetIGPLink adds an intra-AS link between routers i and j of the AS with
+// the given cost.
+func (in *Internet) SetIGPLink(asn bgp.ASN, i, j int, cost uint32) error {
+	a := in.ases[asn]
+	if a == nil {
+		return fmt.Errorf("routersim: unknown AS %d", asn)
+	}
+	return a.igpGraph.AddLink(i, j, cost)
+}
+
+// ConnectAS creates an eBGP session between router ia of AS a and router
+// ib of AS b, returning the two session directions (a-side first).
+func (in *Internet) ConnectAS(a bgp.ASN, ia int, b bgp.ASN, ib int) (*sim.Peer, *sim.Peer, error) {
+	if a == b {
+		return nil, nil, fmt.Errorf("routersim: ConnectAS within AS %d (use SetIGPLink)", a)
+	}
+	asA, asB := in.ases[a], in.ases[b]
+	if asA == nil || asB == nil {
+		return nil, nil, fmt.Errorf("routersim: unknown AS in pair (%d, %d)", a, b)
+	}
+	if ia < 0 || ia >= len(asA.Routers) || ib < 0 || ib >= len(asB.Routers) {
+		return nil, nil, fmt.Errorf("routersim: router index out of range for (%d.%d, %d.%d)", a, ia, b, ib)
+	}
+	return in.Net.Connect(asA.Routers[ia], asB.Routers[ib])
+}
+
+// Finalize computes all-pairs IGP distances for every AS and installs the
+// IGP-cost callback on the network. Call after the topology is complete
+// and before RunPrefix. Disconnected IGP pairs get a large finite cost so
+// hot-potato comparison still works deterministically.
+func (in *Internet) Finalize() {
+	for _, a := range in.ases {
+		a.dist = a.igpGraph.AllPairs()
+		for i := range a.dist {
+			for j := range a.dist[i] {
+				if a.dist[i][j] == igp.Infinity && i != j {
+					a.dist[i][j] = 1 << 24 // reachable via iBGP regardless
+				}
+			}
+		}
+	}
+	in.Net.IGPCost = func(from, to bgp.RouterID) uint32 {
+		if from.AS() != to.AS() {
+			return 0
+		}
+		a := in.ases[from.AS()]
+		if a == nil {
+			return 0
+		}
+		i, j := int(from.Index()), int(to.Index())
+		if i >= len(a.dist) || j >= len(a.dist) {
+			return 0
+		}
+		return a.dist[i][j]
+	}
+	in.finalized = true
+}
+
+// RunPrefix propagates one prefix originated by every router of the origin
+// AS (the usual "network statement on each border router" setup) and
+// leaves the converged state in the network for inspection.
+func (in *Internet) RunPrefix(prefix bgp.PrefixID, origin bgp.ASN) error {
+	if !in.finalized {
+		return fmt.Errorf("routersim: Finalize must be called before RunPrefix")
+	}
+	a := in.ases[origin]
+	if a == nil {
+		return fmt.Errorf("routersim: unknown origin AS %d", origin)
+	}
+	ids := make([]bgp.RouterID, len(a.Routers))
+	for i, r := range a.Routers {
+		ids[i] = r.ID
+	}
+	return in.Net.Run(prefix, ids)
+}
+
+// VantagePoint is one BGP feed: a specific router whose post-convergence
+// best routes are recorded, exactly like a route monitor peering with that
+// router (§3.1).
+type VantagePoint struct {
+	ID     dataset.ObsPointID
+	Router *sim.Router
+}
+
+// Observe appends the vantage points' current best routes for the given
+// prefix name to a dataset. The recorded AS-path is the router's best-path
+// prepended with its own AS (what a collector would receive over the
+// monitoring session). Routers without a route contribute nothing; the
+// origin AS's own vantage points record the bare one-hop path.
+func Observe(ds *dataset.Dataset, prefixName string, learned int64, vps []VantagePoint) {
+	for _, vp := range vps {
+		best := vp.Router.Best()
+		if best == nil {
+			continue
+		}
+		ds.Records = append(ds.Records, dataset.Record{
+			Obs:     vp.ID,
+			ObsAS:   vp.Router.AS,
+			Prefix:  prefixName,
+			Path:    best.Path.Prepend(vp.Router.AS),
+			Learned: learned,
+		})
+	}
+}
+
+// SortVantagePoints orders vantage points by ID for deterministic output.
+func SortVantagePoints(vps []VantagePoint) {
+	sort.Slice(vps, func(i, j int) bool { return vps[i].ID < vps[j].ID })
+}

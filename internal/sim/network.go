@@ -1,0 +1,557 @@
+// Package sim implements a static BGP route-propagation engine equivalent,
+// for the purposes of this repository, to the C-BGP simulator the paper
+// builds on (§4.1): it computes the steady-state route choice of every
+// (quasi-)router after BGP message exchange has converged, one prefix at a
+// time, over a topology in which an AS may contain any number of routers
+// and BGP sessions may connect arbitrary router pairs.
+//
+// The engine supports the two configurations the paper needs:
+//
+//   - Quasi-router models (bgp.QuasiRouterConfig): no iBGP, no IGP; the
+//     decision process is local-pref, AS-path length, always-compare MED,
+//     and the lowest-router-ID tie-break. Policies are per-prefix import
+//     actions (deny / set MED / set local-pref) and per-prefix export
+//     denies — exactly the vocabulary of the refinement heuristic (§4.6).
+//
+//   - Ground truth (bgp.GroundTruthConfig): full decision process with
+//     eBGP-over-iBGP and hot-potato IGP-cost steps, full-mesh iBGP
+//     semantics (iBGP-learned routes are not re-advertised over iBGP), and
+//     an IGP-cost callback, used by the router-level synthetic Internet.
+//
+// Propagation is event-driven and deterministic: a FIFO queue of session
+// deliveries, routers seeded in sorted order, and no reliance on map
+// iteration order. A message budget bounds non-convergent policy systems
+// (ErrDiverged), which the paper reports local-pref-based refinement can
+// produce (§4.6).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"asmodel/internal/bgp"
+)
+
+// ErrDiverged is returned by Run when message count exceeds the budget,
+// indicating the policy system has no stable solution (or converges too
+// slowly to distinguish from one).
+var ErrDiverged = errors.New("sim: BGP propagation did not converge (message budget exhausted)")
+
+// Network is a topology of routers and BGP sessions over which prefixes
+// are propagated one at a time. Not safe for concurrent use.
+type Network struct {
+	cfg     bgp.DecisionConfig
+	routers []*Router
+	byID    map[bgp.RouterID]*Router
+
+	// IGPCost, if non-nil, returns the intra-domain cost from router a to
+	// router b; it is consulted when a route is learned over an iBGP
+	// session (the iBGP next hop is the announcing router). A nil callback
+	// means cost 0 everywhere.
+	IGPCost func(a, b bgp.RouterID) uint32
+
+	// MaxMessages bounds the number of delivered messages per Run. Zero
+	// selects an automatic budget proportional to the session count.
+	MaxMessages int
+
+	sessions int
+	queue    []message
+	qHead    int
+
+	prefix  bgp.PrefixID
+	ran     bool
+	lastMsg int
+}
+
+type message struct {
+	to      *Router
+	peerIdx int
+	route   *bgp.Route // nil means withdraw
+}
+
+// Router is a (quasi-)router in the network.
+type Router struct {
+	// ID is the router's unique identifier; its high bits carry the ASN
+	// (the paper's IP-address convention, §4.5) so that ID comparison
+	// implements the final tie-break.
+	ID bgp.RouterID
+	// AS is the autonomous system the router belongs to.
+	AS bgp.ASN
+
+	net   *Network
+	peers []*Peer
+	bySrc map[bgp.RouterID]int // remote router ID -> peer index
+
+	ribIn []*bgp.Route // per peer index; nil = no route
+	local *bgp.Route   // locally originated route for the current prefix
+	best  *bgp.Route
+	adv   []*bgp.Route // last advertisement sent per peer (post-export-transform)
+}
+
+// Peer is one direction of a BGP session: the state and policies that the
+// Local router applies on this session. Sessions are created in pairs by
+// Network.Connect.
+type Peer struct {
+	Local  *Router
+	Remote *Router
+	// EBGP reports whether this is an inter-AS session.
+	EBGP bool
+
+	remoteIdx int // index of the reverse direction in Remote.peers
+	localIdx  int // index of this direction in Local.peers
+
+	importActs map[bgp.PrefixID]importAction
+	exportDeny map[bgp.PrefixID]struct{}
+	disabled   bool
+
+	// ImportHook, if non-nil, runs after per-prefix import actions; it may
+	// modify the route in place or return false to deny it. Used by the
+	// relationship-based baseline to assign local-pref by business
+	// relationship.
+	ImportHook func(r *bgp.Route) bool
+	// ExportHook, if non-nil, runs before a best route is advertised to
+	// Remote; returning false suppresses the advertisement. Used to
+	// implement valley-free export rules.
+	ExportHook func(r *bgp.Route) bool
+
+	// Client marks this iBGP session direction as leading to a
+	// route-reflector client of Local (RFC 4456). A router with at least
+	// one Client session acts as a route reflector: it re-advertises
+	// iBGP-learned routes to its clients, and routes learned FROM a
+	// client to every iBGP peer. Ignored on eBGP sessions.
+	Client bool
+}
+
+type importAction struct {
+	deny   bool
+	hasMED bool
+	med    uint32
+	hasLP  bool
+	lp     uint32
+}
+
+// NewNetwork creates an empty network using the given decision
+// configuration.
+func NewNetwork(cfg bgp.DecisionConfig) *Network {
+	return &Network{cfg: cfg, byID: make(map[bgp.RouterID]*Router)}
+}
+
+// Config returns the decision configuration the network runs with.
+func (n *Network) Config() bgp.DecisionConfig { return n.cfg }
+
+// NumRouters returns the number of routers in the network.
+func (n *Network) NumRouters() int { return len(n.routers) }
+
+// NumSessions returns the number of (bidirectional) BGP sessions.
+func (n *Network) NumSessions() int { return n.sessions }
+
+// Routers returns all routers, ordered by creation.
+func (n *Network) Routers() []*Router { return n.routers }
+
+// Router returns the router with the given ID, or nil.
+func (n *Network) Router(id bgp.RouterID) *Router { return n.byID[id] }
+
+// AddRouter creates a router with the canonical RouterID for (asn, index).
+// It returns an error if the ID is already taken.
+func (n *Network) AddRouter(asn bgp.ASN, index uint16) (*Router, error) {
+	id := bgp.MakeRouterID(asn, index)
+	if _, dup := n.byID[id]; dup {
+		return nil, fmt.Errorf("sim: duplicate router %s", id)
+	}
+	r := &Router{ID: id, AS: asn, net: n, bySrc: make(map[bgp.RouterID]int)}
+	n.routers = append(n.routers, r)
+	n.byID[id] = r
+	return r, nil
+}
+
+// Connect establishes a BGP session between a and b, returning the two
+// directions (a's view, b's view). The session is eBGP when the routers
+// belong to different ASes and iBGP otherwise. At most one session may
+// exist between a pair of routers.
+func (n *Network) Connect(a, b *Router) (*Peer, *Peer, error) {
+	if a == b {
+		return nil, nil, fmt.Errorf("sim: cannot connect router %s to itself", a.ID)
+	}
+	if _, dup := a.bySrc[b.ID]; dup {
+		return nil, nil, fmt.Errorf("sim: session %s<->%s already exists", a.ID, b.ID)
+	}
+	ebgp := a.AS != b.AS
+	pa := &Peer{Local: a, Remote: b, EBGP: ebgp}
+	pb := &Peer{Local: b, Remote: a, EBGP: ebgp}
+	pa.localIdx = len(a.peers)
+	pb.localIdx = len(b.peers)
+	pa.remoteIdx = pb.localIdx
+	pb.remoteIdx = pa.localIdx
+	a.bySrc[b.ID] = pa.localIdx
+	b.bySrc[a.ID] = pb.localIdx
+	a.peers = append(a.peers, pa)
+	b.peers = append(b.peers, pb)
+	a.ribIn = append(a.ribIn, nil)
+	b.ribIn = append(b.ribIn, nil)
+	a.adv = append(a.adv, nil)
+	b.adv = append(b.adv, nil)
+	n.sessions++
+	return pa, pb, nil
+}
+
+// Peers returns the router's session endpoints (its side).
+func (r *Router) Peers() []*Peer { return r.peers }
+
+// PeerTo returns r's session direction toward the router with the given
+// ID, or nil if no session exists.
+func (r *Router) PeerTo(remote bgp.RouterID) *Peer {
+	if i, ok := r.bySrc[remote]; ok {
+		return r.peers[i]
+	}
+	return nil
+}
+
+// --- Policy management -----------------------------------------------
+
+// DenyImport drops all routes for the prefix arriving on this session.
+func (p *Peer) DenyImport(prefix bgp.PrefixID) {
+	a := p.importAct(prefix)
+	a.deny = true
+	p.importActs[prefix] = a
+}
+
+// SetImportMED makes routes for the prefix arriving on this session carry
+// the given MED (the refinement heuristic's ranking mechanism, §4.6).
+func (p *Peer) SetImportMED(prefix bgp.PrefixID, med uint32) {
+	a := p.importAct(prefix)
+	a.hasMED, a.med = true, med
+	p.importActs[prefix] = a
+}
+
+// SetImportLocalPref makes routes for the prefix arriving on this session
+// carry the given local-pref (used by baselines and ablations only).
+func (p *Peer) SetImportLocalPref(prefix bgp.PrefixID, lp uint32) {
+	a := p.importAct(prefix)
+	a.hasLP, a.lp = true, lp
+	p.importActs[prefix] = a
+}
+
+// ClearImport removes all per-prefix import actions for the prefix.
+func (p *Peer) ClearImport(prefix bgp.PrefixID) {
+	if p.importActs != nil {
+		delete(p.importActs, prefix)
+	}
+}
+
+func (p *Peer) importAct(prefix bgp.PrefixID) importAction {
+	if p.importActs == nil {
+		p.importActs = make(map[bgp.PrefixID]importAction)
+	}
+	return p.importActs[prefix]
+}
+
+// DenyExport suppresses advertisements of the prefix from Local to Remote.
+// This is the refinement heuristic's "filter at the announcing neighbor".
+func (p *Peer) DenyExport(prefix bgp.PrefixID) {
+	if p.exportDeny == nil {
+		p.exportDeny = make(map[bgp.PrefixID]struct{})
+	}
+	p.exportDeny[prefix] = struct{}{}
+}
+
+// AllowExport removes a previously installed export deny (filter deletion,
+// §4.6 / Figure 7).
+func (p *Peer) AllowExport(prefix bgp.PrefixID) {
+	if p.exportDeny != nil {
+		delete(p.exportDeny, prefix)
+	}
+}
+
+// ExportDenied reports whether an export deny is installed for the prefix.
+func (p *Peer) ExportDenied(prefix bgp.PrefixID) bool {
+	_, ok := p.exportDeny[prefix]
+	return ok
+}
+
+// --- Propagation ------------------------------------------------------
+
+// Run propagates a single prefix originated by the given routers until
+// convergence. Previous per-prefix state is discarded. Origins are
+// announced in sorted router-ID order for determinism. Run returns
+// ErrDiverged if the message budget is exhausted.
+func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
+	n.reset()
+	n.prefix = prefix
+	n.ran = true
+
+	sorted := make([]bgp.RouterID, len(origins))
+	copy(sorted, origins)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	for _, id := range sorted {
+		r := n.byID[id]
+		if r == nil {
+			return fmt.Errorf("sim: unknown origin router %s", id)
+		}
+		r.local = &bgp.Route{
+			Prefix:    prefix,
+			Path:      bgp.Path{},
+			LocalPref: bgp.DefaultLocalPref,
+			MED:       bgp.DefaultMED,
+		}
+		r.recomputeBest()
+		r.exportAll()
+	}
+
+	budget := n.MaxMessages
+	if budget == 0 {
+		budget = 1000 + 200*n.sessions
+	}
+	msgs := 0
+	for n.qHead < len(n.queue) {
+		m := n.queue[n.qHead]
+		n.queue[n.qHead] = message{}
+		n.qHead++
+		msgs++
+		if msgs > budget {
+			n.drainQueue()
+			n.lastMsg = msgs
+			return ErrDiverged
+		}
+		m.to.deliver(m.peerIdx, m.route)
+	}
+	n.drainQueue()
+	n.lastMsg = msgs
+	return nil
+}
+
+// MessagesDelivered returns the number of messages processed by the most
+// recent Run — a direct measure of convergence work.
+func (n *Network) MessagesDelivered() int { return n.lastMsg }
+
+// Prefix returns the prefix of the most recent Run.
+func (n *Network) Prefix() bgp.PrefixID { return n.prefix }
+
+func (n *Network) drainQueue() {
+	n.queue = n.queue[:0]
+	n.qHead = 0
+}
+
+func (n *Network) reset() {
+	for _, r := range n.routers {
+		for i := range r.ribIn {
+			r.ribIn[i] = nil
+			r.adv[i] = nil
+		}
+		r.local = nil
+		r.best = nil
+	}
+	n.drainQueue()
+}
+
+func (n *Network) enqueue(m message) {
+	// Compact the ring occasionally so memory stays bounded.
+	if n.qHead > 4096 && n.qHead*2 > len(n.queue) {
+		copied := copy(n.queue, n.queue[n.qHead:])
+		n.queue = n.queue[:copied]
+		n.qHead = 0
+	}
+	n.queue = append(n.queue, m)
+}
+
+// deliver processes one inbound message on peers[peerIdx].
+func (r *Router) deliver(peerIdx int, in *bgp.Route) {
+	p := r.peers[peerIdx]
+	rt := r.applyImport(p, in)
+	if routesEqual(r.ribIn[peerIdx], rt) {
+		return
+	}
+	r.ribIn[peerIdx] = rt
+	oldBest := r.best
+	r.recomputeBest()
+	if !routesEqual(oldBest, r.best) {
+		r.exportAll()
+	}
+}
+
+// applyImport runs the import pipeline: eBGP loop check, per-prefix
+// actions, hook, and iBGP/eBGP attribute fixups. It returns nil when the
+// route is denied (treated as a withdrawal).
+func (r *Router) applyImport(p *Peer, in *bgp.Route) *bgp.Route {
+	if in == nil || p.disabled {
+		return nil
+	}
+	if p.EBGP && in.Path.Contains(r.AS) {
+		return nil // standard eBGP loop rejection
+	}
+	rt := in.Clone()
+	if p.importActs != nil {
+		if a, ok := p.importActs[rt.Prefix]; ok {
+			if a.deny {
+				return nil
+			}
+			if a.hasMED {
+				rt.MED = a.med
+			}
+			if a.hasLP {
+				rt.LocalPref = a.lp
+			}
+		}
+	}
+	if p.ImportHook != nil && !p.ImportHook(rt) {
+		return nil
+	}
+	if p.EBGP {
+		rt.EBGP = true
+		rt.IGPCost = 0
+	} else {
+		rt.EBGP = false
+		if r.net.IGPCost != nil {
+			rt.IGPCost = r.net.IGPCost(r.ID, rt.Peer)
+		}
+	}
+	return rt
+}
+
+// recomputeBest runs the decision process over the local route and RIB-In.
+func (r *Router) recomputeBest() {
+	var candsBuf [24]*bgp.Route
+	cands := candsBuf[:0]
+	if r.local != nil {
+		cands = append(cands, r.local)
+	}
+	for _, rt := range r.ribIn {
+		if rt != nil {
+			cands = append(cands, rt)
+		}
+	}
+	if len(cands) == 0 {
+		r.best = nil
+		return
+	}
+	best, _ := bgp.Decide(r.net.cfg, cands, nil)
+	r.best = cands[best]
+}
+
+// exportAll (re-)advertises the current best route to every peer, sending
+// only when the advertisement differs from the last one sent on that
+// session (including withdrawals when the route becomes unexportable).
+func (r *Router) exportAll() {
+	for i, p := range r.peers {
+		out := r.transformExport(p)
+		if routesEqual(r.adv[i], out) {
+			continue
+		}
+		r.adv[i] = out
+		r.net.enqueue(message{to: p.Remote, peerIdx: p.remoteIdx, route: out})
+	}
+}
+
+// transformExport computes the advertisement for peer p, or nil when the
+// best route must not (or cannot) be advertised there.
+func (r *Router) transformExport(p *Peer) *bgp.Route {
+	best := r.best
+	if best == nil || p.disabled {
+		return nil
+	}
+	// iBGP re-advertisement rule: in a full mesh an iBGP-learned route is
+	// never re-advertised over iBGP; a route reflector (RFC 4456)
+	// additionally reflects iBGP routes to its clients, and routes
+	// learned from a client to everyone.
+	if !p.EBGP && !best.EBGP && best != r.local {
+		fromClient := false
+		if from := r.PeerTo(best.Peer); from != nil && from.Client {
+			fromClient = true
+		}
+		if !p.Client && !fromClient {
+			return nil
+		}
+		if from := r.PeerTo(best.Peer); from != nil && from.Remote == p.Remote {
+			return nil // never reflect a route back to its announcer
+		}
+	}
+	if p.exportDeny != nil {
+		if _, deny := p.exportDeny[best.Prefix]; deny {
+			return nil
+		}
+	}
+	if p.ExportHook != nil && !p.ExportHook(best) {
+		return nil
+	}
+	if p.EBGP {
+		return &bgp.Route{
+			Prefix:    best.Prefix,
+			Path:      best.Path.Prepend(r.AS),
+			LocalPref: bgp.DefaultLocalPref,
+			MED:       bgp.DefaultMED,
+			Origin:    best.Origin,
+			Peer:      r.ID,
+			EBGP:      true,
+		}
+	}
+	// iBGP: attributes propagate unchanged; announcing router becomes the
+	// next hop (next-hop-self at the ingress border router).
+	return &bgp.Route{
+		Prefix:    best.Prefix,
+		Path:      best.Path,
+		LocalPref: best.LocalPref,
+		MED:       best.MED,
+		Origin:    best.Origin,
+		Peer:      r.ID,
+		EBGP:      false,
+	}
+}
+
+// routesEqual compares the wire-visible attributes of two routes (or nils).
+func routesEqual(a, b *bgp.Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.Prefix == b.Prefix &&
+		a.LocalPref == b.LocalPref &&
+		a.MED == b.MED &&
+		a.Origin == b.Origin &&
+		a.Peer == b.Peer &&
+		a.EBGP == b.EBGP &&
+		a.Path.Equal(b.Path)
+}
+
+// --- Post-convergence inspection ---------------------------------------
+
+// Best returns the router's selected best route for the last Run prefix,
+// or nil if it selected none.
+func (r *Router) Best() *bgp.Route { return r.best }
+
+// Local returns the router's locally originated route, or nil.
+func (r *Router) Local() *bgp.Route { return r.local }
+
+// RIBIn returns the non-nil entries of the router's Adj-RIB-In along with
+// the peer each was learned from, in session order.
+func (r *Router) RIBIn() (routes []*bgp.Route, from []*Peer) {
+	for i, rt := range r.ribIn {
+		if rt != nil {
+			routes = append(routes, rt)
+			from = append(from, r.peers[i])
+		}
+	}
+	return routes, from
+}
+
+// RIBInAt returns the route learned on peers[i], or nil.
+func (r *Router) RIBInAt(i int) *bgp.Route { return r.ribIn[i] }
+
+// DecideRIB re-runs the decision process over the router's current
+// candidates (local route + RIB-In) and returns the candidates together
+// with the step at which each was eliminated. The winner has StepNone.
+// It returns nil slices when the router has no candidates.
+func (r *Router) DecideRIB() (cands []*bgp.Route, elim []bgp.Step) {
+	if r.local != nil {
+		cands = append(cands, r.local)
+	}
+	for _, rt := range r.ribIn {
+		if rt != nil {
+			cands = append(cands, rt)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, nil
+	}
+	_, elim = bgp.Decide(r.net.cfg, cands, nil)
+	return cands, elim
+}

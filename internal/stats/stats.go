@@ -1,0 +1,252 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: integer histograms, quantiles, log-log binning, and
+// ASCII rendering of tables and bar plots in the style of the paper's
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of integer values.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add increments the count for value v.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN increments the count for value v by n.
+func (h *Histogram) AddN(v, n int) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the count for value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of samples.
+func (h *Histogram) Total() int { return h.total }
+
+// Values returns the distinct values, sorted ascending.
+func (h *Histogram) Values() []int {
+	out := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Max returns the largest value with a nonzero count (0 for empty).
+func (h *Histogram) Max() int {
+	m := 0
+	for v := range h.counts {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// FracAbove returns the fraction of samples with value strictly greater
+// than v.
+func (h *Histogram) FracAbove(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for val, c := range h.counts {
+		if val > v {
+			n += c
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample values using
+// the nearest-rank method, 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	cum := 0
+	for _, v := range h.Values() {
+		cum += h.counts[v]
+		if cum >= rank {
+			return v
+		}
+	}
+	return h.Max()
+}
+
+// Render draws the histogram as ASCII, one row per value, with bars scaled
+// to width. When logY is true the bar length is proportional to
+// log10(count+1), matching the paper's log-scale Figure 2.
+func (h *Histogram) Render(w *strings.Builder, width int, logY bool) {
+	values := h.Values()
+	if len(values) == 0 {
+		w.WriteString("(empty)\n")
+		return
+	}
+	maxC := 0
+	for _, v := range values {
+		if h.counts[v] > maxC {
+			maxC = h.counts[v]
+		}
+	}
+	scale := func(c int) int {
+		if maxC == 0 {
+			return 0
+		}
+		if logY {
+			return int(math.Round(float64(width) * math.Log10(float64(c)+1) / math.Log10(float64(maxC)+1)))
+		}
+		return int(math.Round(float64(width) * float64(c) / float64(maxC)))
+	}
+	for _, v := range values {
+		c := h.counts[v]
+		fmt.Fprintf(w, "%6d | %-*s %d\n", v, width, strings.Repeat("#", scale(c)), c)
+	}
+}
+
+// Quantile returns the q-quantile of a sample slice using nearest rank.
+// The input is not modified.
+func Quantile(samples []int, q float64) int {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]int, len(samples))
+	copy(s, samples)
+	sort.Ints(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// LogBin is one bin of a logarithmic binning.
+type LogBin struct {
+	Lo, Hi int // inclusive bounds
+	Count  int
+}
+
+// LogBins groups values into power-of-base bins: [1,1], [2, base], ... —
+// used for the log-log prefixes-per-path histogram (§3.2).
+func LogBins(values map[int]int, base int) []LogBin {
+	if base < 2 {
+		base = 2
+	}
+	maxV := 0
+	for v := range values {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	var bins []LogBin
+	lo := 1
+	for lo <= maxV {
+		hi := lo*base - 1
+		if lo == 1 {
+			hi = 1
+		}
+		bins = append(bins, LogBin{Lo: lo, Hi: hi})
+		lo = hi + 1
+	}
+	for v, c := range values {
+		for i := range bins {
+			if v >= bins[i].Lo && v <= bins[i].Hi {
+				bins[i].Count += c
+				break
+			}
+		}
+	}
+	return bins
+}
+
+// Table renders aligned text tables for the experiment harness.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table { return &Table{header: header} }
+
+// AddRow appends a row; cells beyond the header width are dropped and
+// missing cells rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.header))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a percentage with one decimal, paper-style
+// ("23.5%").
+func Pct(num, den int) string {
+	if den == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(num)/float64(den))
+}

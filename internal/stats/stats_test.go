@@ -1,0 +1,207 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(5, 4)
+	if h.Total() != 7 {
+		t.Errorf("total=%d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(5) != 4 || h.Count(9) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := h.Values(); len(got) != 3 || got[0] != 1 || got[2] != 5 {
+		t.Errorf("values=%v", got)
+	}
+	if h.Max() != 5 {
+		t.Errorf("max=%d", h.Max())
+	}
+}
+
+func TestFracAbove(t *testing.T) {
+	h := NewHistogram()
+	for i := 0; i < 7; i++ {
+		h.Add(1)
+	}
+	for i := 0; i < 3; i++ {
+		h.Add(2)
+	}
+	if got := h.FracAbove(1); got != 0.3 {
+		t.Errorf("FracAbove(1)=%v", got)
+	}
+	if got := h.FracAbove(2); got != 0 {
+		t.Errorf("FracAbove(2)=%v", got)
+	}
+	if NewHistogram().FracAbove(0) != 0 {
+		t.Error("empty FracAbove")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("median=%d", got)
+	}
+	if got := h.Quantile(0.99); got != 99 {
+		t.Errorf("p99=%d", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0=%d", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("q1=%d", got)
+	}
+	if NewHistogram().Quantile(0.5) != 0 {
+		t.Error("empty quantile")
+	}
+}
+
+func TestQuantileSliceAgreesWithHistogram(t *testing.T) {
+	f := func(raw []uint8, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		q := float64(qRaw) / 255
+		samples := make([]int, len(raw))
+		h := NewHistogram()
+		for i, v := range raw {
+			samples[i] = int(v)
+			h.Add(int(v))
+		}
+		return Quantile(samples, q) == h.Quantile(q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	s := []int{5, 1, 3}
+	Quantile(s, 0.5)
+	if !sort.IntsAreSorted(s) && (s[0] != 5 || s[1] != 1 || s[2] != 3) {
+		t.Fatal("Quantile mutated input")
+	}
+	if s[0] != 5 {
+		t.Fatal("Quantile mutated input")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty slice quantile")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := make([]int, 200)
+	for i := range samples {
+		samples[i] = rng.Intn(1000)
+	}
+	prev := Quantile(samples, 0)
+	for q := 0.05; q <= 1.0; q += 0.05 {
+		cur := Quantile(samples, q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone at %v: %d < %d", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestRender(t *testing.T) {
+	h := NewHistogram()
+	h.AddN(1, 100)
+	h.AddN(2, 10)
+	h.AddN(10, 1)
+	var b strings.Builder
+	h.Render(&b, 40, true)
+	out := b.String()
+	if !strings.Contains(out, "100") || !strings.Contains(out, "#") {
+		t.Errorf("render output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Errorf("want 3 rows, got %d", len(lines))
+	}
+	var e strings.Builder
+	NewHistogram().Render(&e, 10, false)
+	if !strings.Contains(e.String(), "empty") {
+		t.Error("empty histogram render")
+	}
+	// Linear rendering path.
+	var l strings.Builder
+	h.Render(&l, 40, false)
+	if !strings.Contains(l.String(), "#") {
+		t.Error("linear render")
+	}
+}
+
+func TestLogBins(t *testing.T) {
+	values := map[int]int{1: 5, 2: 3, 3: 2, 4: 1, 9: 1, 100: 1}
+	bins := LogBins(values, 2)
+	// Bins: [1,1] [2,3] [4,7] [8,15] [16,31] [32,63] [64,127]
+	if len(bins) != 7 {
+		t.Fatalf("bins=%v", bins)
+	}
+	if bins[0].Count != 5 {
+		t.Errorf("bin0=%+v", bins[0])
+	}
+	if bins[1].Count != 5 { // 2:3 + 3:2
+		t.Errorf("bin1=%+v", bins[1])
+	}
+	if bins[6].Count != 1 {
+		t.Errorf("bin6=%+v", bins[6])
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	want := 0
+	for _, c := range values {
+		want += c
+	}
+	if total != want {
+		t.Errorf("bins lose counts: %d != %d", total, want)
+	}
+	// base < 2 coerced.
+	if b := LogBins(map[int]int{1: 1}, 0); len(b) != 1 {
+		t.Error("base coercion")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("b") // short row
+	tb.AddRow("c", "2", "extra dropped")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // header + rule + 3 rows
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Errorf("header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("rule: %q", lines[1])
+	}
+}
+
+func TestPct(t *testing.T) {
+	if Pct(235, 1000) != "23.5%" {
+		t.Errorf("Pct=%s", Pct(235, 1000))
+	}
+	if Pct(1, 0) != "n/a" {
+		t.Error("Pct zero denominator")
+	}
+}

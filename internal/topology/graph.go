@@ -1,0 +1,295 @@
+// Package topology derives and analyzes AS-level topologies from BGP path
+// data, implementing the data-analysis pipeline of §3.1 of the paper:
+// building the AS graph from adjacent ASes on observed AS-paths, inferring
+// the level-1 (tier-1) clique from seed ASes, classifying ASes into
+// level-1 / level-2 / other, identifying transit vs. stub ASes and single-
+// vs. multi-homed stubs, and pruning single-homed stub ASes while
+// transferring their path information to their provider's prefix.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+// Edge is an undirected AS adjacency, normalized so A < B.
+type Edge struct {
+	A, B bgp.ASN
+}
+
+// MakeEdge returns the normalized edge between two ASes.
+func MakeEdge(a, b bgp.ASN) Edge {
+	if a > b {
+		a, b = b, a
+	}
+	return Edge{a, b}
+}
+
+// Graph is an undirected AS-level graph.
+type Graph struct {
+	adj   map[bgp.ASN]map[bgp.ASN]struct{}
+	edges int
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[bgp.ASN]map[bgp.ASN]struct{})}
+}
+
+// FromDataset builds the AS graph from a dataset: "if two ASes are next to
+// each other on a path we assume that they have an agreement to exchange
+// data and are therefore neighbors in the AS-topology graph" (§3.1).
+// Looped paths are skipped entirely; prepending is collapsed first.
+func FromDataset(d *dataset.Dataset) *Graph {
+	g := NewGraph()
+	for _, r := range d.Records {
+		p := r.Path.StripPrepend()
+		if p.HasLoop() {
+			continue
+		}
+		g.AddNode(r.ObsAS)
+		for i := 0; i+1 < len(p); i++ {
+			g.AddEdge(p[i], p[i+1])
+		}
+		if len(p) > 0 {
+			g.AddNode(p[len(p)-1])
+		}
+	}
+	return g
+}
+
+// AddNode ensures the AS exists in the graph.
+func (g *Graph) AddNode(a bgp.ASN) {
+	if _, ok := g.adj[a]; !ok {
+		g.adj[a] = make(map[bgp.ASN]struct{})
+	}
+}
+
+// AddEdge inserts the undirected edge (a, b); self-loops are ignored.
+// It reports whether the edge was new.
+func (g *Graph) AddEdge(a, b bgp.ASN) bool {
+	if a == b {
+		return false
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	if _, dup := g.adj[a][b]; dup {
+		return false
+	}
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+	g.edges++
+	return true
+}
+
+// RemoveEdge deletes the edge if present and reports whether it existed.
+func (g *Graph) RemoveEdge(a, b bgp.ASN) bool {
+	if _, ok := g.adj[a][b]; !ok {
+		return false
+	}
+	delete(g.adj[a], b)
+	delete(g.adj[b], a)
+	g.edges--
+	return true
+}
+
+// RemoveNode deletes the AS and all incident edges.
+func (g *Graph) RemoveNode(a bgp.ASN) {
+	for b := range g.adj[a] {
+		delete(g.adj[b], a)
+		g.edges--
+	}
+	delete(g.adj, a)
+}
+
+// HasNode reports whether the AS is in the graph.
+func (g *Graph) HasNode(a bgp.ASN) bool {
+	_, ok := g.adj[a]
+	return ok
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b bgp.ASN) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the (undirected) edge count.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// Degree returns the number of neighbors of the AS.
+func (g *Graph) Degree(a bgp.ASN) int { return len(g.adj[a]) }
+
+// Nodes returns all ASes, sorted.
+func (g *Graph) Nodes() []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		out = append(out, a)
+	}
+	return bgp.SortASNs(out)
+}
+
+// Neighbors returns the sorted neighbors of the AS.
+func (g *Graph) Neighbors(a bgp.ASN) []bgp.ASN {
+	out := make([]bgp.ASN, 0, len(g.adj[a]))
+	for b := range g.adj[a] {
+		out = append(out, b)
+	}
+	return bgp.SortASNs(out)
+}
+
+// Edges returns all edges, sorted (A-major).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.edges)
+	for a, nbrs := range g.adj {
+		for b := range nbrs {
+			if a < b {
+				out = append(out, Edge{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// Clone returns an independent copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := NewGraph()
+	for a, nbrs := range g.adj {
+		c.AddNode(a)
+		for b := range nbrs {
+			c.AddEdge(a, b)
+		}
+	}
+	return c
+}
+
+// ConnectedTo returns the set of ASes reachable from start, including
+// start itself (BFS).
+func (g *Graph) ConnectedTo(start bgp.ASN) map[bgp.ASN]struct{} {
+	seen := map[bgp.ASN]struct{}{}
+	if !g.HasNode(start) {
+		return seen
+	}
+	seen[start] = struct{}{}
+	queue := []bgp.ASN{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if _, ok := seen[v]; !ok {
+				seen[v] = struct{}{}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen
+}
+
+// Tier1Clique grows the level-1 provider set from seed ASes: an AS is
+// added if the resulting subgraph among level-1 providers remains complete
+// — "we derive the AS-subgraph to be the largest clique of ASes including
+// our seed ASes" (§3.1). Candidates are examined in decreasing degree
+// (ties: ascending ASN) so the expansion is deterministic and prefers
+// well-connected ASes. It returns an error if the seeds themselves do not
+// form a clique.
+func (g *Graph) Tier1Clique(seeds []bgp.ASN) ([]bgp.ASN, error) {
+	for _, s := range seeds {
+		if !g.HasNode(s) {
+			return nil, fmt.Errorf("topology: seed AS %d not in graph", s)
+		}
+	}
+	for i := 0; i < len(seeds); i++ {
+		for j := i + 1; j < len(seeds); j++ {
+			if !g.HasEdge(seeds[i], seeds[j]) {
+				return nil, fmt.Errorf("topology: seed ASes %d and %d are not adjacent", seeds[i], seeds[j])
+			}
+		}
+	}
+	clique := make([]bgp.ASN, len(seeds))
+	copy(clique, seeds)
+	inClique := make(map[bgp.ASN]bool, len(seeds))
+	for _, s := range seeds {
+		inClique[s] = true
+	}
+
+	cands := g.Nodes()
+	sort.Slice(cands, func(i, j int) bool {
+		di, dj := g.Degree(cands[i]), g.Degree(cands[j])
+		if di != dj {
+			return di > dj
+		}
+		return cands[i] < cands[j]
+	})
+	for _, c := range cands {
+		if inClique[c] {
+			continue
+		}
+		complete := true
+		for _, m := range clique {
+			if !g.HasEdge(c, m) {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			clique = append(clique, c)
+			inClique[c] = true
+		}
+	}
+	return bgp.SortASNs(clique), nil
+}
+
+// Level classifies an AS's position in the provider hierarchy (§3.1).
+type Level uint8
+
+// Level values.
+const (
+	// LevelOther covers all ASes that are neither level-1 nor their direct
+	// neighbors.
+	LevelOther Level = iota
+	// Level2 ASes are direct neighbors of a level-1 provider.
+	Level2
+	// Level1 ASes form the tier-1 clique.
+	Level1
+)
+
+func (l Level) String() string {
+	switch l {
+	case Level1:
+		return "level-1"
+	case Level2:
+		return "level-2"
+	default:
+		return "other"
+	}
+}
+
+// Levels classifies every AS given the level-1 set: level-1 providers,
+// their neighbors (level-2), and everything else ("other").
+func (g *Graph) Levels(tier1 []bgp.ASN) map[bgp.ASN]Level {
+	out := make(map[bgp.ASN]Level, g.NumNodes())
+	for _, a := range g.Nodes() {
+		out[a] = LevelOther
+	}
+	for _, t := range tier1 {
+		for b := range g.adj[t] {
+			out[b] = Level2
+		}
+	}
+	for _, t := range tier1 {
+		out[t] = Level1
+	}
+	return out
+}

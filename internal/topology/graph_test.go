@@ -1,0 +1,367 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+func rec(obs string, prefix string, path ...bgp.ASN) dataset.Record {
+	return dataset.Record{Obs: dataset.ObsPointID(obs), ObsAS: path[0], Prefix: prefix, Path: bgp.Path(path)}
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	if !g.AddEdge(1, 2) {
+		t.Error("new edge should report true")
+	}
+	if g.AddEdge(2, 1) {
+		t.Error("duplicate edge should report false")
+	}
+	if g.AddEdge(3, 3) {
+		t.Error("self loop should report false")
+	}
+	g.AddEdge(2, 3)
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("HasEdge should be symmetric")
+	}
+	if g.Degree(2) != 2 {
+		t.Errorf("Degree(2)=%d", g.Degree(2))
+	}
+	if nbrs := g.Neighbors(2); len(nbrs) != 2 || nbrs[0] != 1 || nbrs[1] != 3 {
+		t.Errorf("Neighbors(2)=%v", nbrs)
+	}
+	if !g.RemoveEdge(1, 2) || g.RemoveEdge(1, 2) {
+		t.Error("RemoveEdge semantics")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges=%d after removal", g.NumEdges())
+	}
+	g.RemoveNode(2)
+	if g.HasNode(2) || g.NumEdges() != 0 {
+		t.Error("RemoveNode should drop incident edges")
+	}
+}
+
+func TestEdgesSortedAndNormalized(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(5, 2)
+	g.AddEdge(1, 9)
+	g.AddEdge(1, 3)
+	edges := g.Edges()
+	want := []Edge{{1, 3}, {1, 9}, {2, 5}}
+	if len(edges) != len(want) {
+		t.Fatalf("edges=%v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Errorf("edges[%d]=%v want %v", i, edges[i], want[i])
+		}
+	}
+	if MakeEdge(7, 3) != (Edge{3, 7}) {
+		t.Error("MakeEdge should normalize")
+	}
+}
+
+func TestFromDataset(t *testing.T) {
+	d := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4),
+		rec("a", "P4", 1, 1, 2, 4), // prepending: no self loop
+		rec("a", "P9", 1, 2, 1, 9), // loop: skipped entirely
+		rec("b", "P7", 7),          // obs AS == origin: node only
+	}}
+	g := FromDataset(d)
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 4) {
+		t.Error("missing expected edges")
+	}
+	if g.HasEdge(2, 1) && g.NumEdges() != 2 {
+		t.Errorf("edges=%d want 2", g.NumEdges())
+	}
+	if !g.HasNode(7) {
+		t.Error("isolated origin/obs AS should be a node")
+	}
+	if g.HasNode(9) {
+		t.Error("looped path should contribute nothing")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2)
+	c := g.Clone()
+	c.AddEdge(2, 3)
+	if g.HasEdge(2, 3) {
+		t.Fatal("Clone shares adjacency")
+	}
+	if c.NumEdges() != 2 || g.NumEdges() != 1 {
+		t.Fatal("edge counts wrong after clone")
+	}
+}
+
+func TestConnectedTo(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(10, 11)
+	comp := g.ConnectedTo(1)
+	if len(comp) != 3 {
+		t.Errorf("component of 1 has %d nodes", len(comp))
+	}
+	if _, ok := comp[10]; ok {
+		t.Error("10 should be in another component")
+	}
+	if len(g.ConnectedTo(99)) != 0 {
+		t.Error("unknown start should yield empty set")
+	}
+}
+
+func buildTierGraph() *Graph {
+	g := NewGraph()
+	// Tier-1 clique: 10, 20, 30 (fully meshed).
+	g.AddEdge(10, 20)
+	g.AddEdge(10, 30)
+	g.AddEdge(20, 30)
+	// AS 40 connects to all three: should join the clique.
+	g.AddEdge(40, 10)
+	g.AddEdge(40, 20)
+	g.AddEdge(40, 30)
+	// AS 50 connects to only two: must not join.
+	g.AddEdge(50, 10)
+	g.AddEdge(50, 20)
+	// AS 60 hangs off 50: level other.
+	g.AddEdge(60, 50)
+	return g
+}
+
+func TestTier1Clique(t *testing.T) {
+	g := buildTierGraph()
+	clique, err := g.Tier1Clique([]bgp.ASN{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bgp.ASN{10, 20, 30, 40}
+	if len(clique) != len(want) {
+		t.Fatalf("clique=%v want %v", clique, want)
+	}
+	for i := range want {
+		if clique[i] != want[i] {
+			t.Fatalf("clique=%v want %v", clique, want)
+		}
+	}
+	// Result must be an actual clique.
+	for i := 0; i < len(clique); i++ {
+		for j := i + 1; j < len(clique); j++ {
+			if !g.HasEdge(clique[i], clique[j]) {
+				t.Errorf("clique members %d,%d not adjacent", clique[i], clique[j])
+			}
+		}
+	}
+}
+
+func TestTier1CliqueErrors(t *testing.T) {
+	g := buildTierGraph()
+	if _, err := g.Tier1Clique([]bgp.ASN{10, 999}); err == nil {
+		t.Error("unknown seed should fail")
+	}
+	if _, err := g.Tier1Clique([]bgp.ASN{10, 60}); err == nil {
+		t.Error("non-adjacent seeds should fail")
+	}
+}
+
+func TestTier1CliqueProperty(t *testing.T) {
+	// On random graphs containing a planted clique, the result always
+	// contains the seeds and is always a clique.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		planted := []bgp.ASN{1, 2, 3}
+		for i := 0; i < len(planted); i++ {
+			for j := i + 1; j < len(planted); j++ {
+				g.AddEdge(planted[i], planted[j])
+			}
+		}
+		for a := bgp.ASN(4); a < 30; a++ {
+			for b := bgp.ASN(1); b < a; b++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(a, b)
+				}
+			}
+		}
+		clique, err := g.Tier1Clique(planted[:2])
+		if err != nil {
+			return false
+		}
+		seen := map[bgp.ASN]bool{}
+		for _, c := range clique {
+			seen[c] = true
+		}
+		if !seen[1] || !seen[2] {
+			return false
+		}
+		for i := 0; i < len(clique); i++ {
+			for j := i + 1; j < len(clique); j++ {
+				if !g.HasEdge(clique[i], clique[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	g := buildTierGraph()
+	tier1, _ := g.Tier1Clique([]bgp.ASN{10, 20, 30})
+	levels := g.Levels(tier1)
+	if levels[10] != Level1 || levels[40] != Level1 {
+		t.Error("clique members should be level-1")
+	}
+	if levels[50] != Level2 {
+		t.Errorf("AS50 level=%v want level-2", levels[50])
+	}
+	if levels[60] != LevelOther {
+		t.Errorf("AS60 level=%v want other", levels[60])
+	}
+	for _, l := range []Level{Level1, Level2, LevelOther} {
+		if l.String() == "" {
+			t.Error("empty level string")
+		}
+	}
+}
+
+func TestTransitAndStubClassification(t *testing.T) {
+	d := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4), // 2 provides transit
+		rec("a", "P5", 1, 2, 5), // 5 is a stub
+		rec("a", "P6", 1, 2, 6), // 6...
+		rec("b", "P6", 7, 3, 6), // ...is multi-homed (nbrs 2 and 3)
+	}}
+	g := FromDataset(d)
+	transit := TransitASes(d)
+	if _, ok := transit[2]; !ok {
+		t.Error("AS2 should be transit")
+	}
+	if _, ok := transit[5]; ok {
+		t.Error("AS5 should not be transit")
+	}
+	classes := ClassifyStubs(g, transit)
+	if classes[2] != NotStub {
+		t.Errorf("AS2=%v", classes[2])
+	}
+	if classes[5] != SingleHomedStub {
+		t.Errorf("AS5=%v", classes[5])
+	}
+	if classes[6] != MultiHomedStub {
+		t.Errorf("AS6=%v", classes[6])
+	}
+	if classes[4] != SingleHomedStub {
+		t.Errorf("AS4=%v", classes[4])
+	}
+	for _, c := range []StubClass{NotStub, SingleHomedStub, MultiHomedStub} {
+		if c.String() == "" {
+			t.Error("empty class string")
+		}
+	}
+}
+
+func TestPruneSingleHomedStubs(t *testing.T) {
+	d := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4),                       // 4 single-homed stub: transferred
+		rec("a", dataset.SyntheticPrefix(6), 1, 2, 6), // 6 multi-homed: kept
+		rec("b", dataset.SyntheticPrefix(6), 7, 3, 6),
+		rec("a", "P2own", 1, 2), // provider's own prefix: untouched
+	}}
+	g := FromDataset(d)
+	ng, res := PruneSingleHomedStubs(g, d)
+	if len(res.Removed) == 0 {
+		t.Fatal("nothing pruned")
+	}
+	for _, a := range res.Removed {
+		if ng.HasNode(a) {
+			t.Errorf("pruned AS %d still in graph", a)
+		}
+		for _, r := range d.Records {
+			if r.Path.Contains(a) {
+				t.Errorf("pruned AS %d still on path %v", a, r.Path)
+			}
+		}
+	}
+	if res.Transferred != 1 {
+		t.Errorf("transferred=%d want 1", res.Transferred)
+	}
+	// The transferred record must now target the provider's prefix.
+	found := false
+	for _, r := range d.Records {
+		if r.Prefix == dataset.SyntheticPrefix(2) && r.Path.Equal(bgp.Path{1, 2}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("transferred record not found")
+	}
+	// Observation ASes are never pruned, even when single-homed stubs.
+	if !ng.HasNode(1) || !ng.HasNode(7) {
+		t.Error("observation ASes must survive pruning")
+	}
+}
+
+func TestPruneDropsUnsalvageable(t *testing.T) {
+	// A record whose path is just [obsAS] with obsAS pruned cannot occur
+	// (obs ASes are kept); craft the dropped case differently: a stub
+	// origin with a 1-hop path where the origin is not the obs AS is
+	// impossible, so Dropped should be 0 here — exercise the accounting.
+	d := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P4", 1, 2, 4),
+	}}
+	g := FromDataset(d)
+	_, res := PruneSingleHomedStubs(g, d)
+	if res.Dropped != 0 {
+		t.Errorf("dropped=%d want 0", res.Dropped)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	// Tier-1: 10-20 meshed; stubs below.
+	d := &dataset.Dataset{Records: []dataset.Record{
+		rec("a", "P20", 10, 20),
+		rec("b", "P10", 20, 10),
+		rec("a", "P30", 10, 20, 30),
+		rec("a", "P40", 10, 30, 40), // 30 transits
+		rec("b", "P40", 20, 30, 40),
+	}}
+	s, err := ComputeStats(d, []bgp.ASN{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ASes != 4 {
+		t.Errorf("ASes=%d", s.ASes)
+	}
+	if len(s.Tier1) < 2 {
+		t.Errorf("Tier1=%v", s.Tier1)
+	}
+	if s.Transit != 2 { // 20 transits on "10 20 30", 30 on "10/20 30 40"
+		t.Errorf("Transit=%d", s.Transit)
+	}
+	if s.SingleHomedStub+s.MultiHomedStub == 0 {
+		t.Error("no stubs found")
+	}
+	if s.PrunedASes > s.ASes {
+		t.Error("pruning grew the graph")
+	}
+	if _, err := ComputeStats(d, []bgp.ASN{10, 999}); err == nil {
+		t.Error("bad seeds should propagate error")
+	}
+	// ComputeStats must not mutate the dataset.
+	if d.Len() != 5 {
+		t.Error("ComputeStats mutated the dataset")
+	}
+}

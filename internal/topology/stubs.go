@@ -1,0 +1,181 @@
+package topology
+
+import (
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+// TransitASes returns the set of ASes that provide transit: those that
+// appear at least once in the middle of an observed AS-path (§3.1).
+func TransitASes(d *dataset.Dataset) map[bgp.ASN]struct{} {
+	out := make(map[bgp.ASN]struct{})
+	for _, r := range d.Records {
+		p := r.Path.StripPrepend()
+		for i := 1; i+1 < len(p); i++ {
+			out[p[i]] = struct{}{}
+		}
+	}
+	return out
+}
+
+// StubClass classifies a non-transit AS by its number of upstreams.
+type StubClass uint8
+
+// Stub classes (§3.1).
+const (
+	// NotStub marks ASes that provide transit.
+	NotStub StubClass = iota
+	// SingleHomedStub is a non-transit AS with exactly one neighbor.
+	SingleHomedStub
+	// MultiHomedStub is a non-transit AS with two or more neighbors.
+	MultiHomedStub
+)
+
+func (s StubClass) String() string {
+	switch s {
+	case SingleHomedStub:
+		return "single-homed stub"
+	case MultiHomedStub:
+		return "multi-homed stub"
+	default:
+		return "transit"
+	}
+}
+
+// ClassifyStubs labels every AS of the graph as transit, single-homed
+// stub, or multi-homed stub, using the transit set derived from the
+// dataset.
+func ClassifyStubs(g *Graph, transit map[bgp.ASN]struct{}) map[bgp.ASN]StubClass {
+	out := make(map[bgp.ASN]StubClass, g.NumNodes())
+	for _, a := range g.Nodes() {
+		if _, t := transit[a]; t {
+			out[a] = NotStub
+		} else if g.Degree(a) <= 1 {
+			out[a] = SingleHomedStub
+		} else {
+			out[a] = MultiHomedStub
+		}
+	}
+	return out
+}
+
+// PruneResult reports what PruneSingleHomedStubs did.
+type PruneResult struct {
+	// Removed lists the pruned single-homed stub ASes, sorted.
+	Removed []bgp.ASN
+	// Transferred counts records whose origin prefix was re-attached to
+	// the stub's provider (§3.1: "path information gathered from prefixes
+	// originated at such stub-ASes is transferred to a prefix originated
+	// at its AS neighbor").
+	Transferred int
+	// Dropped counts records that could not be kept (the path collapsed to
+	// nothing, e.g. a stub observing only its own prefix).
+	Dropped int
+}
+
+// PruneSingleHomedStubs removes single-homed non-transit stub ASes from
+// the graph and rewrites the dataset so no pruned AS appears on any path:
+// a record for a prefix originated at pruned stub S homed to provider N
+// becomes a record for N's prefix with the trailing S removed. ASes that
+// host observation points are never pruned (their feeds anchor the
+// evaluation). The dataset is modified in place; a new graph is returned.
+func PruneSingleHomedStubs(g *Graph, d *dataset.Dataset) (*Graph, PruneResult) {
+	transit := TransitASes(d)
+	classes := ClassifyStubs(g, transit)
+	obsASes := make(map[bgp.ASN]bool)
+	for _, r := range d.Records {
+		obsASes[r.ObsAS] = true
+	}
+
+	var res PruneResult
+	pruned := make(map[bgp.ASN]bool)
+	for _, a := range g.Nodes() {
+		if classes[a] == SingleHomedStub && !obsASes[a] {
+			pruned[a] = true
+			res.Removed = append(res.Removed, a)
+		}
+	}
+
+	out := d.Records[:0]
+	for _, r := range d.Records {
+		o, _ := r.Path.Origin()
+		if pruned[o] {
+			// Transfer: drop the trailing stub and re-attach to the
+			// provider's prefix.
+			if len(r.Path) < 2 {
+				res.Dropped++
+				continue
+			}
+			r.Path = r.Path[:len(r.Path)-1].Clone()
+			provider, _ := r.Path.Origin()
+			r.Prefix = dataset.SyntheticPrefix(provider)
+			res.Transferred++
+		}
+		// Any other appearance of a pruned AS is impossible: pruned ASes
+		// are non-transit (never mid-path) and never observation ASes.
+		out = append(out, r)
+	}
+	d.Records = out
+
+	ng := g.Clone()
+	for a := range pruned {
+		ng.RemoveNode(a)
+	}
+	return ng, res
+}
+
+// Stats summarizes a dataset's topology the way §3.1 of the paper does.
+type Stats struct {
+	ASes            int
+	Edges           int
+	Tier1           []bgp.ASN
+	Level2          int
+	Other           int
+	Transit         int
+	SingleHomedStub int
+	MultiHomedStub  int
+	PrunedASes      int
+	PrunedEdges     int
+}
+
+// ComputeStats derives the §3.1 summary for a dataset: graph size, levels
+// (given tier-1 seeds), transit/stub breakdown, and the size of the graph
+// after pruning single-homed stubs. The dataset is not modified.
+func ComputeStats(d *dataset.Dataset, tier1Seeds []bgp.ASN) (Stats, error) {
+	g := FromDataset(d)
+	var s Stats
+	s.ASes = g.NumNodes()
+	s.Edges = g.NumEdges()
+
+	tier1, err := g.Tier1Clique(tier1Seeds)
+	if err != nil {
+		return s, err
+	}
+	s.Tier1 = tier1
+	levels := g.Levels(tier1)
+	for _, l := range levels {
+		switch l {
+		case Level2:
+			s.Level2++
+		case LevelOther:
+			s.Other++
+		}
+	}
+
+	transit := TransitASes(d)
+	s.Transit = len(transit)
+	for _, c := range ClassifyStubs(g, transit) {
+		switch c {
+		case SingleHomedStub:
+			s.SingleHomedStub++
+		case MultiHomedStub:
+			s.MultiHomedStub++
+		}
+	}
+
+	work := d.Clone()
+	pg, _ := PruneSingleHomedStubs(g, work)
+	s.PrunedASes = pg.NumNodes()
+	s.PrunedEdges = pg.NumEdges()
+	return s, nil
+}
