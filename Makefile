@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build test vet race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sim and model packages hold all the concurrency-sensitive state
+# (atomic metrics, shared registries); race-check them explicitly.
+race:
+	$(GO) test -race ./internal/sim/... ./internal/model/... ./internal/obs/...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -176,7 +176,7 @@ func BenchmarkFigure3CaseStudy(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if out := s.Figure3(); len(out) == 0 {
+		if _, out := s.Figure3(); len(out) == 0 {
 			b.Fatal("empty case study")
 		}
 	}
@@ -294,7 +294,7 @@ func BenchmarkMultiPrefixStudy(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		if _, err := experiments.MultiPrefixStudy(cfg, 3); err != nil {
+		if _, _, err := experiments.MultiPrefixStudy(cfg, 3); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -19,9 +19,31 @@ import (
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
 	"asmodel/internal/model"
+	"asmodel/internal/obs"
 	"asmodel/internal/stats"
 	"asmodel/internal/topology"
 )
+
+// debugServer holds the process-lifetime debug endpoint started by
+// -debug-addr, exposed as a variable so tests can reach its resolved
+// address after running a command with ":0".
+var debugServer *obs.Server
+
+// startDebugServer brings up /metrics, /metrics.json, /debug/vars and
+// /debug/pprof on addr. Idempotent: a second -debug-addr in the same
+// process reuses the first server.
+func startDebugServer(addr string) error {
+	if debugServer != nil {
+		return nil
+	}
+	srv, err := obs.Serve(addr, obs.Default())
+	if err != nil {
+		return err
+	}
+	debugServer = srv
+	fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
+	return nil
+}
 
 func main() {
 	if len(os.Args) < 2 {
@@ -139,9 +161,16 @@ func cmdRefine(args []string) error {
 	byOrigin := fs.Bool("by-origin", false, "split by originating AS instead of observation point")
 	verbose := fs.Bool("v", false, "log refinement progress")
 	save := fs.String("save", "", "write the refined model to this file")
+	tracePath := fs.String("trace", "", "write per-iteration refinement trace events (JSONL) to this file")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("refine: -in is required")
+	}
+	if *debugAddr != "" {
+		if err := startDebugServer(*debugAddr); err != nil {
+			return err
+		}
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
@@ -163,7 +192,24 @@ func cmdRefine(args []string) error {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
 	}
+	var sink *obs.TraceSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		sink = obs.NewTraceSink(f)
+		cfg.Observer = func(ev model.RefineEvent) { sink.Emit(ev) }
+	}
 	res, err := m.Refine(train, cfg)
+	if sink != nil {
+		if ferr := sink.Flush(); ferr != nil && err == nil {
+			err = fmt.Errorf("refine: writing trace %s: %w", *tracePath, ferr)
+		} else {
+			fmt.Printf("trace: %d events written to %s\n", sink.Count(), *tracePath)
+		}
+	}
 	if err != nil {
 		return err
 	}

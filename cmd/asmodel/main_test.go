@@ -3,8 +3,13 @@ package main
 import (
 	"asmodel/internal/bgp"
 
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -158,5 +163,78 @@ func TestCmdEvaluate(t *testing.T) {
 	}
 	if err := cmdEvaluate([]string{"-model", modelPath}); err == nil {
 		t.Error("missing -in accepted")
+	}
+}
+
+// TestCmdRefineDebugAndTrace is the ISSUE's acceptance check: refine with
+// -debug-addr :0 -trace serves /metrics with nonzero sim and refine
+// counters and writes one well-formed JSON trace event per refinement
+// iteration (plus verify/done events) carrying match fractions and
+// per-action counts.
+func TestCmdRefineDebugAndTrace(t *testing.T) {
+	path := writeDataset(t)
+	tracePath := filepath.Join(t.TempDir(), "refine-trace.jsonl")
+	err := cmdRefine([]string{"-in", path, "-train-frac", "1.0",
+		"-debug-addr", "127.0.0.1:0", "-trace", tracePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if debugServer == nil {
+		t.Fatal("-debug-addr did not start the debug server")
+	}
+	defer func() {
+		debugServer.Close()
+		debugServer = nil
+	}()
+
+	resp, err := http.Get("http://" + debugServer.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(body)
+	for _, name := range []string{"sim_messages_delivered_total", "refine_iterations_total"} {
+		re := regexp.MustCompile(`(?m)^` + name + ` (\d+)$`)
+		m := re.FindStringSubmatch(metrics)
+		if m == nil {
+			t.Fatalf("/metrics missing %s:\n%s", name, metrics)
+		}
+		if v, _ := strconv.Atoi(m[1]); v <= 0 {
+			t.Errorf("%s = %s, want > 0", name, m[1])
+		}
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("trace has %d lines, want at least iteration + done", len(lines))
+	}
+	iterations := 0
+	for i, line := range lines {
+		var ev map[string]interface{}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d not JSON: %v\n%s", i, err, line)
+		}
+		if ev["type"] == "iteration" {
+			iterations++
+			for _, key := range []string{"rib_out_frac", "potential_frac", "rib_in_frac", "actions"} {
+				if _, ok := ev[key]; !ok {
+					t.Errorf("trace line %d missing %q: %s", i, key, line)
+				}
+			}
+		}
+	}
+	if iterations == 0 {
+		t.Error("trace has no iteration events")
+	}
+	if last := lines[len(lines)-1]; !strings.Contains(last, `"type":"done"`) {
+		t.Errorf("last trace event is not done: %s", last)
 	}
 }

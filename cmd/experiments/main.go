@@ -7,30 +7,81 @@
 //	experiments             # all experiments at the default scale
 //	experiments -seed 7 -scale 2
 //	experiments -only table2,pipeline
+//	experiments -json report.json          # machine-readable headline numbers
+//	experiments -debug-addr :8080          # /metrics + /debug/pprof while running
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"asmodel/internal/experiments"
+	"asmodel/internal/metrics"
+	"asmodel/internal/obs"
+	"asmodel/internal/topology"
 )
 
 func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	scale := flag.Int("scale", 1, "topology scale multiplier")
 	only := flag.String("only", "", "comma-separated subset: stats,figure2,table1,table2,pipeline,unseen,combined,figure3,multiprefix,iterations,whatif,ablations")
+	jsonPath := flag.String("json", "", "write headline numbers as JSON to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *only); err != nil {
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
+	if err := run(*seed, *scale, *only, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, scale int, only string) error {
+// report collects every experiment's headline numbers for -json. Sections
+// not selected via -only stay nil and are omitted from the output.
+type report struct {
+	Seed        int64                              `json:"seed"`
+	Scale       int                                `json:"scale"`
+	ASes        int                                `json:"ases"`
+	Records     int                                `json:"records"`
+	Prefixes    int                                `json:"prefixes"`
+	ObsPoints   int                                `json:"obs_points"`
+	Stats       *topology.Stats                    `json:"stats,omitempty"`
+	Figure2     *figure2Report                     `json:"figure2,omitempty"`
+	Table1      map[string]int                     `json:"table1,omitempty"`
+	Table2      *table2Report                      `json:"table2,omitempty"`
+	Pipeline    *experiments.RefineHeadline        `json:"pipeline,omitempty"`
+	Unseen      *experiments.RefineHeadline        `json:"unseen,omitempty"`
+	Combined    *experiments.RefineHeadline        `json:"combined,omitempty"`
+	Figure3     *experiments.Figure3Result         `json:"figure3,omitempty"`
+	MultiPrefix *experiments.MultiPrefixResult     `json:"multiprefix,omitempty"`
+	Iterations  []experiments.IterationsRow        `json:"iterations,omitempty"`
+	WhatIf      *experiments.WhatIfFidelityResult  `json:"whatif,omitempty"`
+	Ablations   []experiments.AblationRow          `json:"ablations,omitempty"`
+}
+
+type figure2Report struct {
+	Pairs            int     `json:"pairs"`
+	DiversePairsFrac float64 `json:"diverse_pairs_frac"`
+	MaxDistinctPaths int     `json:"max_distinct_paths"`
+}
+
+type table2Report struct {
+	ShortestPath *metrics.Summary `json:"shortest_path"`
+	Policies     *metrics.Summary `json:"policies"`
+}
+
+func run(seed int64, scale int, only, jsonPath string) error {
 	want := func(name string) bool {
 		if only == "" {
 			return true
@@ -60,6 +111,14 @@ func run(seed int64, scale int, only string) error {
 	fmt.Printf("dataset: %d records, %d prefixes, %d observation points; %d weird policies (%d reverted)\n\n",
 		s.Data.Len(), len(s.Data.Prefixes()), len(s.Data.ObsPoints()), len(s.Internet.Weird), s.Internet.QuirksReverted)
 
+	rep := &report{
+		Seed: seed, Scale: scale,
+		ASes:      cfg.NumTier1 + cfg.NumTier2 + cfg.NumTier3 + cfg.NumStub,
+		Records:   s.Data.Len(),
+		Prefixes:  len(s.Data.Prefixes()),
+		ObsPoints: len(s.Data.ObsPoints()),
+	}
+
 	section := func(name string, f func() (string, error)) error {
 		if !want(name) {
 			return nil
@@ -74,25 +133,41 @@ func run(seed int64, scale int, only string) error {
 	}
 
 	if err := section("stats", func() (string, error) {
-		_, out, err := s.TopologyStats()
+		st, out, err := s.TopologyStats()
+		rep.Stats = &st
 		return out, err
 	}); err != nil {
 		return err
 	}
 	if err := section("figure2", func() (string, error) {
-		_, out := s.Figure2()
+		h, out := s.Figure2()
+		rep.Figure2 = &figure2Report{
+			Pairs:            h.Total(),
+			DiversePairsFrac: h.FracAbove(1),
+			MaxDistinctPaths: h.Max(),
+		}
 		return out, nil
 	}); err != nil {
 		return err
 	}
 	if err := section("table1", func() (string, error) {
-		_, out := s.Table1()
+		qs, out := s.Table1()
+		rep.Table1 = make(map[string]int, len(qs))
+		for q, v := range qs {
+			rep.Table1[fmt.Sprintf("p%g", 100*q)] = v
+		}
 		return out, nil
 	}); err != nil {
 		return err
 	}
 	if err := section("table2", func() (string, error) {
-		_, out, err := s.Table2()
+		res, out, err := s.Table2()
+		if err == nil {
+			rep.Table2 = &table2Report{
+				ShortestPath: res.ShortestPath.Summary,
+				Policies:     res.Policies.Summary,
+			}
+		}
 		return out, err
 	}); err != nil {
 		return err
@@ -102,6 +177,7 @@ func run(seed int64, scale int, only string) error {
 		if err != nil {
 			return "", err
 		}
+		rep.Pipeline = o.Headline()
 		out := o.Describe("E5+E6 / §5: refinement on training observation points, prediction for held-out ones")
 		complexity, err := s.ComplexityByLevel(o)
 		if err != nil {
@@ -116,6 +192,7 @@ func run(seed int64, scale int, only string) error {
 		if err != nil {
 			return "", err
 		}
+		rep.Unseen = o.Headline()
 		return o.Describe("E7 / §4.7: origin split — predicting prefixes of unseen origins"), nil
 	}); err != nil {
 		return err
@@ -125,12 +202,15 @@ func run(seed int64, scale int, only string) error {
 		if err != nil {
 			return "", err
 		}
+		rep.Combined = o.Headline()
 		return o.Describe("E7b / §4.2 combined split — held-out feeds observing held-out origins"), nil
 	}); err != nil {
 		return err
 	}
 	if err := section("figure3", func() (string, error) {
-		return s.Figure3(), nil
+		res, out := s.Figure3()
+		rep.Figure3 = res
+		return out, nil
 	}); err != nil {
 		return err
 	}
@@ -138,26 +218,46 @@ func run(seed int64, scale int, only string) error {
 		mpCfg := cfg
 		mpCfg.NumTier3 /= 2
 		mpCfg.NumStub /= 2
-		return experiments.MultiPrefixStudy(mpCfg, 3)
+		res, out, err := experiments.MultiPrefixStudy(mpCfg, 3)
+		rep.MultiPrefix = res
+		return out, err
 	}); err != nil {
 		return err
 	}
 	if err := section("iterations", func() (string, error) {
-		return s.IterationsVsPathLength([]int64{seed, seed + 1, seed + 2})
+		rows, out, err := s.IterationsVsPathLength([]int64{seed, seed + 1, seed + 2})
+		rep.Iterations = rows
+		return out, err
 	}); err != nil {
 		return err
 	}
 	if err := section("whatif", func() (string, error) {
-		_, out, err := s.WhatIfFidelity(8, 3)
+		res, out, err := s.WhatIfFidelity(8, 3)
+		rep.WhatIf = res
 		return out, err
 	}); err != nil {
 		return err
 	}
 	if err := section("ablations", func() (string, error) {
-		_, out, err := s.Ablations(seed)
+		rows, out, err := s.Ablations(seed)
+		rep.Ablations = rows
 		return out, err
 	}); err != nil {
 		return err
+	}
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+		fmt.Printf("headline numbers written to %s\n", jsonPath)
 	}
 	return nil
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRunJSONReport runs a fast subset of the suite and checks the -json
+// report is machine-readable and carries the selected sections' headline
+// numbers (others omitted).
+func TestRunJSONReport(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	if err := run(1, 1, "figure2,figure3", jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	if rep.Seed != 1 || rep.Records == 0 || rep.Prefixes == 0 {
+		t.Errorf("dataset header: %+v", rep)
+	}
+	if rep.Figure2 == nil || rep.Figure2.Pairs == 0 {
+		t.Errorf("figure2 section: %+v", rep.Figure2)
+	}
+	if rep.Figure3 == nil || rep.Figure3.DistinctPaths < 1 {
+		t.Errorf("figure3 section: %+v", rep.Figure3)
+	}
+	if rep.Pipeline != nil || rep.Ablations != nil {
+		t.Error("unselected sections present in report")
+	}
+}

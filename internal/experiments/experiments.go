@@ -251,6 +251,55 @@ func (o *RefineOutcome) Describe(title string) string {
 	return b.String()
 }
 
+// EvalHeadline condenses one Evaluation into the match fractions the
+// paper quotes, in a JSON-marshalable form.
+type EvalHeadline struct {
+	Paths              int     `json:"paths"`
+	RIBOutFrac         float64 `json:"rib_out_frac"`
+	PotentialFrac      float64 `json:"potential_frac"`
+	DownToTieBreakFrac float64 `json:"down_to_tie_break_frac"`
+	RIBInFrac          float64 `json:"rib_in_frac"`
+}
+
+func evalHeadline(ev *model.Evaluation) EvalHeadline {
+	s := ev.Summary
+	return EvalHeadline{
+		Paths:              s.Total,
+		RIBOutFrac:         s.Frac(s.RIBOut),
+		PotentialFrac:      s.Frac(s.PotentialRIBOut),
+		DownToTieBreakFrac: s.Frac(s.DownToTieBreak()),
+		RIBInFrac:          s.Frac(s.RIBInMatches()),
+	}
+}
+
+// RefineHeadline is the machine-readable digest of a RefineOutcome.
+// RefineOutcome itself cannot be json.Marshaled (the embedded Model holds
+// function-valued simulator state), so reports go through this type.
+type RefineHeadline struct {
+	Iterations        int          `json:"iterations"`
+	Converged         bool         `json:"converged"`
+	QuasiRoutersAdded int          `json:"quasi_routers_added"`
+	FiltersAdded      int          `json:"filters_added"`
+	FiltersRemoved    int          `json:"filters_removed"`
+	MEDRules          int          `json:"med_rules"`
+	Train             EvalHeadline `json:"train"`
+	Valid             EvalHeadline `json:"valid"`
+}
+
+// Headline reduces the outcome to its headline numbers.
+func (o *RefineOutcome) Headline() *RefineHeadline {
+	return &RefineHeadline{
+		Iterations:        o.Refine.Iterations,
+		Converged:         o.Refine.Converged,
+		QuasiRoutersAdded: o.Refine.QuasiRoutersAdded,
+		FiltersAdded:      o.Refine.FiltersAdded,
+		FiltersRemoved:    o.Refine.FiltersRemoved,
+		MEDRules:          o.Refine.MEDRules,
+		Train:             evalHeadline(o.Train),
+		Valid:             evalHeadline(o.Valid),
+	}
+}
+
 // --- E7: unseen prefixes (origin split) ---------------------------------
 
 // UnseenPrefixes refines on half the origins' prefixes and evaluates on
@@ -288,10 +337,17 @@ func (s *Suite) UnseenPrefixes(trainFrac float64, seed int64) (*RefineOutcome, e
 
 // --- E8: Figure 3 case study + prefixes-per-path ------------------------
 
+// Figure3Result carries the headline numbers of the diversity case study.
+type Figure3Result struct {
+	Prefix        string `json:"prefix"`
+	AS            bgp.ASN `json:"as"`
+	DistinctPaths int    `json:"distinct_paths"`
+}
+
 // Figure3 locates the (prefix, AS) pair with the highest received route
 // diversity and renders its distinct paths, paper-Figure-3 style, plus
 // the log-binned prefixes-per-path histogram of §3.2.
-func (s *Suite) Figure3() string {
+func (s *Suite) Figure3() (*Figure3Result, string) {
 	type key struct {
 		as     bgp.ASN
 		prefix string
@@ -346,7 +402,7 @@ func (s *Suite) Figure3() string {
 	for _, bin := range stats.LogBins(counts, 2) {
 		fmt.Fprintf(&b, "  %5d..%-5d paths: %d\n", bin.Lo, bin.Hi, bin.Count)
 	}
-	return b.String()
+	return &Figure3Result{Prefix: best.prefix, AS: best.as, DistinctPaths: bestN}, b.String()
 }
 
 // --- E10: ablations -----------------------------------------------------
@@ -429,16 +485,25 @@ func (s *Suite) TopologyStats() (topology.Stats, string, error) {
 // (duplication + filters + MED).
 func RefineConfigDefault() model.RefineConfig { return model.RefineConfig{} }
 
+// MultiPrefixResult carries the headline numbers of the multi-prefix
+// study.
+type MultiPrefixResult struct {
+	PrefixesPerOrigin int     `json:"prefixes_per_origin"`
+	Prefixes          int     `json:"prefixes"`
+	MultiPrefixPaths  int     `json:"multi_prefix_paths"`
+	DiversePairsFrac  float64 `json:"diverse_pairs_frac"`
+}
+
 // MultiPrefixStudy (E8b) re-runs the §3.2 data analysis with origins
 // announcing several prefixes (gen.Config.PrefixesPerOrigin), which is
 // what gives the paper's prefixes-per-path histogram its heavy tail:
 // popular AS-paths carry many prefixes while per-prefix weird policies
 // make some prefixes of the same origin take different routes.
-func MultiPrefixStudy(cfg gen.Config, prefixesPerOrigin int) (string, error) {
+func MultiPrefixStudy(cfg gen.Config, prefixesPerOrigin int) (*MultiPrefixResult, string, error) {
 	cfg.PrefixesPerOrigin = prefixesPerOrigin
 	s, err := NewSuite(cfg)
 	if err != nil {
-		return "", err
+		return nil, "", err
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "E8b / §3.2 multi-prefix study (up to %d prefixes per origin; %d prefixes total)\n\n",
@@ -463,7 +528,13 @@ func MultiPrefixStudy(cfg gen.Config, prefixesPerOrigin int) (string, error) {
 	}
 	fmt.Fprintf(&b, "\nAS pairs with more than one distinct path: %s (cf. E1)\n",
 		stats.Pct(int(float64(h.Total())*h.FracAbove(1)+0.5), h.Total()))
-	return b.String(), nil
+	res := &MultiPrefixResult{
+		PrefixesPerOrigin: prefixesPerOrigin,
+		Prefixes:          len(s.Data.Prefixes()),
+		MultiPrefixPaths:  multi,
+		DiversePairsFrac:  h.FracAbove(1),
+	}
+	return res, b.String(), nil
 }
 
 // CombinedSplit (§4.2: "one can combine both approaches") partitions both
@@ -575,19 +646,34 @@ func safeDiv(a, b int) float64 {
 	return float64(a) / float64(b)
 }
 
+// IterationsRow is one seed's outcome of the E14 convergence study.
+type IterationsRow struct {
+	Seed       int64   `json:"seed"`
+	MaxPathLen int     `json:"max_path_len"`
+	Iterations int     `json:"iterations"`
+	Ratio      float64 `json:"ratio"`
+	Converged  bool    `json:"converged"`
+}
+
 // IterationsVsPathLength (E14) quantifies the §4.6 convergence claim:
 // "Perfect RIB-Out matches are achieved after a total number of
 // iterations that is a multiple of the maximum AS-path length." It runs
 // the training pipeline across several split seeds and reports the
 // iterations-to-convergence against the longest observed path.
-func (s *Suite) IterationsVsPathLength(seeds []int64) (string, error) {
+func (s *Suite) IterationsVsPathLength(seeds []int64) ([]IterationsRow, string, error) {
+	var rows []IterationsRow
 	tb := stats.NewTable("split seed", "max path length", "iterations", "ratio", "converged")
 	for _, seed := range seeds {
 		o, err := s.RunPipeline(0.5, seed, model.RefineConfig{})
 		if err != nil {
-			return "", err
+			return nil, "", err
 		}
 		ratio := float64(o.Refine.Iterations) / float64(o.Refine.MaxPathLen)
+		rows = append(rows, IterationsRow{
+			Seed: seed, MaxPathLen: o.Refine.MaxPathLen,
+			Iterations: o.Refine.Iterations, Ratio: ratio,
+			Converged: o.Refine.Converged,
+		})
 		tb.AddRow(fmt.Sprintf("%d", seed),
 			fmt.Sprintf("%d", o.Refine.MaxPathLen),
 			fmt.Sprintf("%d", o.Refine.Iterations),
@@ -598,5 +684,5 @@ func (s *Suite) IterationsVsPathLength(seeds []int64) (string, error) {
 	fmt.Fprintf(&b, "E14 / §4.6: iterations to convergence vs maximum AS-path length\n\n%s", tb.String())
 	fmt.Fprintf(&b, "\npaper: \"a total number of iterations that is a multiple of the maximum\n"+
 		"AS-path length\" — the ratio column stays below ~1-2 in practice.\n")
-	return b.String(), nil
+	return rows, b.String(), nil
 }

@@ -122,9 +122,12 @@ func TestUnseenPrefixes(t *testing.T) {
 
 func TestFigure3(t *testing.T) {
 	s := testSuite(t)
-	out := s.Figure3()
+	res, out := s.Figure3()
 	if !strings.Contains(out, "distinct AS-paths") || !strings.Contains(out, "<-") {
 		t.Errorf("figure 3 output:\n%s", out)
+	}
+	if res == nil || res.DistinctPaths < 1 || res.Prefix == "" || res.AS == 0 {
+		t.Errorf("figure 3 result: %+v", res)
 	}
 }
 
@@ -188,7 +191,7 @@ func TestMultiPrefixStudy(t *testing.T) {
 		ParallelLinkProb: 0.4, WeirdPolicyFrac: 0.15,
 		NumVantageASes: 12, MaxVantagePerAS: 2,
 	}
-	out, err := MultiPrefixStudy(cfg, 3)
+	res, out, err := MultiPrefixStudy(cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,6 +200,9 @@ func TestMultiPrefixStudy(t *testing.T) {
 	}
 	if !strings.Contains(out, "carry more than one prefix") {
 		t.Error("missing histogram")
+	}
+	if res.Prefixes == 0 || res.PrefixesPerOrigin != 3 {
+		t.Errorf("result: %+v", res)
 	}
 }
 
@@ -260,11 +266,14 @@ func TestWhatIfFidelity(t *testing.T) {
 
 func TestIterationsVsPathLength(t *testing.T) {
 	s := testSuite(t)
-	out, err := s.IterationsVsPathLength([]int64{1, 2})
+	rows, out, err := s.IterationsVsPathLength([]int64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out, "max path length") || !strings.Contains(out, "ratio") {
 		t.Errorf("output:\n%s", out)
+	}
+	if len(rows) != 2 || rows[0].Seed != 1 || rows[0].Iterations == 0 || rows[0].MaxPathLen == 0 {
+		t.Errorf("rows: %+v", rows)
 	}
 }

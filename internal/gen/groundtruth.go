@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -178,7 +179,7 @@ func (in *Internet) RunAll() (*dataset.Dataset, error) {
 	for pi := range in.prefixOrigin {
 		prefix := bgp.PrefixID(pi)
 		err := in.RS.RunPrefix(prefix, in.prefixOrigin[pi])
-		if err == sim.ErrDiverged && len(in.quirkUndo[prefix]) > 0 {
+		if errors.Is(err, sim.ErrDiverged) && len(in.quirkUndo[prefix]) > 0 {
 			for _, undo := range in.quirkUndo[prefix] {
 				undo()
 			}

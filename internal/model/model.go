@@ -13,6 +13,7 @@
 package model
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -175,7 +176,7 @@ func (m *Model) Evaluate(ds *dataset.Dataset) (*Evaluation, error) {
 	for _, id := range ids {
 		prefix := bgp.PrefixID(id)
 		if err := m.RunPrefix(prefix); err != nil {
-			if err == sim.ErrDiverged {
+			if errors.Is(err, sim.ErrDiverged) {
 				ev.Diverged++
 				continue
 			}

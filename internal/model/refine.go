@@ -1,11 +1,30 @@
 package model
 
 import (
+	"errors"
 	"sort"
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/obs"
 	"asmodel/internal/sim"
+)
+
+// Refinement metrics, registered on the obs default registry and batched
+// per Refine call (per-iteration work is visible through the trace
+// observer, which stays deterministic — see RefineEvent).
+var (
+	mRefines    = obs.GetCounter("refine_runs_total", "Refine invocations")
+	mIterations = obs.GetCounter("refine_iterations_total", "refinement iterations executed")
+	mFiltersAdd = obs.GetCounter("refine_filters_added_total", "export filters installed")
+	mFiltersDel = obs.GetCounter("refine_filters_removed_total", "export filters deleted (Figure 7)")
+	mMEDRules   = obs.GetCounter("refine_med_rules_total", "import-MED preferences installed")
+	mLPRules    = obs.GetCounter("refine_local_pref_rules_total", "import local-pref rules installed (E10c ablation)")
+	mQRsAdded   = obs.GetCounter("refine_quasi_routers_added_total", "quasi-router duplications")
+	mVerifies   = obs.GetCounter("refine_verify_rounds_total", "verify-and-reopen sweeps")
+	mDivergedPx = obs.GetCounter("refine_diverged_prefixes_total", "training prefixes abandoned due to divergence")
+	mIterPerRun = obs.GetHistogram("refine_iterations_per_run", "iterations needed per Refine call",
+		obs.ExpBuckets(1, 2, 10))
 )
 
 // RefineConfig controls the iterative refinement heuristic. The zero value
@@ -29,6 +48,108 @@ type RefineConfig struct {
 	UseLocalPref bool
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
+	// Observer, when set, receives one RefineEvent per refinement
+	// iteration (plus verify-sweep and final events). The event stream is
+	// deterministic for a given (dataset, seed): it carries no wall-clock
+	// time, and all counts derive from the deterministic refinement walk,
+	// so identical runs produce identical streams (feed it to an
+	// obs.TraceSink for a replayable refine-trace.jsonl).
+	Observer func(RefineEvent)
+}
+
+// RefineActionCounts tallies refinement actions by type (§4.6 / Figure
+// 6-7 vocabulary) — either for one iteration or cumulatively.
+type RefineActionCounts struct {
+	// Reservations counts quasi-routers reserved because they already
+	// RIB-Out matched a requirement (heuristic action (i)).
+	Reservations int `json:"reservations"`
+	// FiltersAdded counts export denies installed at announcing neighbors.
+	FiltersAdded int `json:"filters_added"`
+	// FiltersRemoved counts export-deny deletions (Figure 7).
+	FiltersRemoved int `json:"filters_removed"`
+	// MEDRules counts import-MED preferences installed.
+	MEDRules int `json:"med_rules"`
+	// LocalPrefRules counts import local-pref rules (E10c ablation only).
+	LocalPrefRules int `json:"local_pref_rules"`
+	// Duplications counts quasi-router duplications.
+	Duplications int `json:"duplications"`
+}
+
+func (a *RefineActionCounts) add(b RefineActionCounts) {
+	a.Reservations += b.Reservations
+	a.FiltersAdded += b.FiltersAdded
+	a.FiltersRemoved += b.FiltersRemoved
+	a.MEDRules += b.MEDRules
+	a.LocalPrefRules += b.LocalPrefRules
+	a.Duplications += b.Duplications
+}
+
+// actionSnapshot captures the res-side action counters so per-iteration
+// deltas can be diffed out.
+func actionSnapshot(res *RefineResult) RefineActionCounts {
+	return RefineActionCounts{
+		FiltersAdded:   res.FiltersAdded,
+		FiltersRemoved: res.FiltersRemoved,
+		MEDRules:       res.MEDRules,
+		LocalPrefRules: res.LocalPrefRules,
+		Duplications:   res.QuasiRoutersAdded,
+	}
+}
+
+func (a RefineActionCounts) diff(before RefineActionCounts) RefineActionCounts {
+	return RefineActionCounts{
+		Reservations:   a.Reservations - before.Reservations,
+		FiltersAdded:   a.FiltersAdded - before.FiltersAdded,
+		FiltersRemoved: a.FiltersRemoved - before.FiltersRemoved,
+		MEDRules:       a.MEDRules - before.MEDRules,
+		LocalPrefRules: a.LocalPrefRules - before.LocalPrefRules,
+		Duplications:   a.Duplications - before.Duplications,
+	}
+}
+
+// RefineEvent is one structured trace event of the refinement loop. The
+// match counts classify every training requirement against the converged
+// simulation state at the start of the iteration, mirroring §4.2's path
+// metrics at requirement granularity; they are cumulative thresholds:
+// RIBIn >= Potential >= RIBOut.
+type RefineEvent struct {
+	// Type is "iteration" (one per inner refinement iteration), "verify"
+	// (one per verify-and-reopen sweep) or "done" (final summary).
+	Type string `json:"type"`
+	// Iteration is the 1-based refinement iteration count so far.
+	Iteration int `json:"iteration"`
+	// Prefix bookkeeping: open (still being refined), settled (done and
+	// RIB-Out matched), stuck (done but unmatched), diverged (abandoned).
+	PrefixesOpen     int `json:"prefixes_open"`
+	PrefixesSettled  int `json:"prefixes_settled"`
+	PrefixesStuck    int `json:"prefixes_stuck"`
+	PrefixesDiverged int `json:"prefixes_diverged"`
+	// PrefixesReopened is only set on "verify" events: how many settled
+	// prefixes the topology growth broke.
+	PrefixesReopened int `json:"prefixes_reopened,omitempty"`
+	// Requirements is the total number of (AS, suffix) requirements.
+	Requirements int `json:"requirements"`
+	// RIBOutMatched counts requirements some quasi-router RIB-Out
+	// matches; PotentialMatched additionally admits requirements that
+	// lost only the final router-ID tie-break; RIBInMatched additionally
+	// admits any RIB-In presence (the upper bound on what policies could
+	// achieve).
+	RIBOutMatched    int     `json:"rib_out_matched"`
+	PotentialMatched int     `json:"potential_matched"`
+	RIBInMatched     int     `json:"rib_in_matched"`
+	RIBOutFrac       float64 `json:"rib_out_frac"`
+	PotentialFrac    float64 `json:"potential_frac"`
+	RIBInFrac        float64 `json:"rib_in_frac"`
+	// Actions tallies this event's refinement actions by type;
+	// CumulativeActions tallies everything since Refine started.
+	Actions           RefineActionCounts `json:"actions"`
+	CumulativeActions RefineActionCounts `json:"cumulative_actions"`
+	// QuasiRouters is the current model topology size.
+	QuasiRouters int `json:"quasi_routers"`
+	// VerifyRound is set on "verify" events (1-based).
+	VerifyRound int `json:"verify_round,omitempty"`
+	// Converged is set on the "done" event.
+	Converged bool `json:"converged,omitempty"`
 }
 
 // RefineResult reports what the refinement did.
@@ -78,6 +199,12 @@ type prefixWork struct {
 	done   bool // no further processing (satisfied, stuck, or diverged)
 	ok     bool // fully RIB-Out matched
 	gaveUp bool // propagation diverged; never retried
+
+	// Last observed requirement match counts (observer only); cumulative
+	// thresholds: ribIn >= potential >= ribOut.
+	ribOut    int
+	potential int
+	ribIn     int
 }
 
 // Refine runs the iterative refinement heuristic (§4.6) until every
@@ -101,12 +228,49 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 		maxIter = 4*maxLen + 8
 	}
 
+	observing := cfg.Observer != nil
+	var cumActions RefineActionCounts
+
+	// emit fills the shared bookkeeping of a RefineEvent from the works
+	// and the cumulative action tally, then hands it to the observer.
+	emit := func(ev RefineEvent) {
+		ev.Iteration = res.Iterations
+		ev.CumulativeActions = cumActions
+		ev.QuasiRouters = m.Net.NumRouters()
+		for _, w := range works {
+			ev.Requirements += len(w.reqs)
+			ev.RIBOutMatched += w.ribOut
+			ev.PotentialMatched += w.potential
+			ev.RIBInMatched += w.ribIn
+			switch {
+			case w.gaveUp:
+				ev.PrefixesDiverged++
+			case !w.done:
+				ev.PrefixesOpen++
+			case w.ok:
+				ev.PrefixesSettled++
+			default:
+				ev.PrefixesStuck++
+			}
+		}
+		if ev.Requirements > 0 {
+			n := float64(ev.Requirements)
+			ev.RIBOutFrac = float64(ev.RIBOutMatched) / n
+			ev.PotentialFrac = float64(ev.PotentialMatched) / n
+			ev.RIBInFrac = float64(ev.RIBInMatched) / n
+		}
+		cfg.Observer(ev)
+	}
+
 	iter := 0
 	for iter < maxIter {
 		// Inner loop: settle every open prefix.
 		for iter < maxIter {
 			iter++
 			res.Iterations = iter
+			mIterations.Inc() // live, so /metrics shows mid-run progress
+			before := actionSnapshot(res)
+			reservations := 0
 			changedAny := false
 			pending := 0
 			for _, w := range works {
@@ -114,15 +278,20 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 					continue
 				}
 				if err := m.RunPrefix(w.id); err != nil {
-					if err == sim.ErrDiverged {
+					if errors.Is(err, sim.ErrDiverged) {
 						res.DivergedPrefixes++
 						w.done = true
 						w.gaveUp = true
+						w.ribOut, w.potential, w.ribIn = 0, 0, 0
 						continue
 					}
 					return nil, err
 				}
-				changed, satisfied := m.refinePrefix(w, cfg, res)
+				if observing {
+					w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
+				}
+				changed, satisfied, resv := m.refinePrefix(w, cfg, res)
+				reservations += resv
 				if changed {
 					changedAny = true
 					pending++
@@ -134,6 +303,12 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 			if cfg.Logf != nil {
 				cfg.Logf("refine: iteration %d: %d prefixes changed, %d quasi-routers, %d filters",
 					iter, pending, m.Net.NumRouters(), res.FiltersAdded-res.FiltersRemoved)
+			}
+			if observing {
+				actions := actionSnapshot(res).diff(before)
+				actions.Reservations = reservations
+				cumActions.add(actions)
+				emit(RefineEvent{Type: "iteration", Actions: actions})
 			}
 			if !changedAny {
 				break
@@ -148,11 +323,14 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 				continue
 			}
 			if err := m.RunPrefix(w.id); err != nil {
-				if err == sim.ErrDiverged {
+				if errors.Is(err, sim.ErrDiverged) {
 					w.ok = false
 					continue
 				}
 				return nil, err
+			}
+			if observing {
+				w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
 			}
 			if m.countUnsatisfied(w) > 0 {
 				w.done = false
@@ -162,6 +340,9 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 		}
 		if cfg.Logf != nil && reopened > 0 {
 			cfg.Logf("refine: verification reopened %d prefixes", reopened)
+		}
+		if observing {
+			emit(RefineEvent{Type: "verify", PrefixesReopened: reopened, VerifyRound: res.VerifyRounds})
 		}
 		if reopened == 0 {
 			break
@@ -180,12 +361,15 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 			continue
 		}
 		if err := m.RunPrefix(w.id); err != nil {
-			if err == sim.ErrDiverged {
+			if errors.Is(err, sim.ErrDiverged) {
 				res.Converged = false
 				res.UnsatisfiedRequirements += len(w.reqs)
 				continue
 			}
 			return nil, err
+		}
+		if observing {
+			w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
 		}
 		unsat := m.countUnsatisfied(w)
 		if unsat > 0 {
@@ -193,7 +377,68 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 			res.UnsatisfiedRequirements += unsat
 		}
 	}
+	if observing {
+		emit(RefineEvent{Type: "done", Converged: res.Converged})
+	}
+
+	// Publish the run's work to the obs registry in one batch
+	// (iterations were already counted live above).
+	mRefines.Inc()
+	mFiltersAdd.Add(int64(res.FiltersAdded))
+	mFiltersDel.Add(int64(res.FiltersRemoved))
+	mMEDRules.Add(int64(res.MEDRules))
+	mLPRules.Add(int64(res.LocalPrefRules))
+	mQRsAdded.Add(int64(res.QuasiRoutersAdded))
+	mVerifies.Add(int64(res.VerifyRounds))
+	mDivergedPx.Add(int64(res.DivergedPrefixes))
+	mIterPerRun.ObserveInt(res.Iterations)
 	return res, nil
+}
+
+// matchCounts classifies every requirement of w against the network's
+// converged state for w.id (call after RunPrefix). The counts are
+// cumulative thresholds mirroring §4.2 at requirement granularity:
+// ribOut <= potential (lost at worst the router-ID tie-break) <= ribIn
+// (present in some RIB-In at all).
+func (m *Model) matchCounts(w *prefixWork) (ribOut, potential, ribIn int) {
+	for _, rq := range w.reqs {
+		matched := false
+		for _, q := range m.qrs[rq.as] {
+			if qrSatisfies(q, rq.suffix) {
+				matched = true
+				break
+			}
+		}
+		if matched {
+			ribOut++
+			potential++
+			ribIn++
+			continue
+		}
+		// Look for the wanted route among the candidates and keep the
+		// elimination step closest to winning (as metrics.Classify does).
+		bestStep := bgp.StepNone
+		found := false
+		for _, q := range m.qrs[rq.as] {
+			cands, elim := q.DecideRIB()
+			for i, cand := range cands {
+				if cand.Path.Equal(rq.suffix) {
+					found = true
+					if elim[i] > bestStep {
+						bestStep = elim[i]
+					}
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		ribIn++
+		if bestStep == bgp.StepRouterID {
+			potential++
+		}
+	}
+	return ribOut, potential, ribIn
 }
 
 // buildWork derives the deduplicated (AS, suffix) requirements per prefix.
@@ -280,8 +525,9 @@ func (m *Model) countUnsatisfied(w *prefixWork) int {
 
 // refinePrefix performs one heuristic iteration (Figure 6) for one prefix
 // against the network's converged state. It returns whether the model was
-// changed and whether every requirement was already RIB-Out matched.
-func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult) (changed, satisfied bool) {
+// changed, whether every requirement was already RIB-Out matched, and how
+// many quasi-router reservations pass 1 made (trace bookkeeping).
+func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult) (changed, satisfied bool, reservations int) {
 	prefix := w.id
 	type reqKey struct {
 		as  bgp.ASN
@@ -300,6 +546,7 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 			if qrSatisfies(q, rq.suffix) {
 				resvByQR[q.ID] = rq.key
 				resvReq[reqKey{rq.as, rq.key}] = true
+				reservations++
 				break
 			}
 		}
@@ -376,7 +623,7 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 			}
 		}
 	}
-	return changed, satisfied
+	return changed, satisfied, reservations
 }
 
 // steerSelection installs policies at quasi-router q so that the route

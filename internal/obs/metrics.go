@@ -1,0 +1,379 @@
+// Package obs is the repository's instrumentation substrate: atomic
+// counters, gauges, fixed- and log-bucket histograms, timers, and a
+// registry with Prometheus-text and JSON exposition, plus a structured
+// JSONL trace-event sink and an HTTP debug endpoint (/metrics,
+// /debug/vars, net/http/pprof).
+//
+// It is stdlib-only, like the rest of the repository. Hot layers
+// (internal/sim propagation, internal/model refinement, the ground-truth
+// router simulation) register their metrics against the package default
+// registry at init time; CLIs expose them with -debug-addr. Metrics are
+// cumulative per process — a measurement channel, deliberately separate
+// from trace events, which must stay deterministic (no wall-clock time)
+// so that identical runs produce byte-identical traces.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// --- Counter ------------------------------------------------------------
+
+// Counter is a monotonically increasing int64, safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// --- Gauge --------------------------------------------------------------
+
+// Gauge is an instantaneous int64 value, safe for concurrent use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to v if v is larger (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// --- Histogram ----------------------------------------------------------
+
+// Histogram counts observations into fixed buckets (upper bounds,
+// ascending) plus an implicit +Inf bucket, and tracks sum and count.
+// Safe for concurrent use.
+type Histogram struct {
+	bounds []float64      // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// LinearBuckets returns n ascending upper bounds start, start+width, ...
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns n ascending upper bounds start, start*factor, ...
+// (log-spaced buckets for long-tailed quantities such as message counts
+// or wall times).
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveInt records one integer sample.
+func (h *Histogram) ObserveInt(v int) { h.Observe(float64(v)) }
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Quantile returns an upper-bound estimate of the q-quantile (q in
+// [0, 1]) from the bucket counts: the upper bound of the bucket in which
+// the quantile falls (+Inf maps to the largest finite bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			break
+		}
+	}
+	if len(h.bounds) == 0 {
+		return math.Inf(1)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Timer measures a duration into a histogram (in seconds).
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// Start begins timing against the histogram.
+func (h *Histogram) Start() Timer { return Timer{h: h, start: time.Now()} }
+
+// Stop records the elapsed time and returns it.
+func (t Timer) Stop() time.Duration {
+	d := time.Since(t.start)
+	t.h.ObserveDuration(d)
+	return d
+}
+
+// --- Registry -----------------------------------------------------------
+
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type entry struct {
+	name string
+	help string
+	kind metricKind
+	c    *Counter
+	g    *Gauge
+	h    *Histogram
+}
+
+// Registry is a named collection of metrics with get-or-create semantics
+// and deterministic (name-sorted) exposition.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: make(map[string]*entry)} }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry that the instrumented
+// packages (sim, model, routersim) register against.
+func Default() *Registry { return defaultRegistry }
+
+func (r *Registry) get(name, help string, kind metricKind) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	e := &entry{name: name, help: help, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	}
+	r.entries[name] = e
+	return e
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+// It panics if the name is already registered as a different metric kind.
+func (r *Registry) Counter(name, help string) *Counter { return r.get(name, help, kindCounter).c }
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name, help string) *Gauge { return r.get(name, help, kindGauge).g }
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket upper bounds if needed (buckets are ignored when the
+// histogram already exists).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kindHistogram {
+			panic(fmt.Sprintf("obs: metric %q re-registered as histogram (was %s)", name, e.kind))
+		}
+		return e.h
+	}
+	e := &entry{name: name, help: help, kind: kindHistogram, h: newHistogram(buckets)}
+	r.entries[name] = e
+	return e.h
+}
+
+// GetCounter, GetGauge and GetHistogram are shorthands on the default
+// registry.
+func GetCounter(name, help string) *Counter { return Default().Counter(name, help) }
+
+// GetGauge returns a gauge from the default registry.
+func GetGauge(name, help string) *Gauge { return Default().Gauge(name, help) }
+
+// GetHistogram returns a histogram from the default registry.
+func GetHistogram(name, help string, buckets []float64) *Histogram {
+	return Default().Histogram(name, help, buckets)
+}
+
+func (r *Registry) sorted() []*entry {
+	r.mu.Lock()
+	out := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, e := range r.sorted() {
+		if e.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+			return err
+		}
+		switch e.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.c.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s %d\n", e.name, e.g.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			h := e.h
+			var cum int64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				bound := math.Inf(1)
+				if i < len(h.bounds) {
+					bound = h.bounds[i]
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", e.name, fmtFloat(bound), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum %s\n", e.name, fmtFloat(h.Sum())); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count %d\n", e.name, h.Count()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns a JSON-marshalable view of every metric: counters and
+// gauges map to their value, histograms to {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]interface{} {
+	out := make(map[string]interface{})
+	for _, e := range r.sorted() {
+		switch e.kind {
+		case kindCounter:
+			out[e.name] = e.c.Value()
+		case kindGauge:
+			out[e.name] = e.g.Value()
+		case kindHistogram:
+			h := e.h
+			buckets := make([]map[string]interface{}, 0, len(h.counts))
+			var cum int64
+			for i := range h.counts {
+				cum += h.counts[i].Load()
+				bound := "+Inf"
+				if i < len(h.bounds) {
+					bound = fmtFloat(h.bounds[i])
+				}
+				buckets = append(buckets, map[string]interface{}{"le": bound, "count": cum})
+			}
+			out[e.name] = map[string]interface{}{
+				"count":   h.Count(),
+				"sum":     h.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters only go up
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+	g.SetMax(5) // lower: no-op
+	if got := g.Value(); got != 7 {
+		t.Fatalf("SetMax lowered gauge to %d", got)
+	}
+	g.SetMax(100)
+	if got := g.Value(); got != 100 {
+		t.Fatalf("SetMax = %d, want 100", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0.1, 0.1, 3)
+	if len(lin) != 3 || math.Abs(lin[2]-0.3) > 1e-12 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1, 4, 4)
+	want := []float64{1, 4, 16, 64}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", exp, want)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("count = %d, want 5", got)
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Fatalf("sum = %v, want 556.5", got)
+	}
+	// Bucket placement: le=1 gets {0.5, 1}, le=10 gets {5}, le=100 gets
+	// {50}, +Inf gets {500}.
+	wantCounts := []int64{2, 1, 1, 1}
+	for i, want := range wantCounts {
+		if got := h.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if q := h.Quantile(0.5); q != 10 {
+		t.Errorf("p50 = %v, want 10 (upper bound of the median bucket)", q)
+	}
+	if q := h.Quantile(1.0); q != 100 {
+		t.Errorf("p100 = %v, want 100 (largest finite bound)", q)
+	}
+	empty := newHistogram([]float64{1})
+	if q := empty.Quantile(0.9); q != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", q)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	h := newHistogram(ExpBuckets(1e-9, 10, 12))
+	timer := h.Start()
+	time.Sleep(time.Millisecond)
+	d := timer.Stop()
+	if d <= 0 || h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("timer: d=%v count=%d sum=%v", d, h.Count(), h.Sum())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "help")
+	c2 := r.Counter("x_total", "help")
+	if c1 != c2 {
+		t.Fatal("get-or-create returned distinct counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("x_total", "wrong kind")
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "a counter").Add(3)
+	r.Gauge("a_gauge", "a gauge").Set(-2)
+	h := r.Histogram("c_seconds", "a histogram", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE a_gauge gauge\na_gauge -2\n",
+		"# TYPE b_total counter\nb_total 3\n",
+		"# TYPE c_seconds histogram\n",
+		`c_seconds_bucket{le="0.5"} 1`,
+		`c_seconds_bucket{le="1"} 1`,
+		`c_seconds_bucket{le="+Inf"} 2`,
+		"c_seconds_sum 2.25",
+		"c_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: names are sorted.
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Error("metrics not sorted by name")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ct_total", "").Add(7)
+	r.Gauge("g", "").Set(9)
+	r.Histogram("h", "", []float64{1, 2}).Observe(1.5)
+
+	b, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back["ct_total"].(float64) != 7 || back["g"].(float64) != 9 {
+		t.Fatalf("round trip: %v", back)
+	}
+	hist := back["h"].(map[string]interface{})
+	if hist["count"].(float64) != 1 || hist["sum"].(float64) != 1.5 {
+		t.Fatalf("histogram round trip: %v", hist)
+	}
+	if n := len(hist["buckets"].([]interface{})); n != 3 {
+		t.Fatalf("bucket count = %d, want 3 (2 bounds + Inf)", n)
+	}
+}
+
+func TestTraceSink(t *testing.T) {
+	type ev struct {
+		Type string `json:"type"`
+		N    int    `json:"n"`
+	}
+	var buf bytes.Buffer
+	s := NewTraceSink(&buf)
+	for i := 0; i < 3; i++ {
+		if err := s.Emit(ev{Type: "tick", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 3 || s.Err() != nil {
+		t.Fatalf("count=%d err=%v", s.Count(), s.Err())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var got ev
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d not JSON: %v", i, err)
+		}
+		if got.N != i {
+			t.Fatalf("line %d: %+v", i, got)
+		}
+	}
+}
+
+type failWriter struct{ fails bool }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.fails {
+		return 0, fmt.Errorf("disk full")
+	}
+	return len(p), nil
+}
+
+func TestTraceSinkError(t *testing.T) {
+	fw := &failWriter{fails: true}
+	s := NewTraceSink(fw)
+	// The bufio layer only surfaces the error on flush (or overflow).
+	_ = s.Emit(map[string]int{"a": 1})
+	if err := s.Flush(); err == nil {
+		t.Fatal("flush on failing writer succeeded")
+	}
+	if s.Err() == nil {
+		t.Fatal("error not sticky")
+	}
+	if err := s.Emit(map[string]int{"b": 2}); err == nil {
+		t.Fatal("emit after error succeeded")
+	}
+}
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Add(5)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b bytes.Buffer
+		if _, err := b.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "served_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, `"served_total": 5`) {
+		t.Errorf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Error("/debug/vars missing memstats")
+	}
+	if out := get("/debug/pprof/"); !strings.Contains(out, "goroutine") {
+		t.Error("/debug/pprof/ missing profile index")
+	}
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceSink writes structured trace events as JSON Lines: one
+// json.Marshal-ed event per line. Emission is deterministic for a
+// deterministic event stream — struct fields marshal in declaration
+// order and the sink adds nothing of its own (no timestamps, no sequence
+// numbers) — so two identical runs produce byte-identical trace files.
+// Safe for concurrent use.
+type TraceSink struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceSink wraps w in a buffered JSONL sink. Call Flush (or Close on
+// the underlying file after Flush) when done.
+func NewTraceSink(w io.Writer) *TraceSink {
+	return &TraceSink{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one event as a single JSON line. After the first error all
+// subsequent emits are dropped; check Err.
+func (s *TraceSink) Emit(event interface{}) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	b, err := json.Marshal(event)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if _, err := s.w.Write(b); err != nil {
+		s.err = err
+		return err
+	}
+	if err := s.w.WriteByte('\n'); err != nil {
+		s.err = err
+		return err
+	}
+	s.n++
+	return nil
+}
+
+// Count returns the number of events emitted successfully.
+func (s *TraceSink) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err returns the first emission error, if any.
+func (s *TraceSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush writes buffered data to the underlying writer.
+func (s *TraceSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.w.Flush(); err != nil {
+		s.err = err
+		return err
+	}
+	return nil
+}

@@ -15,7 +15,15 @@ import (
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
 	"asmodel/internal/igp"
+	"asmodel/internal/obs"
 	"asmodel/internal/sim"
+)
+
+// Ground-truth simulation metrics (the per-message work is counted by
+// the sim layer; these count the router-level workload on top of it).
+var (
+	mRuns = obs.GetCounter("routersim_runs_total", "ground-truth prefix propagations")
+	mObs  = obs.GetCounter("routersim_observations_total", "vantage-point route observations recorded")
 )
 
 // AS is one autonomous system of a router-level Internet.
@@ -203,6 +211,7 @@ func (in *Internet) RunPrefix(prefix bgp.PrefixID, origin bgp.ASN) error {
 	for i, r := range a.Routers {
 		ids[i] = r.ID
 	}
+	mRuns.Inc()
 	return in.Net.Run(prefix, ids)
 }
 
@@ -232,6 +241,7 @@ func Observe(ds *dataset.Dataset, prefixName string, learned int64, vps []Vantag
 			Path:    best.Path.Prepend(vp.Router.AS),
 			Learned: learned,
 		})
+		mObs.Inc()
 	}
 }
 

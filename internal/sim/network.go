@@ -29,14 +29,91 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"asmodel/internal/bgp"
+	"asmodel/internal/obs"
 )
 
 // ErrDiverged is returned by Run when message count exceeds the budget,
 // indicating the policy system has no stable solution (or converges too
-// slowly to distinguish from one).
+// slowly to distinguish from one). The error returned by Run is a
+// *DivergenceError wrapping this sentinel; match with errors.Is.
 var ErrDiverged = errors.New("sim: BGP propagation did not converge (message budget exhausted)")
+
+// DivergenceError reports the context of a divergence: which prefix blew
+// the budget and how much work was done. It unwraps to ErrDiverged.
+type DivergenceError struct {
+	// Prefix is the prefix whose propagation did not converge.
+	Prefix bgp.PrefixID
+	// Messages is the number of messages delivered before giving up.
+	Messages int
+	// Budget is the message budget that was exhausted.
+	Budget int
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("sim: BGP propagation of prefix %d did not converge: %d messages delivered, budget %d exhausted",
+		e.Prefix, e.Messages, e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrDiverged) succeed.
+func (e *DivergenceError) Unwrap() error { return ErrDiverged }
+
+// Propagation metrics, registered on the obs default registry. Counters
+// are batched per Run (not per message), so the hot loop stays free of
+// atomic operations.
+var (
+	mRuns      = obs.GetCounter("sim_runs_total", "prefix propagation runs")
+	mMsgs      = obs.GetCounter("sim_messages_delivered_total", "BGP messages delivered across all runs")
+	mInstalled = obs.GetCounter("sim_routes_installed_total", "Adj-RIB-In entries installed (nil -> route)")
+	mReplaced  = obs.GetCounter("sim_routes_replaced_total", "Adj-RIB-In entries replaced (route -> different route)")
+	mWithdrawn = obs.GetCounter("sim_withdrawals_total", "Adj-RIB-In entries withdrawn (route -> nil)")
+	mBestFlips = obs.GetCounter("sim_best_changes_total", "best-route changes that triggered re-export")
+	mDiverged  = obs.GetCounter("sim_diverged_total", "runs that exhausted the message budget")
+	mRunMsgs   = obs.GetHistogram("sim_run_messages", "messages delivered per run",
+		obs.ExpBuckets(1, 4, 12))
+	mQueueHW = obs.GetHistogram("sim_queue_highwater", "per-run delivery-queue high-water mark",
+		obs.ExpBuckets(1, 4, 10))
+	mRunTime = obs.GetHistogram("sim_run_seconds", "per-prefix convergence wall time",
+		obs.ExpBuckets(1e-6, 10, 9))
+	mBudgetRatio = obs.GetHistogram("sim_budget_used_ratio", "fraction of the message budget used per run (divergence-guard proximity)",
+		obs.LinearBuckets(0.1, 0.1, 10))
+)
+
+// RunStats is the per-Run instrumentation snapshot: how much work the
+// last propagation did and how close it came to the divergence guard.
+type RunStats struct {
+	// Prefix is the prefix of the run.
+	Prefix bgp.PrefixID
+	// Messages is the number of messages delivered.
+	Messages int
+	// Budget is the message budget the run operated under.
+	Budget int
+	// QueueHighWater is the maximum delivery-queue depth reached.
+	QueueHighWater int
+	// RoutesInstalled counts Adj-RIB-In transitions nil -> route.
+	RoutesInstalled int
+	// RoutesReplaced counts Adj-RIB-In transitions route -> route.
+	RoutesReplaced int
+	// RoutesWithdrawn counts Adj-RIB-In transitions route -> nil.
+	RoutesWithdrawn int
+	// BestChanges counts best-route changes that triggered re-export.
+	BestChanges int
+	// Diverged reports whether the run exhausted the budget.
+	Diverged bool
+	// Elapsed is the wall time of the run.
+	Elapsed time.Duration
+}
+
+// BudgetUsed returns Messages/Budget — how close the run came to the
+// divergence guard (1.0 means it tripped).
+func (s RunStats) BudgetUsed() float64 {
+	if s.Budget == 0 {
+		return 0
+	}
+	return float64(s.Messages) / float64(s.Budget)
+}
 
 // Network is a topology of routers and BGP sessions over which prefixes
 // are propagated one at a time. Not safe for concurrent use.
@@ -59,9 +136,9 @@ type Network struct {
 	queue    []message
 	qHead    int
 
-	prefix  bgp.PrefixID
-	ran     bool
-	lastMsg int
+	prefix bgp.PrefixID
+	ran    bool
+	stats  RunStats
 }
 
 type message struct {
@@ -276,9 +353,11 @@ func (p *Peer) ExportDenied(prefix bgp.PrefixID) bool {
 // announced in sorted router-ID order for determinism. Run returns
 // ErrDiverged if the message budget is exhausted.
 func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
+	start := time.Now()
 	n.reset()
 	n.prefix = prefix
 	n.ran = true
+	n.stats = RunStats{Prefix: prefix}
 
 	sorted := make([]bgp.RouterID, len(origins))
 	copy(sorted, origins)
@@ -303,6 +382,7 @@ func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
 	if budget == 0 {
 		budget = 1000 + 200*n.sessions
 	}
+	n.stats.Budget = budget
 	msgs := 0
 	for n.qHead < len(n.queue) {
 		m := n.queue[n.qHead]
@@ -311,19 +391,45 @@ func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
 		msgs++
 		if msgs > budget {
 			n.drainQueue()
-			n.lastMsg = msgs
-			return ErrDiverged
+			n.stats.Messages = msgs
+			n.stats.Diverged = true
+			n.finishRun(start)
+			return &DivergenceError{Prefix: prefix, Messages: msgs, Budget: budget}
 		}
 		m.to.deliver(m.peerIdx, m.route)
 	}
 	n.drainQueue()
-	n.lastMsg = msgs
+	n.stats.Messages = msgs
+	n.finishRun(start)
 	return nil
+}
+
+// finishRun stamps the elapsed time and publishes the run's work to the
+// obs registry in one batch.
+func (n *Network) finishRun(start time.Time) {
+	n.stats.Elapsed = time.Since(start)
+	mRuns.Inc()
+	mMsgs.Add(int64(n.stats.Messages))
+	mInstalled.Add(int64(n.stats.RoutesInstalled))
+	mReplaced.Add(int64(n.stats.RoutesReplaced))
+	mWithdrawn.Add(int64(n.stats.RoutesWithdrawn))
+	mBestFlips.Add(int64(n.stats.BestChanges))
+	if n.stats.Diverged {
+		mDiverged.Inc()
+	}
+	mRunMsgs.ObserveInt(n.stats.Messages)
+	mQueueHW.ObserveInt(n.stats.QueueHighWater)
+	mRunTime.ObserveDuration(n.stats.Elapsed)
+	mBudgetRatio.Observe(n.stats.BudgetUsed())
 }
 
 // MessagesDelivered returns the number of messages processed by the most
 // recent Run — a direct measure of convergence work.
-func (n *Network) MessagesDelivered() int { return n.lastMsg }
+func (n *Network) MessagesDelivered() int { return n.stats.Messages }
+
+// LastRunStats returns the instrumentation snapshot of the most recent
+// Run.
+func (n *Network) LastRunStats() RunStats { return n.stats }
 
 // Prefix returns the prefix of the most recent Run.
 func (n *Network) Prefix() bgp.PrefixID { return n.prefix }
@@ -353,19 +459,32 @@ func (n *Network) enqueue(m message) {
 		n.qHead = 0
 	}
 	n.queue = append(n.queue, m)
+	if depth := len(n.queue) - n.qHead; depth > n.stats.QueueHighWater {
+		n.stats.QueueHighWater = depth
+	}
 }
 
 // deliver processes one inbound message on peers[peerIdx].
 func (r *Router) deliver(peerIdx int, in *bgp.Route) {
 	p := r.peers[peerIdx]
 	rt := r.applyImport(p, in)
-	if routesEqual(r.ribIn[peerIdx], rt) {
+	old := r.ribIn[peerIdx]
+	if routesEqual(old, rt) {
 		return
+	}
+	switch {
+	case old == nil:
+		r.net.stats.RoutesInstalled++
+	case rt == nil:
+		r.net.stats.RoutesWithdrawn++
+	default:
+		r.net.stats.RoutesReplaced++
 	}
 	r.ribIn[peerIdx] = rt
 	oldBest := r.best
 	r.recomputeBest()
 	if !routesEqual(oldBest, r.best) {
+		r.net.stats.BestChanges++
 		r.exportAll()
 	}
 }

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"asmodel/internal/bgp"
@@ -354,8 +356,24 @@ func TestDivergenceDetected(t *testing.T) {
 	}
 	net.MaxMessages = 5000
 	err := net.Run(1, []bgp.RouterID{origin.ID})
-	if err != ErrDiverged {
+	if !errors.Is(err, ErrDiverged) {
 		t.Fatalf("expected ErrDiverged, got %v", err)
+	}
+	var de *DivergenceError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DivergenceError, got %T", err)
+	}
+	if de.Prefix != 1 || de.Budget != 5000 || de.Messages != 5001 {
+		t.Errorf("divergence context = %+v", de)
+	}
+	for _, want := range []string{"prefix 1", "5001 messages", "budget 5000"} {
+		if !strings.Contains(de.Error(), want) {
+			t.Errorf("error text missing %q: %s", want, de.Error())
+		}
+	}
+	st := net.LastRunStats()
+	if !st.Diverged || st.BudgetUsed() <= 1.0 {
+		t.Errorf("diverged run stats = %+v", st)
 	}
 }
 
@@ -551,4 +569,61 @@ func ExampleNetwork_Run() {
 	net.Run(0, []bgp.RouterID{a.ID})
 	fmt.Println(b.Best().Path)
 	// Output: 65001
+}
+
+func TestRunStats(t *testing.T) {
+	net, rs := buildLine(t, 5)
+	mustRun(t, net, 7, rs[0].ID)
+	st := net.LastRunStats()
+	if st.Prefix != 7 {
+		t.Errorf("stats prefix = %d, want 7", st.Prefix)
+	}
+	if st.Messages != net.MessagesDelivered() || st.Messages == 0 {
+		t.Errorf("stats messages = %d, MessagesDelivered = %d", st.Messages, net.MessagesDelivered())
+	}
+	// A line propagation installs one route per downstream session
+	// direction plus the reverse announcements; at minimum every router
+	// past the origin installed its upstream route.
+	if st.RoutesInstalled < 4 {
+		t.Errorf("routes installed = %d, want >= 4", st.RoutesInstalled)
+	}
+	if st.RoutesWithdrawn != 0 || st.RoutesReplaced != 0 {
+		t.Errorf("line topology should not withdraw/replace: %+v", st)
+	}
+	if st.BestChanges < 4 {
+		t.Errorf("best changes = %d, want >= 4", st.BestChanges)
+	}
+	if st.QueueHighWater < 1 {
+		t.Errorf("queue high-water = %d", st.QueueHighWater)
+	}
+	if st.Budget == 0 || st.BudgetUsed() <= 0 || st.BudgetUsed() >= 1 {
+		t.Errorf("budget accounting: %+v", st)
+	}
+	if st.Diverged {
+		t.Error("converged run marked diverged")
+	}
+	if st.Elapsed <= 0 {
+		t.Errorf("elapsed = %v", st.Elapsed)
+	}
+
+	// A rerun resets the per-run snapshot.
+	mustRun(t, net, 8, rs[4].ID)
+	if got := net.LastRunStats().Prefix; got != 8 {
+		t.Errorf("stats not reset: prefix = %d", got)
+	}
+}
+
+func TestRunStatsWithdrawals(t *testing.T) {
+	net, rs := buildLine(t, 3)
+	mustRun(t, net, 1, rs[0].ID)
+	// Deny the origin's export and re-run: downstream routers never learn
+	// the route this time, and because Run resets per-prefix state there
+	// is nothing to install or withdraw — the counters must reflect that
+	// rather than leak totals from the previous run.
+	rs[0].PeerTo(rs[1].ID).DenyExport(1)
+	mustRun(t, net, 1, rs[0].ID)
+	st := net.LastRunStats()
+	if st.RoutesInstalled != 0 || st.RoutesWithdrawn != 0 {
+		t.Errorf("filtered rerun stats = %+v", st)
+	}
 }
