@@ -13,10 +13,11 @@ test:
 vet:
 	$(GO) vet ./...
 
-# The sim and model packages hold all the concurrency-sensitive state
-# (atomic metrics, shared registries); race-check them explicitly.
+# Everything runs under the race detector in CI (the sim/model/obs
+# packages hold the concurrency-sensitive state, but signal handling and
+# trace sinks in cmd/ deserve it too).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/model/... ./internal/obs/...
+	$(GO) test -race ./...
 
 check: build vet test race
 

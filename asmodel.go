@@ -32,6 +32,7 @@
 package asmodel
 
 import (
+	"context"
 	"io"
 
 	"asmodel/internal/bgp"
@@ -78,6 +79,40 @@ type (
 	// PathChange describes a what-if prediction difference.
 	PathChange = model.PathChange
 )
+
+// Robustness types: crash-safe checkpointing, cancellation and
+// divergence quarantine.
+type (
+	// CheckpointConfig on RefineConfig enables periodic atomic
+	// checkpoints of an in-flight refinement.
+	CheckpointConfig = model.CheckpointConfig
+	// Checkpoint is a restorable refinement snapshot (model + worklist +
+	// counters).
+	Checkpoint = model.Checkpoint
+	// QuarantineRecord reports a divergence-quarantined prefix and
+	// whether the escalated retry recovered it.
+	QuarantineRecord = model.QuarantineRecord
+	// DivergenceRecord reports a prefix whose evaluation run exhausted
+	// its message budget (Evaluation.Divergences).
+	DivergenceRecord = model.DivergenceRecord
+	// InterruptedError is returned by the context-aware entry points
+	// (Model.RefineContext, Model.EvaluateContext) when cancellation
+	// stops the run; it carries progress made and the last checkpoint.
+	InterruptedError = model.InterruptedError
+)
+
+// LoadCheckpointFile reads a refinement checkpoint written during a
+// checkpointed Refine run (see CheckpointConfig).
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	return model.LoadCheckpointFile(path)
+}
+
+// ResumeRefine continues a checkpointed refinement against the same
+// training set; the resumed run converges to the same final model and
+// match fractions as an uninterrupted one.
+func ResumeRefine(ctx context.Context, cp *Checkpoint, train *Dataset, cfg RefineConfig) (*model.RefineResult, error) {
+	return model.ResumeRefine(ctx, cp, train, cfg)
+}
 
 // Synthetic-Internet generation (the substitute for Routeviews/RIPE
 // feeds).

@@ -10,11 +10,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
@@ -23,6 +27,43 @@ import (
 	"asmodel/internal/stats"
 	"asmodel/internal/topology"
 )
+
+// Exit codes, documented in the README: usage errors are distinguishable
+// from runtime failures, and an interrupted (but cleanly checkpointed)
+// refinement from both.
+const (
+	exitOK          = 0
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
+)
+
+// usageError marks an error as the caller's fault (bad flags/arguments)
+// so run maps it to exitUsage. quiet suppresses re-printing when the
+// flag package already reported the problem.
+type usageError struct {
+	err   error
+	quiet bool
+}
+
+func (u usageError) Error() string { return u.err.Error() }
+func (u usageError) Unwrap() error { return u.err }
+
+func usagef(format string, a ...interface{}) error {
+	return usageError{err: fmt.Errorf(format, a...)}
+}
+
+// parseFlags parses with ContinueOnError semantics: -h/-help exits
+// cleanly, malformed flags become (already-reported) usage errors.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return flag.ErrHelp
+		}
+		return usageError{err: err, quiet: true}
+	}
+	return nil
+}
 
 // debugServer holds the process-lifetime debug endpoint started by
 // -debug-addr, exposed as a variable so tests can reach its resolved
@@ -46,32 +87,60 @@ func startDebugServer(addr string) error {
 }
 
 func main() {
-	if len(os.Args) < 2 {
+	// SIGINT/SIGTERM cancel the context; long-running refinements write a
+	// final checkpoint and exit cleanly with exitInterrupted.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:]))
+}
+
+// run dispatches the subcommand and maps its error to an exit code:
+// 0 success, 1 runtime failure, 2 usage error, 3 interrupted.
+func run(ctx context.Context, args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "stats":
-		err = cmdStats(os.Args[2:])
+		err = cmdStats(ctx, args[1:])
 	case "refine":
-		err = cmdRefine(os.Args[2:])
+		err = cmdRefine(ctx, args[1:])
 	case "predict":
-		err = cmdPredict(os.Args[2:])
+		err = cmdPredict(ctx, args[1:])
 	case "whatif":
-		err = cmdWhatif(os.Args[2:])
+		err = cmdWhatif(ctx, args[1:])
 	case "explain":
-		err = cmdExplain(os.Args[2:])
+		err = cmdExplain(ctx, args[1:])
 	case "evaluate":
-		err = cmdEvaluate(os.Args[2:])
+		err = cmdEvaluate(ctx, args[1:])
 	default:
 		usage()
-		os.Exit(2)
+		return exitUsage
 	}
-	if err != nil {
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+		return exitOK
+	default:
+	}
+	var ierr *model.InterruptedError
+	if errors.As(err, &ierr) {
 		fmt.Fprintln(os.Stderr, "asmodel:", err)
-		os.Exit(1)
+		if ierr.Checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "asmodel: resume with: asmodel refine -resume -checkpoint %s <original flags>\n", ierr.Checkpoint)
+		}
+		return exitInterrupted
 	}
+	var uerr usageError
+	if errors.As(err, &uerr) {
+		if !uerr.quiet {
+			fmt.Fprintln(os.Stderr, "asmodel:", err)
+		}
+		return exitUsage
+	}
+	fmt.Fprintln(os.Stderr, "asmodel:", err)
+	return exitRuntime
 }
 
 func usage() {
@@ -112,24 +181,27 @@ func parseASList(s string) ([]bgp.ASN, error) {
 	return out, nil
 }
 
-func cmdStats(args []string) error {
-	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+func cmdStats(ctx context.Context, args []string) error {
+	_ = ctx // stats runs no simulation; nothing long enough to cancel
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	tier1 := fs.String("tier1", "", "comma-separated tier-1 seed ASes")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" {
-		return fmt.Errorf("stats: -in is required")
+		return usagef("stats: -in is required")
+	}
+	seeds, err := parseASList(*tier1)
+	if err != nil {
+		return usagef("stats: %v", err)
+	}
+	if len(seeds) == 0 {
+		return usagef("stats: -tier1 seeds are required (e.g. -tier1 10,11)")
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
 		return err
-	}
-	seeds, err := parseASList(*tier1)
-	if err != nil {
-		return err
-	}
-	if len(seeds) == 0 {
-		return fmt.Errorf("stats: -tier1 seeds are required (e.g. -tier1 10,11)")
 	}
 	st, err := topology.ComputeStats(ds, seeds)
 	if err != nil {
@@ -153,8 +225,8 @@ func cmdStats(args []string) error {
 	return nil
 }
 
-func cmdRefine(args []string) error {
-	fs := flag.NewFlagSet("refine", flag.ExitOnError)
+func cmdRefine(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("refine", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	trainFrac := fs.Float64("train-frac", 0.5, "fraction of observation points used for training")
 	seed := fs.Int64("seed", 1, "split seed")
@@ -163,9 +235,20 @@ func cmdRefine(args []string) error {
 	save := fs.String("save", "", "write the refined model to this file")
 	tracePath := fs.String("trace", "", "write per-iteration refinement trace events (JSONL) to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
-	fs.Parse(args)
+	checkpoint := fs.String("checkpoint", "", "write a crash-safe refinement checkpoint to this file (atomic rename; also on SIGINT/SIGTERM)")
+	ckptEvery := fs.Int("checkpoint-every", model.DefaultCheckpointEvery, "iterations between checkpoints (with -checkpoint)")
+	resume := fs.Bool("resume", false, "resume refinement from the -checkpoint file instead of starting fresh")
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" {
-		return fmt.Errorf("refine: -in is required")
+		return usagef("refine: -in is required")
+	}
+	if *resume && *checkpoint == "" {
+		return usagef("refine: -resume requires -checkpoint")
+	}
+	if *ckptEvery < 1 {
+		return usagef("refine: -checkpoint-every must be >= 1")
 	}
 	if *debugAddr != "" {
 		if err := startDebugServer(*debugAddr); err != nil {
@@ -182,11 +265,9 @@ func cmdRefine(args []string) error {
 	} else {
 		train, valid = ds.SplitByObsPoint(*trainFrac, *seed)
 	}
-	m, err := model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
-	if err != nil {
-		return err
+	cfg := model.RefineConfig{
+		Checkpoint: model.CheckpointConfig{Path: *checkpoint, Every: *ckptEvery},
 	}
-	cfg := model.RefineConfig{}
 	if *verbose {
 		cfg.Logf = func(format string, a ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
@@ -200,9 +281,31 @@ func cmdRefine(args []string) error {
 		}
 		defer f.Close()
 		sink = obs.NewTraceSink(f)
-		cfg.Observer = func(ev model.RefineEvent) { sink.Emit(ev) }
+		cfg.Observer = func(ev model.RefineEvent) {
+			sink.Emit(ev)
+			if ev.Type == "checkpoint" {
+				// Keep the on-disk trace consistent with the checkpoint
+				// that just referenced this point in the run.
+				sink.Sync()
+			}
+		}
 	}
-	res, err := m.Refine(train, cfg)
+	var m *model.Model
+	var res *model.RefineResult
+	if *resume {
+		cp, cerr := model.LoadCheckpointFile(*checkpoint)
+		if cerr != nil {
+			return cerr
+		}
+		m = cp.Model
+		fmt.Printf("resuming from %s at iteration %d\n", *checkpoint, cp.Iteration)
+		res, err = model.ResumeRefine(ctx, cp, train, cfg)
+	} else {
+		if m, err = model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds)); err != nil {
+			return err
+		}
+		res, err = m.RefineContext(ctx, train, cfg)
+	}
 	if sink != nil {
 		if ferr := sink.Flush(); ferr != nil && err == nil {
 			err = fmt.Errorf("refine: writing trace %s: %w", *tracePath, ferr)
@@ -215,11 +318,23 @@ func cmdRefine(args []string) error {
 	}
 	fmt.Printf("refinement: iterations=%d converged=%v quasi-routers=+%d filters=%d(-%d) med-rules=%d\n",
 		res.Iterations, res.Converged, res.QuasiRoutersAdded, res.FiltersAdded, res.FiltersRemoved, res.MEDRules)
+	if n := len(res.Quarantined); n > 0 {
+		recovered := 0
+		for _, q := range res.Quarantined {
+			if q.Recovered {
+				recovered++
+			}
+		}
+		fmt.Printf("quarantine: %d prefixes diverged, %d recovered under escalated budget\n", n, recovered)
+	}
+	if res.Checkpoints > 0 {
+		fmt.Printf("checkpoints: %d written to %s\n", res.Checkpoints, res.LastCheckpoint)
+	}
 	for _, part := range []struct {
 		name string
 		set  *dataset.Dataset
 	}{{"training", train}, {"validation", valid}} {
-		ev, err := m.Evaluate(part.set)
+		ev, err := m.EvaluateContext(ctx, part.set)
 		if err != nil {
 			return err
 		}
@@ -242,7 +357,7 @@ func cmdRefine(args []string) error {
 
 // loadOrRefine loads a saved model, or builds and refines one from the
 // dataset when no model file is given.
-func loadOrRefine(modelPath string, ds *dataset.Dataset) (*model.Model, error) {
+func loadOrRefine(ctx context.Context, modelPath string, ds *dataset.Dataset) (*model.Model, error) {
 	if modelPath != "" {
 		f, err := os.Open(modelPath)
 		if err != nil {
@@ -255,21 +370,23 @@ func loadOrRefine(modelPath string, ds *dataset.Dataset) (*model.Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, err := m.Refine(ds, model.RefineConfig{}); err != nil {
+	if _, err := m.RefineContext(ctx, ds, model.RefineConfig{}); err != nil {
 		return nil, err
 	}
 	return m, nil
 }
 
-func cmdPredict(args []string) error {
-	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+func cmdPredict(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "observation AS")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
-		return fmt.Errorf("predict: -prefix, -as and one of -in/-model are required")
+		return usagef("predict: -prefix, -as and one of -in/-model are required")
 	}
 	var ds *dataset.Dataset
 	var err error
@@ -278,7 +395,7 @@ func cmdPredict(args []string) error {
 			return err
 		}
 	}
-	m, err := loadOrRefine(*modelPath, ds)
+	m, err := loadOrRefine(ctx, *modelPath, ds)
 	if err != nil {
 		return err
 	}
@@ -296,17 +413,19 @@ func cmdPredict(args []string) error {
 	return nil
 }
 
-func cmdWhatif(args []string) error {
-	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+func cmdWhatif(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	prefix := fs.String("prefix", "", "prefix name")
 	a := fs.Uint64("a", 0, "first AS of the removed link")
 	b := fs.Uint64("b", 0, "second AS of the removed link")
 	watch := fs.String("watch", "", "comma-separated ASes whose routes to compare")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" && *modelPath == "" || *prefix == "" || *a == 0 || *b == 0 {
-		return fmt.Errorf("whatif: -prefix, -a, -b and one of -in/-model are required")
+		return usagef("whatif: -prefix, -a, -b and one of -in/-model are required")
 	}
 	var ds *dataset.Dataset
 	var err error
@@ -317,15 +436,15 @@ func cmdWhatif(args []string) error {
 	}
 	watchASes, err := parseASList(*watch)
 	if err != nil {
-		return err
+		return usagef("whatif: %v", err)
 	}
 	if len(watchASes) == 0 {
 		if ds == nil {
-			return fmt.Errorf("whatif: -watch is required with -model")
+			return usagef("whatif: -watch is required with -model")
 		}
 		watchASes = ds.ObsASes()
 	}
-	m, err := loadOrRefine(*modelPath, ds)
+	m, err := loadOrRefine(ctx, *modelPath, ds)
 	if err != nil {
 		return err
 	}
@@ -357,15 +476,17 @@ func joinPaths(paths []bgp.Path) string {
 	return strings.Join(parts, "; ")
 }
 
-func cmdExplain(args []string) error {
-	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+func cmdExplain(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "AS whose decision to explain")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
-		return fmt.Errorf("explain: -prefix, -as and one of -in/-model are required")
+		return usagef("explain: -prefix, -as and one of -in/-model are required")
 	}
 	var ds *dataset.Dataset
 	var err error
@@ -374,7 +495,7 @@ func cmdExplain(args []string) error {
 			return err
 		}
 	}
-	m, err := loadOrRefine(*modelPath, ds)
+	m, err := loadOrRefine(ctx, *modelPath, ds)
 	if err != nil {
 		return err
 	}
@@ -386,23 +507,25 @@ func cmdExplain(args []string) error {
 	return nil
 }
 
-func cmdEvaluate(args []string) error {
-	fs := flag.NewFlagSet("evaluate", flag.ExitOnError)
+func cmdEvaluate(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file to score against")
 	modelPath := fs.String("model", "", "saved model file")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if *in == "" || *modelPath == "" {
-		return fmt.Errorf("evaluate: -in and -model are required")
+		return usagef("evaluate: -in and -model are required")
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
 		return err
 	}
-	m, err := loadOrRefine(*modelPath, nil)
+	m, err := loadOrRefine(ctx, *modelPath, nil)
 	if err != nil {
 		return err
 	}
-	ev, err := m.Evaluate(ds)
+	ev, err := m.EvaluateContext(ctx, ds)
 	if err != nil {
 		return err
 	}
@@ -411,5 +534,8 @@ func cmdEvaluate(args []string) error {
 	fmt.Printf("down-to-tie-break=%s  skipped-prefixes=%d\n", stats.Pct(s.DownToTieBreak(), s.Total), ev.SkippedPrefixes)
 	fmt.Printf("per-prefix RIB-Out coverage: >=50%%: %d/%d  >=90%%: %d/%d  100%%: %d/%d\n",
 		ev.Coverage.At50, ev.Coverage.Prefixes, ev.Coverage.At90, ev.Coverage.Prefixes, ev.Coverage.At100, ev.Coverage.Prefixes)
+	for _, d := range ev.Divergences {
+		fmt.Printf("diverged: %s (%d messages, budget %d)\n", d.Prefix, d.Messages, d.Budget)
+	}
 	return nil
 }

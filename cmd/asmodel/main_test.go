@@ -3,6 +3,8 @@ package main
 import (
 	"asmodel/internal/bgp"
 
+	"context"
+
 	"encoding/json"
 	"io"
 	"net/http"
@@ -48,16 +50,16 @@ func TestParseASList(t *testing.T) {
 
 func TestCmdStats(t *testing.T) {
 	path := writeDataset(t)
-	if err := cmdStats([]string{"-in", path, "-tier1", "10,20"}); err != nil {
+	if err := cmdStats(context.Background(), []string{"-in", path, "-tier1", "10,20"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdStats([]string{"-in", path}); err == nil {
+	if err := cmdStats(context.Background(), []string{"-in", path}); err == nil {
 		t.Error("missing tier1 accepted")
 	}
-	if err := cmdStats([]string{}); err == nil {
+	if err := cmdStats(context.Background(), []string{}); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := cmdStats([]string{"-in", "/nonexistent", "-tier1", "10"}); err == nil {
+	if err := cmdStats(context.Background(), []string{"-in", "/nonexistent", "-tier1", "10"}); err == nil {
 		t.Error("missing file accepted")
 	}
 }
@@ -65,62 +67,62 @@ func TestCmdStats(t *testing.T) {
 func TestCmdRefineAndSaveLoad(t *testing.T) {
 	path := writeDataset(t)
 	modelPath := filepath.Join(t.TempDir(), "model.txt")
-	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+	if err := cmdRefine(context.Background(), []string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(modelPath); err != nil {
 		t.Fatalf("model not saved: %v", err)
 	}
 	// Predict from the saved model.
-	if err := cmdPredict([]string{"-model", modelPath, "-prefix", "P40", "-as", "10"}); err != nil {
+	if err := cmdPredict(context.Background(), []string{"-model", modelPath, "-prefix", "P40", "-as", "10"}); err != nil {
 		t.Fatal(err)
 	}
 	// Predict by refining in-process.
-	if err := cmdPredict([]string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
+	if err := cmdPredict(context.Background(), []string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
 		t.Fatal(err)
 	}
 	// Origin split path.
-	if err := cmdRefine([]string{"-in", path, "-by-origin"}); err != nil {
+	if err := cmdRefine(context.Background(), []string{"-in", path, "-by-origin"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdRefine([]string{}); err == nil {
+	if err := cmdRefine(context.Background(), []string{}); err == nil {
 		t.Error("missing -in accepted")
 	}
 }
 
 func TestCmdPredictErrors(t *testing.T) {
-	if err := cmdPredict([]string{"-prefix", "P40", "-as", "10"}); err == nil {
+	if err := cmdPredict(context.Background(), []string{"-prefix", "P40", "-as", "10"}); err == nil {
 		t.Error("missing -in/-model accepted")
 	}
 	path := writeDataset(t)
-	if err := cmdPredict([]string{"-in", path, "-as", "10"}); err == nil {
+	if err := cmdPredict(context.Background(), []string{"-in", path, "-as", "10"}); err == nil {
 		t.Error("missing prefix accepted")
 	}
-	if err := cmdPredict([]string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
+	if err := cmdPredict(context.Background(), []string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
 		t.Error("unknown prefix accepted")
 	}
 }
 
 func TestCmdWhatif(t *testing.T) {
 	path := writeDataset(t)
-	if err := cmdWhatif([]string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40"}); err != nil {
+	if err := cmdWhatif(context.Background(), []string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdWhatif([]string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
+	if err := cmdWhatif(context.Background(), []string{"-in", path, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdWhatif([]string{"-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
+	if err := cmdWhatif(context.Background(), []string{"-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
 		t.Error("missing -in/-model accepted")
 	}
 	// With -model but no -in, -watch becomes mandatory.
 	modelPath := filepath.Join(t.TempDir(), "m.txt")
-	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+	if err := cmdRefine(context.Background(), []string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdWhatif([]string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
+	if err := cmdWhatif(context.Background(), []string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40"}); err == nil {
 		t.Error("missing -watch with -model accepted")
 	}
-	if err := cmdWhatif([]string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
+	if err := cmdWhatif(context.Background(), []string{"-model", modelPath, "-prefix", "P40", "-a", "20", "-b", "40", "-watch", "10"}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -138,13 +140,13 @@ func TestJoinPaths(t *testing.T) {
 
 func TestCmdExplain(t *testing.T) {
 	path := writeDataset(t)
-	if err := cmdExplain([]string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
+	if err := cmdExplain(context.Background(), []string{"-in", path, "-prefix", "P40", "-as", "10"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdExplain([]string{"-prefix", "P40", "-as", "10"}); err == nil {
+	if err := cmdExplain(context.Background(), []string{"-prefix", "P40", "-as", "10"}); err == nil {
 		t.Error("missing -in/-model accepted")
 	}
-	if err := cmdExplain([]string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
+	if err := cmdExplain(context.Background(), []string{"-in", path, "-prefix", "Pnope", "-as", "10"}); err == nil {
 		t.Error("unknown prefix accepted")
 	}
 }
@@ -152,17 +154,97 @@ func TestCmdExplain(t *testing.T) {
 func TestCmdEvaluate(t *testing.T) {
 	path := writeDataset(t)
 	modelPath := filepath.Join(t.TempDir(), "m.txt")
-	if err := cmdRefine([]string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
+	if err := cmdRefine(context.Background(), []string{"-in", path, "-train-frac", "1.0", "-save", modelPath}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdEvaluate([]string{"-in", path, "-model", modelPath}); err != nil {
+	if err := cmdEvaluate(context.Background(), []string{"-in", path, "-model", modelPath}); err != nil {
 		t.Fatal(err)
 	}
-	if err := cmdEvaluate([]string{"-in", path}); err == nil {
+	if err := cmdEvaluate(context.Background(), []string{"-in", path}); err == nil {
 		t.Error("missing -model accepted")
 	}
-	if err := cmdEvaluate([]string{"-model", modelPath}); err == nil {
+	if err := cmdEvaluate(context.Background(), []string{"-model", modelPath}); err == nil {
 		t.Error("missing -in accepted")
+	}
+}
+
+// TestRunExitCodes pins the CLI exit-code contract: 0 success, 1 runtime
+// failure, 2 usage error, 3 interrupted.
+func TestRunExitCodes(t *testing.T) {
+	ctx := context.Background()
+	path := writeDataset(t)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no subcommand", nil, 2},
+		{"unknown subcommand", []string{"bogus"}, 2},
+		{"missing required flag", []string{"stats", "-tier1", "10"}, 2},
+		{"undefined flag", []string{"stats", "-no-such-flag"}, 2},
+		{"resume without checkpoint", []string{"refine", "-in", path, "-resume"}, 2},
+		{"runtime failure", []string{"stats", "-in", "/nonexistent", "-tier1", "10"}, 1},
+		{"help", []string{"refine", "-h"}, 0},
+		{"success", []string{"refine", "-in", path, "-train-frac", "1.0"}, 0},
+	}
+	for _, c := range cases {
+		if got := run(ctx, c.args); got != c.want {
+			t.Errorf("%s: exit %d, want %d", c.name, got, c.want)
+		}
+	}
+
+	// A canceled context maps to the interrupted exit code.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if got := run(canceled, []string{"refine", "-in", path, "-train-frac", "1.0"}); got != 3 {
+		t.Errorf("interrupted refine: exit %d, want 3", got)
+	}
+}
+
+// TestCmdRefineCheckpointResume drives the full CLI flow: an interrupted
+// refinement leaves a checkpoint on disk, and -resume continues from it
+// to the same saved model as an uninterrupted run.
+func TestCmdRefineCheckpointResume(t *testing.T) {
+	path := writeDataset(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "refine.ckpt")
+	ref := filepath.Join(dir, "ref.txt")
+	resumed := filepath.Join(dir, "resumed.txt")
+	ctx := context.Background()
+
+	// Uninterrupted reference.
+	if err := cmdRefine(ctx, []string{"-in", path, "-train-frac", "1.0", "-save", ref}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: canceled before the first iteration; the final
+	// checkpoint still lands on disk.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	err := cmdRefine(canceled, []string{"-in", path, "-train-frac", "1.0",
+		"-checkpoint", ckpt, "-checkpoint-every", "1"})
+	if err == nil {
+		t.Fatal("canceled refine succeeded")
+	}
+	if _, serr := os.Stat(ckpt); serr != nil {
+		t.Fatalf("no checkpoint written on interrupt: %v", serr)
+	}
+
+	// Resume to completion and compare the models byte for byte.
+	if err := cmdRefine(ctx, []string{"-in", path, "-train-frac", "1.0",
+		"-checkpoint", ckpt, "-resume", "-save", resumed}); err != nil {
+		t.Fatal(err)
+	}
+	refBytes, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedBytes, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(refBytes) != string(resumedBytes) {
+		t.Error("resumed model differs from uninterrupted model")
 	}
 }
 
@@ -174,7 +256,7 @@ func TestCmdEvaluate(t *testing.T) {
 func TestCmdRefineDebugAndTrace(t *testing.T) {
 	path := writeDataset(t)
 	tracePath := filepath.Join(t.TempDir(), "refine-trace.jsonl")
-	err := cmdRefine([]string{"-in", path, "-train-frac", "1.0",
+	err := cmdRefine(context.Background(), []string{"-in", path, "-train-frac", "1.0",
 		"-debug-addr", "127.0.0.1:0", "-trace", tracePath})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,361 @@
+package model
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/sim"
+)
+
+// The refinement checkpoint is a versioned, line-oriented text format —
+// same family as the model serialization it embeds — capturing
+// everything refineRun needs to continue after a crash or interrupt:
+// the iteration counter, verify-round count, cumulative action tallies,
+// the per-prefix worklist (state, retry/budget escalation, divergence
+// context) and the model itself via model.Save. The embedded model's
+// "end" trailer doubles as the checkpoint trailer, so truncation
+// anywhere in the file is detected on load.
+const checkpointMagic = "asmodel-checkpoint-v1"
+
+// DefaultCheckpointEvery is the checkpoint interval (in refinement
+// iterations) used when CheckpointConfig.Every is zero.
+const DefaultCheckpointEvery = 10
+
+// CheckpointConfig enables crash-safe refinement checkpointing.
+type CheckpointConfig struct {
+	// Path is the checkpoint file; empty disables checkpointing. Writes
+	// are atomic (temp file + rename), so a crash mid-write leaves the
+	// previous checkpoint intact.
+	Path string
+	// Every writes a checkpoint after every N iterations (0 selects
+	// DefaultCheckpointEvery). A final checkpoint is also written when a
+	// canceled context stops the run.
+	Every int
+}
+
+// Checkpoint is a restorable snapshot of an in-flight refinement.
+type Checkpoint struct {
+	// Iteration and VerifyRounds are the loop counters at snapshot time.
+	Iteration    int
+	VerifyRounds int
+	// Cumulative is the trace observer's cumulative action tally.
+	Cumulative RefineActionCounts
+	// Result carries the partial result counters (actions performed,
+	// diverged prefixes). Derived fields — SkippedPrefixes, MaxPathLen,
+	// match fractions — are recomputed on resume.
+	Result RefineResult
+	// Works is the per-prefix worklist state.
+	Works []CheckpointWork
+	// Model is the model as of the snapshot.
+	Model *Model
+}
+
+// CheckpointWork is the serialized state of one prefix's refinement.
+type CheckpointWork struct {
+	Prefix  string
+	State   string // "open", "settled", "stuck", "quarantined" or "gaveup"
+	Retried bool
+	Budget  int
+	// DivMessages/DivBudget preserve the divergence context (zero when
+	// the prefix never diverged).
+	DivMessages int
+	DivBudget   int
+}
+
+func workState(w *prefixWork) string {
+	switch {
+	case w.gaveUp:
+		return "gaveup"
+	case w.quarantined:
+		return "quarantined"
+	case !w.done:
+		return "open"
+	case w.ok:
+		return "settled"
+	default:
+		return "stuck"
+	}
+}
+
+// snapshot captures the run's restorable state as a Checkpoint.
+func (rr *refineRun) snapshot() *Checkpoint {
+	cp := &Checkpoint{
+		Iteration:    rr.iter,
+		VerifyRounds: rr.res.VerifyRounds,
+		Cumulative:   rr.cum,
+		Result:       *rr.res,
+		Model:        rr.m,
+	}
+	for _, w := range rr.works {
+		cw := CheckpointWork{
+			Prefix:  rr.name(w),
+			State:   workState(w),
+			Retried: w.retried,
+			Budget:  w.budget,
+		}
+		if w.div != nil {
+			cw.DivMessages, cw.DivBudget = w.div.Messages, w.div.Budget
+		}
+		cp.Works = append(cp.Works, cw)
+	}
+	return cp
+}
+
+// WriteCheckpoint serializes the checkpoint to w.
+func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
+	if cp.Model == nil {
+		return fmt.Errorf("model: checkpoint has no model")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, checkpointMagic)
+	fmt.Fprintf(bw, "iteration %d\n", cp.Iteration)
+	fmt.Fprintf(bw, "verify-rounds %d\n", cp.VerifyRounds)
+	c := cp.Cumulative
+	fmt.Fprintf(bw, "cumulative %d %d %d %d %d %d\n",
+		c.Reservations, c.FiltersAdded, c.FiltersRemoved, c.MEDRules, c.LocalPrefRules, c.Duplications)
+	r := cp.Result
+	fmt.Fprintf(bw, "counters %d %d %d %d %d %d\n",
+		r.QuasiRoutersAdded, r.FiltersAdded, r.FiltersRemoved, r.MEDRules, r.LocalPrefRules, r.DivergedPrefixes)
+	for _, cw := range cp.Works {
+		retried := 0
+		if cw.Retried {
+			retried = 1
+		}
+		fmt.Fprintf(bw, "work %s %s %d %d %d %d\n",
+			cw.Prefix, cw.State, retried, cw.Budget, cw.DivMessages, cw.DivBudget)
+	}
+	fmt.Fprintln(bw, "model")
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The model's own "end" trailer terminates the checkpoint.
+	return cp.Model.Save(w)
+}
+
+// WriteCheckpointFile writes the checkpoint atomically: to path+".tmp"
+// first (fsynced), then renamed over path, so a crash mid-write never
+// clobbers the previous checkpoint.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(f, cp); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads a checkpoint written by WriteCheckpoint. A
+// truncated stream yields a descriptive error (the embedded model's
+// "end" trailer is the integrity marker), never a short checkpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	sc := newModelScanner(r)
+	if !sc.Scan() || sc.Text() != checkpointMagic {
+		return nil, fmt.Errorf("model: not a refinement checkpoint (missing %q header)", checkpointMagic)
+	}
+	cp := &Checkpoint{}
+	lineNo := 1
+	intField := func(s string) (int, bool) {
+		v, err := strconv.Atoi(s)
+		return v, err == nil
+	}
+scan:
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(why string) error {
+			return fmt.Errorf("model: checkpoint line %d: %s: %q", lineNo, why, line)
+		}
+		switch f[0] {
+		case "iteration", "verify-rounds":
+			if len(f) != 2 {
+				return nil, fail("needs one value")
+			}
+			v, ok := intField(f[1])
+			if !ok {
+				return nil, fail("bad count")
+			}
+			if f[0] == "iteration" {
+				cp.Iteration = v
+			} else {
+				cp.VerifyRounds = v
+			}
+		case "cumulative", "counters":
+			if len(f) != 7 {
+				return nil, fail("needs 6 values")
+			}
+			vals := make([]int, 6)
+			for i := range vals {
+				v, ok := intField(f[i+1])
+				if !ok {
+					return nil, fail("bad count")
+				}
+				vals[i] = v
+			}
+			if f[0] == "cumulative" {
+				cp.Cumulative = RefineActionCounts{
+					Reservations: vals[0], FiltersAdded: vals[1], FiltersRemoved: vals[2],
+					MEDRules: vals[3], LocalPrefRules: vals[4], Duplications: vals[5],
+				}
+			} else {
+				cp.Result.QuasiRoutersAdded = vals[0]
+				cp.Result.FiltersAdded = vals[1]
+				cp.Result.FiltersRemoved = vals[2]
+				cp.Result.MEDRules = vals[3]
+				cp.Result.LocalPrefRules = vals[4]
+				cp.Result.DivergedPrefixes = vals[5]
+			}
+		case "work":
+			if len(f) != 7 {
+				return nil, fail("needs prefix, state, retried, budget, div-messages, div-budget")
+			}
+			switch f[2] {
+			case "open", "settled", "stuck", "quarantined", "gaveup":
+			default:
+				return nil, fail("unknown work state")
+			}
+			retried, ok1 := intField(f[3])
+			budget, ok2 := intField(f[4])
+			divMsgs, ok3 := intField(f[5])
+			divBudget, ok4 := intField(f[6])
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return nil, fail("bad counts")
+			}
+			cp.Works = append(cp.Works, CheckpointWork{
+				Prefix: f[1], State: f[2], Retried: retried != 0,
+				Budget: budget, DivMessages: divMsgs, DivBudget: divBudget,
+			})
+		case "model":
+			// The embedded model starts with its own magic line (it is a
+			// verbatim model.Save stream).
+			if !sc.Scan() {
+				return nil, fmt.Errorf("model: truncated checkpoint after line %d (missing embedded model)", lineNo)
+			}
+			lineNo++
+			if sc.Text() != saveMagic {
+				return nil, fmt.Errorf("model: checkpoint line %d: embedded model missing %q header", lineNo, saveMagic)
+			}
+			m, err := loadModelBody(sc, &lineNo, false)
+			if err != nil {
+				return nil, err
+			}
+			cp.Model = m
+			break scan
+		default:
+			return nil, fail("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cp.Model == nil {
+		return nil, fmt.Errorf("model: truncated checkpoint after line %d (missing model section)", lineNo)
+	}
+	return cp, nil
+}
+
+// LoadCheckpointFile reads a checkpoint from disk.
+func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cp, nil
+}
+
+// restore rebuilds the run's loop counters and worklist state from a
+// checkpoint. The worklist itself (requirements, ordering) is derived
+// from the training set exactly as in a fresh run, so the checkpoint
+// only needs each prefix's progress, not its requirements.
+func (rr *refineRun) restore(cp *Checkpoint) error {
+	if len(cp.Works) != len(rr.works) {
+		return fmt.Errorf("model: checkpoint covers %d prefixes but the training set yields %d (dataset mismatch?)",
+			len(cp.Works), len(rr.works))
+	}
+	byName := make(map[string]*prefixWork, len(rr.works))
+	for _, w := range rr.works {
+		byName[rr.name(w)] = w
+	}
+	for _, cw := range cp.Works {
+		w := byName[cw.Prefix]
+		if w == nil {
+			return fmt.Errorf("model: checkpoint prefix %q not in the training set", cw.Prefix)
+		}
+		switch cw.State {
+		case "open":
+		case "settled":
+			w.done, w.ok = true, true
+		case "stuck":
+			w.done = true
+		case "quarantined":
+			w.done, w.quarantined = true, true
+		case "gaveup":
+			w.done, w.gaveUp = true, true
+		default:
+			return fmt.Errorf("model: checkpoint prefix %q has unknown state %q", cw.Prefix, cw.State)
+		}
+		w.retried = cw.Retried
+		w.budget = cw.Budget
+		if cw.DivMessages > 0 || cw.DivBudget > 0 {
+			w.div = &sim.DivergenceError{Prefix: w.id, Messages: cw.DivMessages, Budget: cw.DivBudget}
+		}
+	}
+	rr.iter = cp.Iteration
+	rr.cum = cp.Cumulative
+	res := rr.res
+	res.Iterations = cp.Iteration
+	res.VerifyRounds = cp.VerifyRounds
+	res.QuasiRoutersAdded = cp.Result.QuasiRoutersAdded
+	res.FiltersAdded = cp.Result.FiltersAdded
+	res.FiltersRemoved = cp.Result.FiltersRemoved
+	res.MEDRules = cp.Result.MEDRules
+	res.LocalPrefRules = cp.Result.LocalPrefRules
+	res.DivergedPrefixes = cp.Result.DivergedPrefixes
+	res.ResumedFrom = cp.Iteration
+	return nil
+}
+
+// ResumeRefine continues a checkpointed refinement against the same
+// training set: the checkpoint's model picks up at the stored iteration
+// with the stored worklist state, and the run proceeds exactly as the
+// uninterrupted one would have — the determinism contract extends
+// across the checkpoint boundary, so the resumed run converges to the
+// same final match fractions and action counts.
+func ResumeRefine(ctx context.Context, cp *Checkpoint, train *dataset.Dataset, cfg RefineConfig) (*RefineResult, error) {
+	if cp.Model == nil {
+		return nil, fmt.Errorf("model: checkpoint has no model")
+	}
+	rr := newRefineRun(cp.Model, train, cfg)
+	if err := rr.restore(cp); err != nil {
+		return nil, err
+	}
+	return rr.run(ctx)
+}

@@ -1,0 +1,388 @@
+package model
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/topology"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m, _ := refineSample(t)
+	cp := &Checkpoint{
+		Iteration:    7,
+		VerifyRounds: 2,
+		Cumulative:   RefineActionCounts{Reservations: 3, FiltersAdded: 5, FiltersRemoved: 1, MEDRules: 4, LocalPrefRules: 0, Duplications: 2},
+		Result:       RefineResult{QuasiRoutersAdded: 2, FiltersAdded: 5, FiltersRemoved: 1, MEDRules: 4, DivergedPrefixes: 1},
+		Works: []CheckpointWork{
+			{Prefix: "P3", State: "settled"},
+			{Prefix: "P4", State: "quarantined", Retried: false, DivMessages: 1001, DivBudget: 1000},
+			{Prefix: "P9", State: "open", Retried: true, Budget: 4000, DivMessages: 4001, DivBudget: 4000},
+		},
+		Model: m,
+	}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Iteration != cp.Iteration || got.VerifyRounds != cp.VerifyRounds {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", got.Iteration, got.VerifyRounds, cp.Iteration, cp.VerifyRounds)
+	}
+	if got.Cumulative != cp.Cumulative {
+		t.Fatalf("cumulative differs: %+v vs %+v", got.Cumulative, cp.Cumulative)
+	}
+	if got.Result.QuasiRoutersAdded != 2 || got.Result.FiltersAdded != 5 || got.Result.FiltersRemoved != 1 ||
+		got.Result.MEDRules != 4 || got.Result.DivergedPrefixes != 1 {
+		t.Fatalf("result counters differ: %+v", got.Result)
+	}
+	if len(got.Works) != len(cp.Works) {
+		t.Fatalf("work count differs: %d vs %d", len(got.Works), len(cp.Works))
+	}
+	for i := range cp.Works {
+		if got.Works[i] != cp.Works[i] {
+			t.Fatalf("work %d differs: %+v vs %+v", i, got.Works[i], cp.Works[i])
+		}
+	}
+	if got.Model == nil || got.Model.Stats() != m.Stats() {
+		t.Fatalf("embedded model differs")
+	}
+}
+
+// TestCheckpointTruncated: every proper byte-prefix of a checkpoint must
+// fail to load (the embedded model's "end" trailer is the integrity
+// marker) and must never panic.
+func TestCheckpointTruncated(t *testing.T) {
+	m, _ := refineSample(t)
+	cp := &Checkpoint{Iteration: 3, Works: []CheckpointWork{{Prefix: "P4", State: "open"}}, Model: m}
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for i := 0; i < len(data)-1; i++ {
+		if _, err := LoadCheckpoint(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("truncation at byte %d of %d loaded without error", i, len(data))
+		}
+	}
+}
+
+// doneEvent captures the final trace event of a refinement run.
+func captureDone(events *[]RefineEvent) func(RefineEvent) {
+	return func(ev RefineEvent) { *events = append(*events, ev) }
+}
+
+func lastDone(t *testing.T, events []RefineEvent) RefineEvent {
+	t.Helper()
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Type == "done" {
+			return events[i]
+		}
+	}
+	t.Fatal("no done event in trace")
+	return RefineEvent{}
+}
+
+// TestCheckpointResumeDeterministic is the kill-and-resume acceptance
+// test: a refinement interrupted mid-run (checkpoint written, in-memory
+// state discarded) resumes from the checkpoint file and converges to the
+// same final match fractions, action counts and byte-identical saved
+// model as an uninterrupted run on the same input.
+func TestCheckpointResumeDeterministic(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 3
+	}
+	resumedAny := false
+	for seed := 0; seed < seeds; seed++ {
+		ds := randomObservations(rand.New(rand.NewSource(int64(seed))))
+		if ds.Len() == 0 {
+			continue
+		}
+
+		build := func() *Model {
+			m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return m
+		}
+		save := func(m *Model) []byte {
+			var b bytes.Buffer
+			if err := m.Save(&b); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			return b.Bytes()
+		}
+
+		// Uninterrupted reference run.
+		var refEvents []RefineEvent
+		refModel := build()
+		refRes, err := refModel.Refine(ds, RefineConfig{Observer: captureDone(&refEvents)})
+		if err != nil {
+			t.Fatalf("seed %d: reference refine: %v", seed, err)
+		}
+		refDone := lastDone(t, refEvents)
+		refBytes := save(refModel)
+
+		// Interrupted run: cancel from inside the first iteration event,
+		// checkpoint every iteration, then throw the run away.
+		ckpt := filepath.Join(t.TempDir(), "refine.ckpt")
+		ctx, cancel := context.WithCancel(context.Background())
+		killed := build()
+		_, err = killed.RefineContext(ctx, ds, RefineConfig{
+			Checkpoint: CheckpointConfig{Path: ckpt, Every: 1},
+			Observer: func(ev RefineEvent) {
+				if ev.Type == "iteration" {
+					cancel()
+				}
+			},
+		})
+		cancel()
+		var ierr *InterruptedError
+		if err == nil {
+			// Converged within the very first iteration — nothing to
+			// resume for this seed.
+			continue
+		}
+		if !errors.As(err, &ierr) {
+			t.Fatalf("seed %d: want *InterruptedError, got %v", seed, err)
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("seed %d: interrupt should unwrap to context.Canceled: %v", seed, err)
+		}
+		if ierr.Op != "refine" || ierr.Checkpoint != ckpt {
+			t.Fatalf("seed %d: bad interrupt context: %+v", seed, ierr)
+		}
+
+		// Resume from the checkpoint file only.
+		cp, err := LoadCheckpointFile(ckpt)
+		if err != nil {
+			t.Fatalf("seed %d: load checkpoint: %v", seed, err)
+		}
+		if cp.Iteration < 1 {
+			t.Fatalf("seed %d: checkpoint at iteration %d", seed, cp.Iteration)
+		}
+		var resEvents []RefineEvent
+		resRes, err := ResumeRefine(context.Background(), cp, ds, RefineConfig{Observer: captureDone(&resEvents)})
+		if err != nil {
+			t.Fatalf("seed %d: resume: %v", seed, err)
+		}
+		resumedAny = true
+		resDone := lastDone(t, resEvents)
+
+		if resRes.ResumedFrom != cp.Iteration {
+			t.Errorf("seed %d: ResumedFrom = %d, checkpoint iteration %d", seed, resRes.ResumedFrom, cp.Iteration)
+		}
+		if resRes.Converged != refRes.Converged {
+			t.Errorf("seed %d: converged %v vs %v", seed, resRes.Converged, refRes.Converged)
+		}
+		if resRes.QuasiRoutersAdded != refRes.QuasiRoutersAdded ||
+			resRes.FiltersAdded != refRes.FiltersAdded ||
+			resRes.FiltersRemoved != refRes.FiltersRemoved ||
+			resRes.MEDRules != refRes.MEDRules ||
+			resRes.LocalPrefRules != refRes.LocalPrefRules ||
+			resRes.UnsatisfiedRequirements != refRes.UnsatisfiedRequirements {
+			t.Errorf("seed %d: action counts differ:\nresumed:   %+v\nreference: %+v", seed, resRes, refRes)
+		}
+		if resDone.RIBOutFrac != refDone.RIBOutFrac ||
+			resDone.PotentialFrac != refDone.PotentialFrac ||
+			resDone.RIBInFrac != refDone.RIBInFrac {
+			t.Errorf("seed %d: final match fractions differ:\nresumed:   %.4f/%.4f/%.4f\nreference: %.4f/%.4f/%.4f",
+				seed, resDone.RIBOutFrac, resDone.PotentialFrac, resDone.RIBInFrac,
+				refDone.RIBOutFrac, refDone.PotentialFrac, refDone.RIBInFrac)
+		}
+		if !bytes.Equal(save(cp.Model), refBytes) {
+			t.Errorf("seed %d: resumed model differs from uninterrupted model", seed)
+		}
+	}
+	if !resumedAny {
+		t.Fatal("no seed exercised the resume path")
+	}
+}
+
+// TestRefineQuarantineRecovers: an injected one-shot divergence is
+// quarantined, retried once with a 4x escalated budget, recovers, and
+// the run still converges.
+func TestRefineQuarantineRecovers(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+		rec("op1", "P3", 1, 3),
+		rec("op5", "P4", 5, 1, 2, 4),
+	}}
+	m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := m.Universe.ID("P4")
+	if !ok {
+		t.Fatal("P4 not in universe")
+	}
+	var events []RefineEvent
+	res, err := m.Refine(ds, RefineConfig{
+		Observer:     captureDone(&events),
+		forceDiverge: map[bgp.PrefixID]int{id: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("quarantine retry should recover: %+v", res)
+	}
+	if res.DivergedPrefixes != 0 {
+		t.Fatalf("recovered prefix counted as diverged: %+v", res)
+	}
+	if len(res.Quarantined) != 1 {
+		t.Fatalf("want 1 quarantine record, got %+v", res.Quarantined)
+	}
+	q := res.Quarantined[0]
+	if q.Prefix != "P4" || !q.Recovered || q.RetryBudget != q.Budget*quarantineRetryFactor {
+		t.Fatalf("bad quarantine record: %+v", q)
+	}
+	var sawQuarantine, sawRetry bool
+	for _, ev := range events {
+		switch ev.Type {
+		case "quarantine":
+			sawQuarantine = true
+			if ev.Prefix != "P4" || ev.Budget == 0 || ev.Messages <= ev.Budget {
+				t.Fatalf("quarantine event missing divergence context: %+v", ev)
+			}
+		case "retry":
+			sawRetry = true
+			if ev.Prefix != "P4" || ev.RetryBudget != q.RetryBudget {
+				t.Fatalf("retry event missing escalated budget: %+v", ev)
+			}
+		}
+	}
+	if !sawQuarantine || !sawRetry {
+		t.Fatalf("trace missing quarantine/retry events (quarantine=%v retry=%v)", sawQuarantine, sawRetry)
+	}
+}
+
+// TestRefineQuarantineGivesUp: a prefix that diverges again under the
+// escalated budget is abandoned — without aborting the other prefixes.
+func TestRefineQuarantineGivesUp(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("op1a", "P4", 1, 2, 4),
+		rec("op1b", "P4", 1, 3, 4),
+		rec("op1", "P3", 1, 3),
+		rec("op5", "P4", 5, 1, 2, 4),
+	}}
+	m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := m.Universe.ID("P4")
+	var events []RefineEvent
+	res, err := m.Refine(ds, RefineConfig{
+		Observer:     captureDone(&events),
+		forceDiverge: map[bgp.PrefixID]int{id: 2}, // first run + escalated retry
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatalf("abandoned prefix should fail convergence: %+v", res)
+	}
+	if res.DivergedPrefixes != 1 {
+		t.Fatalf("want 1 diverged prefix, got %+v", res)
+	}
+	if len(res.Quarantined) != 1 || res.Quarantined[0].Recovered {
+		t.Fatalf("want 1 unrecovered quarantine record, got %+v", res.Quarantined)
+	}
+	done := lastDone(t, events)
+	if done.PrefixesDiverged != 1 {
+		t.Fatalf("done event should report 1 diverged prefix: %+v", done)
+	}
+	// The other prefix must still be refined to a full match.
+	if done.PrefixesSettled != 1 {
+		t.Fatalf("divergence aborted the other prefix: %+v", done)
+	}
+	var sawDiverged bool
+	for _, ev := range events {
+		if ev.Type == "diverged" {
+			sawDiverged = true
+			if ev.Prefix != "P4" || ev.Budget == 0 {
+				t.Fatalf("diverged event missing context: %+v", ev)
+			}
+		}
+	}
+	if !sawDiverged {
+		t.Fatal("trace missing diverged event")
+	}
+}
+
+// TestEvaluateDivergenceRecords: DivergenceError context (prefix name,
+// messages, budget) propagates into Evaluation.Divergences.
+func TestEvaluateDivergenceRecords(t *testing.T) {
+	m, ds := refineSample(t)
+	m.Net.MaxMessages = 1 // starve every propagation
+	ev, err := m.Evaluate(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Diverged == 0 || len(ev.Divergences) != ev.Diverged {
+		t.Fatalf("divergence records missing: %+v", ev)
+	}
+	for _, d := range ev.Divergences {
+		if d.Prefix == "" || d.Budget != 1 || d.Messages < 1 {
+			t.Fatalf("bad divergence record: %+v", d)
+		}
+	}
+}
+
+// TestRefineContextPreCanceled / TestEvaluateContextCanceled: canceled
+// contexts surface as *InterruptedError carrying progress.
+func TestRefineContextPreCanceled(t *testing.T) {
+	ds := &dataset.Dataset{Records: []dataset.Record{rec("op1", "P2", 1, 2)}}
+	m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = m.RefineContext(ctx, ds, RefineConfig{})
+	var ierr *InterruptedError
+	if !errors.As(err, &ierr) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want *InterruptedError wrapping context.Canceled, got %v", err)
+	}
+	if ierr.Op != "refine" || ierr.Iterations != 0 {
+		t.Fatalf("bad interrupt context: %+v", ierr)
+	}
+}
+
+func TestEvaluateContextCanceled(t *testing.T) {
+	m, ds := refineSample(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := m.EvaluateContext(ctx, ds)
+	var ierr *InterruptedError
+	if !errors.As(err, &ierr) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want *InterruptedError wrapping context.Canceled, got %v", err)
+	}
+	if ierr.Op != "evaluate" {
+		t.Fatalf("bad interrupt context: %+v", ierr)
+	}
+}
+
+// TestResumeRefineDatasetMismatch: resuming against a different training
+// set is refused instead of silently mis-restoring.
+func TestResumeRefineDatasetMismatch(t *testing.T) {
+	m, ds := refineSample(t)
+	rr := newRefineRun(m, ds, RefineConfig{})
+	cp := rr.snapshot()
+	other := &dataset.Dataset{Records: []dataset.Record{rec("op9", "P2", 1, 2)}}
+	if _, err := ResumeRefine(context.Background(), cp, other, RefineConfig{}); err == nil {
+		t.Fatal("dataset mismatch accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package model
+
+import "fmt"
+
+// InterruptedError reports that context cancellation (SIGINT/SIGTERM in
+// the CLI, or a deadline) stopped a long-running operation cleanly. It
+// carries the progress made so far and unwraps to the context error
+// (context.Canceled or context.DeadlineExceeded), so callers can both
+// errors.Is the cause and recover partial work.
+type InterruptedError struct {
+	// Op is the interrupted operation: "refine" or "evaluate".
+	Op string
+	// Iterations is the refinement iteration reached ("refine" only).
+	Iterations int
+	// Prefixes counts prefixes fully processed before the interrupt:
+	// settled training prefixes for "refine", evaluated prefixes for
+	// "evaluate".
+	Prefixes int
+	// Checkpoint is the path of the last checkpoint written before the
+	// interrupt, when checkpointing was enabled ("" otherwise). Resume
+	// with LoadCheckpointFile + ResumeRefine.
+	Checkpoint string
+	// Err is the underlying context error.
+	Err error
+}
+
+func (e *InterruptedError) Error() string {
+	s := fmt.Sprintf("model: %s interrupted", e.Op)
+	if e.Op == "refine" {
+		s += fmt.Sprintf(" at iteration %d", e.Iterations)
+	}
+	s += fmt.Sprintf(" (%d prefixes done", e.Prefixes)
+	if e.Checkpoint != "" {
+		s += fmt.Sprintf("; checkpoint %s", e.Checkpoint)
+	}
+	s += ")"
+	if e.Err != nil {
+		s += ": " + e.Err.Error()
+	}
+	return s
+}
+
+func (e *InterruptedError) Unwrap() error { return e.Err }

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -170,6 +171,49 @@ func TestRefineRandomizedDeterministic(t *testing.T) {
 			t.Fatalf("seed %d: refinement not deterministic", seed)
 		}
 	}
+}
+
+// FuzzModelLoad hardens Load against corrupted and truncated inputs: it
+// must either return an error or produce a model that re-Saves cleanly —
+// and it must never panic (the deny-line truncation panic was found this
+// way).
+func FuzzModelLoad(f *testing.F) {
+	// Seed with a real saved model, its truncations, and the known error
+	// shapes so the fuzzer starts inside the grammar.
+	rng := rand.New(rand.NewSource(1))
+	ds := randomObservations(rng)
+	m, err := NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := m.Refine(ds, RefineConfig{}); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{1, len(valid) / 2, len(valid) - 2} {
+		if cut > 0 && cut < len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	f.Add([]byte("asmodel-model-v2\nas 1 1\ndeny 65536 131072\nend\n"))
+	f.Add([]byte("asmodel-model-v1\nprefix P1 1\nas 1 2\nsession 65536 65537\n"))
+	f.Add([]byte("asmodel-model-v2\nprefixes 1\nprefix P1 1\nas 1 1\nend\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := m.Save(&out); err != nil {
+			t.Fatalf("loaded model failed to re-save: %v", err)
+		}
+	})
 }
 
 func dumpDS(ds *dataset.Dataset) string {

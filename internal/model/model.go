@@ -13,6 +13,7 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -129,11 +130,24 @@ func (m *Model) origins(prefix bgp.PrefixID) []bgp.RouterID {
 // RunPrefix propagates the prefix through the model until convergence.
 // It returns an error if the prefix has no origin present in the model.
 func (m *Model) RunPrefix(prefix bgp.PrefixID) error {
+	return m.runPrefixBudget(context.Background(), prefix, 0)
+}
+
+// RunPrefixContext is RunPrefix with cancellation: a canceled context
+// stops the propagation mid-delivery with an error wrapping ctx.Err().
+func (m *Model) RunPrefixContext(ctx context.Context, prefix bgp.PrefixID) error {
+	return m.runPrefixBudget(ctx, prefix, 0)
+}
+
+// runPrefixBudget propagates the prefix under an optional per-run message
+// budget override (0 keeps the network default) — the quarantine retry
+// path escalates budgets per prefix without touching Net.MaxMessages.
+func (m *Model) runPrefixBudget(ctx context.Context, prefix bgp.PrefixID, budget int) error {
 	ids := m.origins(prefix)
 	if len(ids) == 0 {
 		return fmt.Errorf("model: prefix %d has no origin AS in the model", prefix)
 	}
-	return m.Net.Run(prefix, ids)
+	return m.Net.RunBudget(ctx, prefix, ids, budget)
 }
 
 // Evaluation is the outcome of evaluating a model against a dataset.
@@ -147,14 +161,31 @@ type Evaluation struct {
 	// (unknown to the universe or origin missing from the model).
 	SkippedPrefixes int
 	// Diverged counts prefixes whose propagation exhausted the message
-	// budget (possible only with local-pref-based policies).
-	Diverged int
+	// budget (possible only with local-pref-based policies); Divergences
+	// carries each one's context (prefix name, messages, budget).
+	Diverged    int
+	Divergences []DivergenceRecord
+}
+
+// DivergenceRecord pins down one diverged prefix: which one, how many
+// messages it consumed, and the budget it blew through.
+type DivergenceRecord struct {
+	Prefix   string `json:"prefix"`
+	Messages int    `json:"messages"`
+	Budget   int    `json:"budget"`
 }
 
 // Evaluate simulates every prefix of the dataset through the model and
 // classifies every distinct observed path. Prefixes are processed in
 // universe order for determinism.
 func (m *Model) Evaluate(ds *dataset.Dataset) (*Evaluation, error) {
+	return m.EvaluateContext(context.Background(), ds)
+}
+
+// EvaluateContext is Evaluate with cancellation: between prefixes (and
+// mid-propagation inside the engine) a canceled context aborts with a
+// *InterruptedError carrying the number of prefixes already evaluated.
+func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Evaluation, error) {
 	ev := &Evaluation{Summary: metrics.NewSummary()}
 	cls := metrics.NewClassifier(m.Net)
 
@@ -173,17 +204,31 @@ func (m *Model) Evaluate(ds *dataset.Dataset) (*Evaluation, error) {
 	}
 	sort.Ints(ids)
 
+	done := 0
 	for _, id := range ids {
 		prefix := bgp.PrefixID(id)
-		if err := m.RunPrefix(prefix); err != nil {
-			if errors.Is(err, sim.ErrDiverged) {
+		if err := ctx.Err(); err != nil {
+			return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: err}
+		}
+		if err := m.RunPrefixContext(ctx, prefix); err != nil {
+			var derr *sim.DivergenceError
+			if errors.As(err, &derr) {
 				ev.Diverged++
+				ev.Divergences = append(ev.Divergences, DivergenceRecord{
+					Prefix:   m.Universe.Name(prefix),
+					Messages: derr.Messages,
+					Budget:   derr.Budget,
+				})
 				continue
+			}
+			if ctx.Err() != nil {
+				return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: ctx.Err()}
 			}
 			return nil, err
 		}
 		matched, total := metrics.EvaluatePrefix(cls, byPrefix[prefix], ev.Summary)
 		ev.Coverage.RecordPrefix(matched, total)
+		done++
 	}
 	return ev, nil
 }

@@ -1,7 +1,9 @@
 package model
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sort"
 
 	"asmodel/internal/bgp"
@@ -25,7 +27,19 @@ var (
 	mDivergedPx = obs.GetCounter("refine_diverged_prefixes_total", "training prefixes abandoned due to divergence")
 	mIterPerRun = obs.GetHistogram("refine_iterations_per_run", "iterations needed per Refine call",
 		obs.ExpBuckets(1, 2, 10))
+	mQuarantined = obs.GetCounter("refine_quarantined_prefixes_total", "prefixes quarantined on first divergence (pending escalated retry)")
+	mQRetries    = obs.GetCounter("refine_quarantine_retries_total", "escalated-budget retries of quarantined prefixes")
+	mQRecovered  = obs.GetCounter("refine_quarantine_recovered_total", "quarantined prefixes that converged under the escalated budget")
+	mCheckpoints = obs.GetCounter("refine_checkpoints_written_total", "refinement checkpoints written")
+	mCkptIter    = obs.GetGauge("refine_checkpoint_iteration", "iteration of the most recent checkpoint")
+	mInterrupts  = obs.GetCounter("refine_interrupted_total", "refinements stopped by context cancellation")
 )
+
+// quarantineRetryFactor scales the message budget for the single
+// escalated retry of a quarantined prefix: generous enough to absorb a
+// budget set marginally too low, cheap enough that a genuine policy
+// oscillation (which never converges) wastes bounded work.
+const quarantineRetryFactor = 4
 
 // RefineConfig controls the iterative refinement heuristic. The zero value
 // is the paper's configuration: quasi-router duplication enabled, policies
@@ -55,6 +69,14 @@ type RefineConfig struct {
 	// so identical runs produce identical streams (feed it to an
 	// obs.TraceSink for a replayable refine-trace.jsonl).
 	Observer func(RefineEvent)
+	// Checkpoint enables periodic crash-safe checkpointing of the
+	// refinement state; the zero value disables it. See CheckpointConfig.
+	Checkpoint CheckpointConfig
+
+	// forceDiverge, when non-nil, makes the next n simulation runs of
+	// each listed prefix report a synthetic divergence (test seam for the
+	// quarantine path; counts are decremented per run).
+	forceDiverge map[bgp.PrefixID]int
 }
 
 // RefineActionCounts tallies refinement actions by type (§4.6 / Figure
@@ -114,7 +136,11 @@ func (a RefineActionCounts) diff(before RefineActionCounts) RefineActionCounts {
 // RIBIn >= Potential >= RIBOut.
 type RefineEvent struct {
 	// Type is "iteration" (one per inner refinement iteration), "verify"
-	// (one per verify-and-reopen sweep) or "done" (final summary).
+	// (one per verify-and-reopen sweep), "quarantine" (a prefix's
+	// propagation diverged and was parked), "retry" (a quarantined prefix
+	// re-opened under an escalated budget), "diverged" (the retry also
+	// diverged; abandoned for good), "checkpoint" (state written to disk)
+	// or "done" (final summary).
 	Type string `json:"type"`
 	// Iteration is the 1-based refinement iteration count so far.
 	Iteration int `json:"iteration"`
@@ -124,6 +150,9 @@ type RefineEvent struct {
 	PrefixesSettled  int `json:"prefixes_settled"`
 	PrefixesStuck    int `json:"prefixes_stuck"`
 	PrefixesDiverged int `json:"prefixes_diverged"`
+	// PrefixesQuarantined counts prefixes parked awaiting their escalated
+	// retry.
+	PrefixesQuarantined int `json:"prefixes_quarantined,omitempty"`
 	// PrefixesReopened is only set on "verify" events: how many settled
 	// prefixes the topology growth broke.
 	PrefixesReopened int `json:"prefixes_reopened,omitempty"`
@@ -150,6 +179,15 @@ type RefineEvent struct {
 	VerifyRound int `json:"verify_round,omitempty"`
 	// Converged is set on the "done" event.
 	Converged bool `json:"converged,omitempty"`
+	// Prefix names the subject of quarantine/retry/diverged events;
+	// Messages and Budget carry the divergence context (messages consumed
+	// vs. allowed), RetryBudget the escalated budget on retry events.
+	Prefix      string `json:"prefix,omitempty"`
+	Messages    int    `json:"messages,omitempty"`
+	Budget      int    `json:"budget,omitempty"`
+	RetryBudget int    `json:"retry_budget,omitempty"`
+	// Checkpoint is the file path written, on "checkpoint" events.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // RefineResult reports what the refinement did.
@@ -183,6 +221,33 @@ type RefineResult struct {
 	MaxPathLen int
 	// VerifyRounds counts verify-and-reopen rounds (see Refine).
 	VerifyRounds int
+	// Quarantined records every prefix whose propagation ever diverged:
+	// its divergence context and whether the escalated retry recovered
+	// it. DivergedPrefixes counts only the unrecovered ones.
+	Quarantined []QuarantineRecord
+	// Checkpoints counts checkpoints written during this run and
+	// LastCheckpoint is the most recent path ("" when disabled).
+	Checkpoints    int
+	LastCheckpoint string
+	// ResumedFrom is the iteration the run was restored at by
+	// ResumeRefine (0 for a fresh run).
+	ResumedFrom int
+}
+
+// QuarantineRecord describes one divergence-quarantined prefix.
+type QuarantineRecord struct {
+	// Prefix is the prefix name.
+	Prefix string `json:"prefix"`
+	// Messages and Budget are the divergence context of the most recent
+	// failed run (the escalated retry, if it happened).
+	Messages int `json:"messages"`
+	Budget   int `json:"budget"`
+	// RetryBudget is the escalated budget the retry ran under (0 when
+	// the iteration budget ran out before the retry phase).
+	RetryBudget int `json:"retry_budget,omitempty"`
+	// Recovered is true when the retry converged and the prefix rejoined
+	// normal refinement.
+	Recovered bool `json:"recovered"`
 }
 
 // requirement: the AS must have a quasi-router whose best route for the
@@ -198,7 +263,12 @@ type prefixWork struct {
 	reqs   []requirement
 	done   bool // no further processing (satisfied, stuck, or diverged)
 	ok     bool // fully RIB-Out matched
-	gaveUp bool // propagation diverged; never retried
+	gaveUp bool // propagation diverged even after the escalated retry
+
+	quarantined bool                 // diverged once; parked awaiting the retry phase
+	retried     bool                 // the one escalated retry has been spent
+	budget      int                  // per-prefix message budget override (0 = default)
+	div         *sim.DivergenceError // most recent divergence context
 
 	// Last observed requirement match counts (observer only); cumulative
 	// thresholds: ribIn >= potential >= ribOut.
@@ -219,75 +289,239 @@ type prefixWork struct {
 // settled prefixes and re-opens any the topology growth broke, until a
 // sweep finds nothing broken (or the iteration budget runs out).
 func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult, error) {
+	return m.RefineContext(context.Background(), train, cfg)
+}
+
+// RefineContext is Refine with cancellation. Interrupts are honoured at
+// iteration boundaries only — the in-flight iteration always completes —
+// so the model and worklist are in a consistent, checkpointable state
+// when the run stops. On cancellation a final checkpoint is written (if
+// checkpointing is enabled) and a *InterruptedError is returned carrying
+// the iteration reached, the settled-prefix count and the checkpoint
+// path.
+func (m *Model) RefineContext(ctx context.Context, train *dataset.Dataset, cfg RefineConfig) (*RefineResult, error) {
+	return newRefineRun(m, train, cfg).run(ctx)
+}
+
+// refineRun is the in-flight state of one refinement: everything a
+// checkpoint must capture to resume (iteration counter, cumulative
+// action tally, per-prefix worklist) plus the model itself.
+type refineRun struct {
+	m         *Model
+	cfg       RefineConfig
+	res       *RefineResult
+	works     []*prefixWork
+	maxIter   int
+	iter      int
+	cum       RefineActionCounts
+	observing bool
+}
+
+func newRefineRun(m *Model, train *dataset.Dataset, cfg RefineConfig) *refineRun {
 	res := &RefineResult{}
 	works, maxLen := m.buildWork(train, res)
 	res.MaxPathLen = maxLen
-
 	maxIter := cfg.MaxIterations
 	if maxIter == 0 {
 		maxIter = 4*maxLen + 8
 	}
+	return &refineRun{m: m, cfg: cfg, res: res, works: works, maxIter: maxIter, observing: cfg.Observer != nil}
+}
 
-	observing := cfg.Observer != nil
-	var cumActions RefineActionCounts
+func (rr *refineRun) name(w *prefixWork) string { return rr.m.Universe.Name(w.id) }
 
-	// emit fills the shared bookkeeping of a RefineEvent from the works
-	// and the cumulative action tally, then hands it to the observer.
-	emit := func(ev RefineEvent) {
-		ev.Iteration = res.Iterations
-		ev.CumulativeActions = cumActions
-		ev.QuasiRouters = m.Net.NumRouters()
-		for _, w := range works {
-			ev.Requirements += len(w.reqs)
-			ev.RIBOutMatched += w.ribOut
-			ev.PotentialMatched += w.potential
-			ev.RIBInMatched += w.ribIn
-			switch {
-			case w.gaveUp:
-				ev.PrefixesDiverged++
-			case !w.done:
-				ev.PrefixesOpen++
-			case w.ok:
-				ev.PrefixesSettled++
-			default:
-				ev.PrefixesStuck++
-			}
+func (rr *refineRun) settledCount() int {
+	n := 0
+	for _, w := range rr.works {
+		if w.done && w.ok {
+			n++
 		}
-		if ev.Requirements > 0 {
-			n := float64(ev.Requirements)
-			ev.RIBOutFrac = float64(ev.RIBOutMatched) / n
-			ev.PotentialFrac = float64(ev.PotentialMatched) / n
-			ev.RIBInFrac = float64(ev.RIBInMatched) / n
-		}
-		cfg.Observer(ev)
 	}
+	return n
+}
 
-	iter := 0
-	for iter < maxIter {
+// emit fills the shared bookkeeping of a RefineEvent from the works and
+// the cumulative action tally, then hands it to the observer.
+func (rr *refineRun) emit(ev RefineEvent) {
+	ev.Iteration = rr.res.Iterations
+	ev.CumulativeActions = rr.cum
+	ev.QuasiRouters = rr.m.Net.NumRouters()
+	for _, w := range rr.works {
+		ev.Requirements += len(w.reqs)
+		ev.RIBOutMatched += w.ribOut
+		ev.PotentialMatched += w.potential
+		ev.RIBInMatched += w.ribIn
+		switch {
+		case w.gaveUp:
+			ev.PrefixesDiverged++
+		case w.quarantined:
+			ev.PrefixesQuarantined++
+		case !w.done:
+			ev.PrefixesOpen++
+		case w.ok:
+			ev.PrefixesSettled++
+		default:
+			ev.PrefixesStuck++
+		}
+	}
+	if ev.Requirements > 0 {
+		n := float64(ev.Requirements)
+		ev.RIBOutFrac = float64(ev.RIBOutMatched) / n
+		ev.PotentialFrac = float64(ev.PotentialMatched) / n
+		ev.RIBInFrac = float64(ev.RIBInMatched) / n
+	}
+	rr.cfg.Observer(ev)
+}
+
+// runPrefix propagates one work item, honouring its per-prefix budget
+// override (escalated retries) and the forceDiverge test seam.
+func (rr *refineRun) runPrefix(w *prefixWork) error {
+	if rr.cfg.forceDiverge != nil {
+		if n := rr.cfg.forceDiverge[w.id]; n > 0 {
+			rr.cfg.forceDiverge[w.id] = n - 1
+			budget := w.budget
+			if budget == 0 {
+				budget = 1000
+			}
+			return &sim.DivergenceError{Prefix: w.id, Messages: budget + 1, Budget: budget}
+		}
+	}
+	return rr.m.runPrefixBudget(context.Background(), w.id, w.budget)
+}
+
+// quarantine handles a divergence of w: the first one parks the prefix
+// for the retry phase; a divergence after the escalated retry abandons
+// it for good.
+func (rr *refineRun) quarantine(w *prefixWork, derr *sim.DivergenceError) {
+	w.done = true
+	w.ok = false
+	w.div = derr
+	w.ribOut, w.potential, w.ribIn = 0, 0, 0
+	if !w.retried {
+		w.quarantined = true
+		mQuarantined.Inc()
+		if rr.cfg.Logf != nil {
+			rr.cfg.Logf("refine: prefix %s diverged (%d messages, budget %d); quarantined",
+				rr.name(w), derr.Messages, derr.Budget)
+		}
+		if rr.observing {
+			rr.emit(RefineEvent{Type: "quarantine", Prefix: rr.name(w), Messages: derr.Messages, Budget: derr.Budget})
+		}
+		return
+	}
+	w.quarantined = false
+	w.gaveUp = true
+	rr.res.DivergedPrefixes++
+	if rr.cfg.Logf != nil {
+		rr.cfg.Logf("refine: prefix %s diverged again under escalated budget %d; giving up",
+			rr.name(w), derr.Budget)
+	}
+	if rr.observing {
+		rr.emit(RefineEvent{Type: "diverged", Prefix: rr.name(w), Messages: derr.Messages, Budget: derr.Budget})
+	}
+}
+
+// retryQuarantined re-opens every quarantined prefix once, under an
+// escalated message budget, and reports how many it re-opened.
+func (rr *refineRun) retryQuarantined() int {
+	n := 0
+	for _, w := range rr.works {
+		if !w.quarantined {
+			continue
+		}
+		w.quarantined = false
+		w.retried = true
+		w.done = false
+		w.ok = false
+		w.budget = w.div.Budget * quarantineRetryFactor
+		n++
+		mQRetries.Inc()
+		if rr.cfg.Logf != nil {
+			rr.cfg.Logf("refine: retrying quarantined prefix %s with budget %d", rr.name(w), w.budget)
+		}
+		if rr.observing {
+			rr.emit(RefineEvent{Type: "retry", Prefix: rr.name(w), RetryBudget: w.budget})
+		}
+	}
+	return n
+}
+
+// maybeCheckpoint writes a checkpoint if checkpointing is enabled and
+// either force is set (cancellation) or the iteration interval elapsed.
+func (rr *refineRun) maybeCheckpoint(force bool) error {
+	cc := rr.cfg.Checkpoint
+	if cc.Path == "" {
+		return nil
+	}
+	every := cc.Every
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	if !force && rr.iter%every != 0 {
+		return nil
+	}
+	if err := WriteCheckpointFile(cc.Path, rr.snapshot()); err != nil {
+		return fmt.Errorf("model: writing checkpoint: %w", err)
+	}
+	rr.res.Checkpoints++
+	rr.res.LastCheckpoint = cc.Path
+	mCheckpoints.Inc()
+	mCkptIter.Set(int64(rr.iter))
+	if rr.observing {
+		rr.emit(RefineEvent{Type: "checkpoint", Checkpoint: cc.Path})
+	}
+	return nil
+}
+
+// checkInterrupt returns a *InterruptedError (after a best-effort final
+// checkpoint) when ctx has been canceled; refinement calls it at
+// iteration boundaries only, so the stored state is always consistent.
+func (rr *refineRun) checkInterrupt(ctx context.Context) error {
+	cause := ctx.Err()
+	if cause == nil {
+		return nil
+	}
+	mInterrupts.Inc()
+	if err := rr.maybeCheckpoint(true); err != nil {
+		cause = errors.Join(cause, err)
+	}
+	return &InterruptedError{
+		Op:         "refine",
+		Iterations: rr.res.Iterations,
+		Prefixes:   rr.settledCount(),
+		Checkpoint: rr.res.LastCheckpoint,
+		Err:        cause,
+	}
+}
+
+func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
+	m, res, cfg := rr.m, rr.res, rr.cfg
+	for rr.iter < rr.maxIter {
 		// Inner loop: settle every open prefix.
-		for iter < maxIter {
-			iter++
-			res.Iterations = iter
+		for rr.iter < rr.maxIter {
+			if err := rr.checkInterrupt(ctx); err != nil {
+				return nil, err
+			}
+			rr.iter++
+			res.Iterations = rr.iter
 			mIterations.Inc() // live, so /metrics shows mid-run progress
 			before := actionSnapshot(res)
 			reservations := 0
 			changedAny := false
 			pending := 0
-			for _, w := range works {
+			for _, w := range rr.works {
 				if w.done {
 					continue
 				}
-				if err := m.RunPrefix(w.id); err != nil {
-					if errors.Is(err, sim.ErrDiverged) {
-						res.DivergedPrefixes++
-						w.done = true
-						w.gaveUp = true
-						w.ribOut, w.potential, w.ribIn = 0, 0, 0
+				if err := rr.runPrefix(w); err != nil {
+					var derr *sim.DivergenceError
+					if errors.As(err, &derr) {
+						rr.quarantine(w, derr)
 						continue
 					}
 					return nil, err
 				}
-				if observing {
+				if rr.observing {
 					w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
 				}
 				changed, satisfied, resv := m.refinePrefix(w, cfg, res)
@@ -302,34 +536,40 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 			}
 			if cfg.Logf != nil {
 				cfg.Logf("refine: iteration %d: %d prefixes changed, %d quasi-routers, %d filters",
-					iter, pending, m.Net.NumRouters(), res.FiltersAdded-res.FiltersRemoved)
+					rr.iter, pending, m.Net.NumRouters(), res.FiltersAdded-res.FiltersRemoved)
 			}
-			if observing {
+			if rr.observing {
 				actions := actionSnapshot(res).diff(before)
 				actions.Reservations = reservations
-				cumActions.add(actions)
-				emit(RefineEvent{Type: "iteration", Actions: actions})
+				rr.cum.add(actions)
+				rr.emit(RefineEvent{Type: "iteration", Actions: actions})
+			}
+			if err := rr.maybeCheckpoint(false); err != nil {
+				return nil, err
 			}
 			if !changedAny {
 				break
 			}
 		}
+		if err := rr.checkInterrupt(ctx); err != nil {
+			return nil, err
+		}
 		// Verification sweep: re-open settled prefixes that later
 		// topology growth invalidated.
 		res.VerifyRounds++
 		reopened := 0
-		for _, w := range works {
+		for _, w := range rr.works {
 			if !w.done || w.gaveUp || !w.ok {
 				continue
 			}
-			if err := m.RunPrefix(w.id); err != nil {
+			if err := rr.runPrefix(w); err != nil {
 				if errors.Is(err, sim.ErrDiverged) {
 					w.ok = false
 					continue
 				}
 				return nil, err
 			}
-			if observing {
+			if rr.observing {
 				w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
 			}
 			if m.countUnsatisfied(w) > 0 {
@@ -341,44 +581,21 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 		if cfg.Logf != nil && reopened > 0 {
 			cfg.Logf("refine: verification reopened %d prefixes", reopened)
 		}
-		if observing {
-			emit(RefineEvent{Type: "verify", PrefixesReopened: reopened, VerifyRound: res.VerifyRounds})
+		if rr.observing {
+			rr.emit(RefineEvent{Type: "verify", PrefixesReopened: reopened, VerifyRound: res.VerifyRounds})
 		}
-		if reopened == 0 {
+		if reopened > 0 {
+			continue
+		}
+		// Nothing broken: give quarantined prefixes their one escalated
+		// retry; if any re-opened, keep refining, else we are done.
+		if rr.retryQuarantined() == 0 {
 			break
 		}
 	}
 
-	// Final accounting.
-	res.Converged = true
-	for _, w := range works {
-		if w.done && w.ok {
-			continue
-		}
-		if w.gaveUp {
-			res.Converged = false
-			res.UnsatisfiedRequirements += len(w.reqs)
-			continue
-		}
-		if err := m.RunPrefix(w.id); err != nil {
-			if errors.Is(err, sim.ErrDiverged) {
-				res.Converged = false
-				res.UnsatisfiedRequirements += len(w.reqs)
-				continue
-			}
-			return nil, err
-		}
-		if observing {
-			w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
-		}
-		unsat := m.countUnsatisfied(w)
-		if unsat > 0 {
-			res.Converged = false
-			res.UnsatisfiedRequirements += unsat
-		}
-	}
-	if observing {
-		emit(RefineEvent{Type: "done", Converged: res.Converged})
+	if err := rr.finish(); err != nil {
+		return nil, err
 	}
 
 	// Publish the run's work to the obs registry in one batch
@@ -393,6 +610,71 @@ func (m *Model) Refine(train *dataset.Dataset, cfg RefineConfig) (*RefineResult,
 	mDivergedPx.Add(int64(res.DivergedPrefixes))
 	mIterPerRun.ObserveInt(res.Iterations)
 	return res, nil
+}
+
+// finish does the final accounting: re-simulate everything not settled,
+// fold still-quarantined prefixes (iteration budget ran out before their
+// retry) into the diverged count, and build the quarantine report.
+func (rr *refineRun) finish() error {
+	m, res := rr.m, rr.res
+	res.Converged = true
+	for _, w := range rr.works {
+		if w.quarantined {
+			w.quarantined = false
+			w.gaveUp = true
+			res.DivergedPrefixes++
+		}
+		if w.done && w.ok {
+			continue
+		}
+		if w.gaveUp {
+			res.Converged = false
+			res.UnsatisfiedRequirements += len(w.reqs)
+			continue
+		}
+		if err := rr.runPrefix(w); err != nil {
+			var derr *sim.DivergenceError
+			if errors.As(err, &derr) {
+				w.div = derr
+				w.gaveUp = true
+				res.DivergedPrefixes++
+				res.Converged = false
+				res.UnsatisfiedRequirements += len(w.reqs)
+				continue
+			}
+			return err
+		}
+		if rr.observing {
+			w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
+		}
+		unsat := m.countUnsatisfied(w)
+		if unsat > 0 {
+			res.Converged = false
+			res.UnsatisfiedRequirements += unsat
+		}
+	}
+	for _, w := range rr.works {
+		if w.div == nil {
+			continue
+		}
+		rec := QuarantineRecord{
+			Prefix:    rr.name(w),
+			Messages:  w.div.Messages,
+			Budget:    w.div.Budget,
+			Recovered: !w.gaveUp,
+		}
+		if w.retried {
+			rec.RetryBudget = w.budget
+		}
+		res.Quarantined = append(res.Quarantined, rec)
+		if rec.Recovered {
+			mQRecovered.Inc()
+		}
+	}
+	if rr.observing {
+		rr.emit(RefineEvent{Type: "done", Converged: res.Converged})
+	}
+	return nil
 }
 
 // matchCounts classifies every requirement of w against the network's

@@ -20,7 +20,14 @@ import (
 // prefix universe, quasi-router topology (including duplicates), sessions
 // and all per-prefix policies. Import/export *hooks* (relationship
 // baselines) are code, not data, and are not serialized.
-const saveMagic = "asmodel-model-v1"
+//
+// v2 terminates the stream with an "end" trailer so a truncated file
+// (crashed writer, torn copy) is detected instead of silently loading as
+// a smaller model. v1 files (no trailer) are still accepted.
+const (
+	saveMagicV1 = "asmodel-model-v1"
+	saveMagic   = "asmodel-model-v2"
+)
 
 // Save writes the model to w.
 func (m *Model) Save(w io.Writer) error {
@@ -84,16 +91,41 @@ func (m *Model) Save(w io.Writer) error {
 	for _, l := range polLines {
 		fmt.Fprintln(bw, l)
 	}
+	fmt.Fprintln(bw, "end")
 	return bw.Flush()
 }
 
-// Load reads a model written by Save.
-func Load(r io.Reader) (*Model, error) {
+// newModelScanner returns a line scanner sized for large saved models.
+func newModelScanner(r io.Reader) *bufio.Scanner {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	if !sc.Scan() || sc.Text() != saveMagic {
+	return sc
+}
+
+// Load reads a model written by Save (current or v1 format).
+func Load(r io.Reader) (*Model, error) {
+	sc := newModelScanner(r)
+	if !sc.Scan() {
 		return nil, fmt.Errorf("model: not a saved model (missing %q header)", saveMagic)
 	}
+	var legacy bool
+	switch sc.Text() {
+	case saveMagic:
+	case saveMagicV1:
+		legacy = true
+	default:
+		return nil, fmt.Errorf("model: not a saved model (missing %q header)", saveMagic)
+	}
+	lineNo := 1
+	return loadModelBody(sc, &lineNo, legacy)
+}
+
+// loadModelBody parses the directives following the magic line. The
+// scanner is left positioned just past the model's "end" trailer, so a
+// containing format (the refinement checkpoint) can embed a model and
+// keep parsing afterwards. With legacy true the trailer is optional and
+// parsing runs to EOF (v1 files).
+func loadModelBody(sc *bufio.Scanner, lineNo *int, legacy bool) (*Model, error) {
 
 	entries := make(map[string][]bgp.ASN)
 	type qrCount struct {
@@ -116,18 +148,22 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	var imports []importRule
 
-	lineNo := 1
+	sawEnd := false
+scan:
 	for sc.Scan() {
-		lineNo++
+		*lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
 		f := strings.Fields(line)
 		fail := func(why string) error {
-			return fmt.Errorf("model: line %d: %s: %q", lineNo, why, line)
+			return fmt.Errorf("model: line %d: %s: %q", *lineNo, why, line)
 		}
 		switch f[0] {
+		case "end":
+			sawEnd = true
+			break scan
 		case "prefixes":
 			// informational; ignored
 		case "prefix":
@@ -160,6 +196,8 @@ func Load(r io.Reader) (*Model, error) {
 			}
 			sessions = append(sessions, sess{a, b})
 		case "deny":
+			// Field count must be validated before indexing f[3]: a
+			// truncated "deny a b" line is data, not a crash.
 			a, b, err := parseIDPair(f, 4)
 			if err != nil {
 				return nil, fail(err.Error())
@@ -190,6 +228,9 @@ func Load(r io.Reader) (*Model, error) {
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	if !sawEnd && !legacy {
+		return nil, fmt.Errorf("model: truncated saved model after line %d (missing %q trailer)", *lineNo, "end")
 	}
 
 	m := &Model{
@@ -254,14 +295,13 @@ func Load(r io.Reader) (*Model, error) {
 }
 
 func parseIDPair(f []string, want int) (bgp.RouterID, bgp.RouterID, error) {
-	if len(f) < 3 {
-		return 0, 0, fmt.Errorf("need at least 3 fields")
+	if len(f) != want {
+		return 0, 0, fmt.Errorf("need %d fields, have %d", want, len(f))
 	}
 	a, err1 := strconv.ParseUint(f[1], 10, 32)
 	b, err2 := strconv.ParseUint(f[2], 10, 32)
 	if err1 != nil || err2 != nil {
 		return 0, 0, fmt.Errorf("bad router IDs")
 	}
-	_ = want
 	return bgp.RouterID(a), bgp.RouterID(b), nil
 }

@@ -108,11 +108,56 @@ func TestLoadErrors(t *testing.T) {
 		"asmodel-model-v1\nas 1 1\nas 2 1\ndeny 65536 131072 0\n", // deny without session
 		"asmodel-model-v1\nsession 65536 131072\n",                // session with unknown routers
 		"asmodel-model-v1\nas 1 1\nas 2 1\nimport 65536 131072 0 m x 0\n",
+		"asmodel-model-v1\ndeny 65536 131072\n",   // truncated deny (regression: used to panic)
+		"asmodel-model-v1\nsession 65536\n",       // truncated session
+		"asmodel-model-v1\nimport 65536 131072\n", // truncated import
+		"asmodel-model-v2\nas 1 1\n",              // v2 without end trailer
 	}
 	for i, c := range cases {
 		if _, err := Load(strings.NewReader(c)); err == nil {
 			t.Errorf("case %d accepted: %q", i, c)
 		}
+	}
+}
+
+// TestLoadTruncated: every proper byte-prefix of a saved model must be
+// rejected with an error — never loaded short, never a panic. The v2
+// "end" trailer makes line-boundary truncation detectable.
+func TestLoadTruncated(t *testing.T) {
+	m, _ := refineSample(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// data[:len-1] only drops the trailing newline of "end" and is still a
+	// complete model; anything shorter is a truncation.
+	if _, err := Load(bytes.NewReader(data[:len(data)-1])); err != nil {
+		t.Fatalf("missing final newline rejected: %v", err)
+	}
+	for i := 0; i < len(data)-1; i++ {
+		if _, err := Load(bytes.NewReader(data[:i])); err == nil {
+			t.Fatalf("truncation at byte %d of %d loaded without error:\n%q", i, len(data), data[:i])
+		}
+	}
+}
+
+// TestLoadLegacyV1 keeps the pre-trailer format loadable: v1 files have
+// no "end" line and parse to EOF.
+func TestLoadLegacyV1(t *testing.T) {
+	m, _ := refineSample(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v1 := strings.Replace(buf.String(), saveMagic+"\n", saveMagicV1+"\n", 1)
+	v1 = strings.TrimSuffix(v1, "end\n")
+	m2, err := Load(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 legacy model rejected: %v", err)
+	}
+	if m.Stats() != m2.Stats() {
+		t.Fatalf("v1 load differs: %+v vs %+v", m.Stats(), m2.Stats())
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 // Safe for concurrent use.
 type TraceSink struct {
 	mu  sync.Mutex
+	out io.Writer
 	w   *bufio.Writer
 	n   int
 	err error
@@ -23,7 +24,7 @@ type TraceSink struct {
 // NewTraceSink wraps w in a buffered JSONL sink. Call Flush (or Close on
 // the underlying file after Flush) when done.
 func NewTraceSink(w io.Writer) *TraceSink {
-	return &TraceSink{w: bufio.NewWriter(w)}
+	return &TraceSink{out: w, w: bufio.NewWriter(w)}
 }
 
 // Emit writes one event as a single JSON line. After the first error all
@@ -69,12 +70,34 @@ func (s *TraceSink) Err() error {
 func (s *TraceSink) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.flushLocked()
+}
+
+func (s *TraceSink) flushLocked() error {
 	if s.err != nil {
 		return s.err
 	}
 	if err := s.w.Flush(); err != nil {
 		s.err = err
 		return err
+	}
+	return nil
+}
+
+// Sync flushes and, when the underlying writer supports it (an *os.File),
+// fsyncs — used at durability points such as refinement checkpoints so
+// the trace on disk is consistent with the checkpoint that references it.
+func (s *TraceSink) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if f, ok := s.out.(interface{ Sync() error }); ok {
+		if err := f.Sync(); err != nil {
+			s.err = err
+			return err
+		}
 	}
 	return nil
 }

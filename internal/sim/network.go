@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -353,11 +354,37 @@ func (p *Peer) ExportDenied(prefix bgp.PrefixID) bool {
 // announced in sorted router-ID order for determinism. Run returns
 // ErrDiverged if the message budget is exhausted.
 func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
+	return n.RunBudget(context.Background(), prefix, origins, 0)
+}
+
+// RunContext is Run with cancellation: the context is polled
+// periodically inside the delivery loop, and a canceled or expired
+// context aborts the run with an error wrapping ctx.Err() (match with
+// errors.Is(err, context.Canceled) / context.DeadlineExceeded). An
+// aborted run leaves the network's per-prefix state partially
+// propagated; the next Run resets it.
+func (n *Network) RunContext(ctx context.Context, prefix bgp.PrefixID, origins []bgp.RouterID) error {
+	return n.RunBudget(ctx, prefix, origins, 0)
+}
+
+// ctxCheckInterval is how many delivered messages pass between context
+// polls; a power of two so the check compiles to a mask.
+const ctxCheckInterval = 512
+
+// RunBudget is RunContext with an explicit message budget overriding
+// MaxMessages for this run only (0 keeps the network's configured or
+// automatic budget). The refinement heuristic uses it to retry
+// quarantined prefixes under an escalated budget.
+func (n *Network) RunBudget(ctx context.Context, prefix bgp.PrefixID, origins []bgp.RouterID, budget int) error {
 	start := time.Now()
 	n.reset()
 	n.prefix = prefix
 	n.ran = true
 	n.stats = RunStats{Prefix: prefix}
+
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("sim: propagation of prefix %d not started: %w", prefix, err)
+	}
 
 	sorted := make([]bgp.RouterID, len(origins))
 	copy(sorted, origins)
@@ -378,7 +405,9 @@ func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
 		r.exportAll()
 	}
 
-	budget := n.MaxMessages
+	if budget == 0 {
+		budget = n.MaxMessages
+	}
 	if budget == 0 {
 		budget = 1000 + 200*n.sessions
 	}
@@ -395,6 +424,14 @@ func (n *Network) Run(prefix bgp.PrefixID, origins []bgp.RouterID) error {
 			n.stats.Diverged = true
 			n.finishRun(start)
 			return &DivergenceError{Prefix: prefix, Messages: msgs, Budget: budget}
+		}
+		if msgs%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				n.drainQueue()
+				n.stats.Messages = msgs
+				n.finishRun(start)
+				return fmt.Errorf("sim: propagation of prefix %d interrupted after %d messages: %w", prefix, msgs, err)
+			}
 		}
 		m.to.deliver(m.peerIdx, m.route)
 	}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -374,6 +375,95 @@ func TestDivergenceDetected(t *testing.T) {
 	st := net.LastRunStats()
 	if !st.Diverged || st.BudgetUsed() <= 1.0 {
 		t.Errorf("diverged run stats = %+v", st)
+	}
+}
+
+// badGadget builds the 3-cycle oscillator of TestDivergenceDetected and
+// returns the network plus the origin router.
+func badGadget(t testing.TB) (*Network, *Router) {
+	t.Helper()
+	net := NewNetwork(bgp.QuasiRouterConfig)
+	r0, _ := net.AddRouter(10, 0)
+	r1, _ := net.AddRouter(11, 0)
+	r2, _ := net.AddRouter(12, 0)
+	origin, _ := net.AddRouter(99, 0)
+	net.Connect(r0, r1)
+	net.Connect(r1, r2)
+	net.Connect(r2, r0)
+	net.Connect(origin, r0)
+	net.Connect(origin, r1)
+	net.Connect(origin, r2)
+	cw := map[bgp.ASN]bgp.ASN{10: 11, 11: 12, 12: 10}
+	for _, r := range []*Router{r0, r1, r2} {
+		self := r.AS
+		for _, p := range r.Peers() {
+			p.ImportHook = func(rt *bgp.Route) bool {
+				if first, ok := rt.Path.First(); ok && first == cw[self] {
+					rt.LocalPref = 200
+				}
+				return true
+			}
+		}
+	}
+	return net, origin
+}
+
+// TestRunBudgetOverride: the per-run budget overrides MaxMessages for
+// that run only, and a zero override keeps the configured budget.
+func TestRunBudgetOverride(t *testing.T) {
+	net, origin := badGadget(t)
+	net.MaxMessages = 5000
+	err := net.RunBudget(context.Background(), 1, []bgp.RouterID{origin.ID}, 40)
+	var de *DivergenceError
+	if !errors.As(err, &de) || de.Budget != 40 {
+		t.Fatalf("override budget not applied: %v", err)
+	}
+	// Zero override falls back to MaxMessages.
+	err = net.RunBudget(context.Background(), 1, []bgp.RouterID{origin.ID}, 0)
+	if !errors.As(err, &de) || de.Budget != 5000 {
+		t.Fatalf("zero override should keep MaxMessages: %v", err)
+	}
+	// A convergent topology succeeds under a generous override.
+	line, rs := buildLine(t, 4)
+	if err := line.RunBudget(context.Background(), 1, []bgp.RouterID{rs[0].ID}, 100000); err != nil {
+		t.Fatalf("RunBudget on convergent topology: %v", err)
+	}
+	if rs[3].Best() == nil {
+		t.Error("route did not propagate under budget override")
+	}
+}
+
+// TestRunContextCanceled: a canceled context aborts the run with an
+// error matching context.Canceled, before any message is delivered when
+// canceled up front, and mid-loop when canceled during propagation.
+func TestRunContextCanceled(t *testing.T) {
+	net, rs := buildLine(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := net.RunContext(ctx, 1, []bgp.RouterID{rs[0].ID})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if errors.Is(err, ErrDiverged) {
+		t.Error("cancellation must not be reported as divergence")
+	}
+	// The next Run on the same network starts clean.
+	mustRun(t, net, 1, rs[0].ID)
+	if rs[3].Best() == nil {
+		t.Error("network unusable after canceled run")
+	}
+
+	// Mid-propagation cancellation: the oscillator would run forever under
+	// this budget, so the run can only end via the in-loop context check
+	// (or the up-front one if the cancel wins the race — same error).
+	gadget, origin := badGadget(t)
+	gadget.MaxMessages = 1 << 30
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- gadget.RunContext(ctx2, 1, []bgp.RouterID{origin.ID}) }()
+	cancel2()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancellation: want context.Canceled, got %v", err)
 	}
 }
 
