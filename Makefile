@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench
+.PHONY: all build test vet race check bench bench-json
 
 all: check
 
@@ -23,3 +23,8 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Sequential-vs-parallel evaluate/refine timings plus determinism check;
+# writes BENCH_parallel.json (checked in; regenerate after engine changes).
+bench-json:
+	$(GO) run ./cmd/parbench -out BENCH_parallel.json

@@ -20,6 +20,15 @@
 //	m, res, err := asmodel.BuildAndRefine(ds, train, asmodel.RefineConfig{})
 //	ev, err := m.Evaluate(valid)
 //
+// Per-prefix simulation is embarrassingly parallel: Model.EvaluateParallel
+// fans prefixes across a worker pool of deep model clones and merges
+// results deterministically, so it returns exactly what Evaluate would for
+// any worker count (DefaultWorkers sizes the pool to the CPU count).
+// RefineConfig.Workers parallelizes the refinement verify sweep the same
+// way:
+//
+//	ev, err := m.EvaluateParallel(ctx, valid, asmodel.DefaultWorkers())
+//
 // The subpackages under internal/ carry the substrates: a C-BGP-style
 // static BGP propagation engine (internal/sim), a router-level
 // ground-truth simulator with iBGP and hot-potato routing
@@ -100,6 +109,11 @@ type (
 	// stops the run; it carries progress made and the last checkpoint.
 	InterruptedError = model.InterruptedError
 )
+
+// DefaultWorkers is the worker-pool size Model.EvaluateParallel and
+// RefineConfig.Workers use for "one worker per available CPU": it returns
+// runtime.GOMAXPROCS(0).
+func DefaultWorkers() int { return model.DefaultWorkers() }
 
 // LoadCheckpointFile reads a refinement checkpoint written during a
 // checkpointed Refine run (see CheckpointConfig).

@@ -9,14 +9,19 @@
 package asmodel
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 
 	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
 	"asmodel/internal/experiments"
 	"asmodel/internal/gen"
+	"asmodel/internal/model"
 	"asmodel/internal/sim"
+	"asmodel/internal/topology"
 )
 
 // benchSuite is generated once and shared: generation itself is benched
@@ -38,6 +43,74 @@ func suite(b *testing.B) *experiments.Suite {
 		b.Fatal(benchErr)
 	}
 	return benchSuite
+}
+
+// refined is the shared evaluation fixture for the parallel-evaluation
+// benchmarks: the suite's model refined on an observation-point split,
+// with the validation half to score.
+var (
+	refinedOnce  sync.Once
+	refinedModel *model.Model
+	refinedValid *dataset.Dataset
+	refinedErr   error
+)
+
+func refined(b *testing.B) (*model.Model, *dataset.Dataset) {
+	b.Helper()
+	s := suite(b)
+	refinedOnce.Do(func() {
+		train, valid := s.Data.SplitByObsPoint(0.5, 1)
+		g := topology.FromDataset(s.Data)
+		m, err := model.NewInitial(g, dataset.NewUniverse(s.Data))
+		if err != nil {
+			refinedErr = err
+			return
+		}
+		if _, err := m.Refine(train, model.RefineConfig{}); err != nil {
+			refinedErr = err
+			return
+		}
+		refinedModel, refinedValid = m, valid
+	})
+	if refinedErr != nil {
+		b.Fatal(refinedErr)
+	}
+	return refinedModel, refinedValid
+}
+
+// BenchmarkEvaluateSequential measures the sequential evaluation of a
+// refined model against the held-out half — the baseline the parallel
+// pool is compared to.
+func BenchmarkEvaluateSequential(b *testing.B) {
+	m, valid := refined(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev, err := m.Evaluate(valid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*ev.Summary.Frac(ev.Summary.DownToTieBreak()), "pct-down-to-tie-break")
+	}
+}
+
+// BenchmarkEvaluateParallel measures the same evaluation through the
+// worker pool at several sizes. On multi-core machines the speedup
+// approaches the worker count (per-prefix simulation shares nothing);
+// on a single-CPU machine it stays near 1x and measures pool overhead.
+func BenchmarkEvaluateParallel(b *testing.B) {
+	m, valid := refined(b)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.EvaluateParallel(context.Background(), valid, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkGroundTruthGeneration measures building the synthetic Internet

@@ -238,11 +238,15 @@ func cmdRefine(ctx context.Context, args []string) error {
 	checkpoint := fs.String("checkpoint", "", "write a crash-safe refinement checkpoint to this file (atomic rename; also on SIGINT/SIGTERM)")
 	ckptEvery := fs.Int("checkpoint-every", model.DefaultCheckpointEvery, "iterations between checkpoints (with -checkpoint)")
 	resume := fs.Bool("resume", false, "resume refinement from the -checkpoint file instead of starting fresh")
+	workers := fs.Int("workers", model.DefaultWorkers(), "worker-pool size for the verify sweep and evaluations (1 = sequential; same results at any count)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return usagef("refine: -in is required")
+	}
+	if *workers < 1 {
+		return usagef("refine: -workers must be >= 1")
 	}
 	if *resume && *checkpoint == "" {
 		return usagef("refine: -resume requires -checkpoint")
@@ -267,6 +271,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 	}
 	cfg := model.RefineConfig{
 		Checkpoint: model.CheckpointConfig{Path: *checkpoint, Every: *ckptEvery},
+		Workers:    *workers,
 	}
 	if *verbose {
 		cfg.Logf = func(format string, a ...interface{}) {
@@ -334,7 +339,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 		name string
 		set  *dataset.Dataset
 	}{{"training", train}, {"validation", valid}} {
-		ev, err := m.EvaluateContext(ctx, part.set)
+		ev, err := m.EvaluateParallel(ctx, part.set, *workers)
 		if err != nil {
 			return err
 		}
@@ -511,11 +516,15 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("evaluate", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file to score against")
 	modelPath := fs.String("model", "", "saved model file")
+	workers := fs.Int("workers", model.DefaultWorkers(), "worker-pool size for the evaluation (1 = sequential; same results at any count)")
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	if *in == "" || *modelPath == "" {
 		return usagef("evaluate: -in and -model are required")
+	}
+	if *workers < 1 {
+		return usagef("evaluate: -workers must be >= 1")
 	}
 	ds, err := loadDataset(*in)
 	if err != nil {
@@ -525,7 +534,7 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
-	ev, err := m.EvaluateContext(ctx, ds)
+	ev, err := m.EvaluateParallel(ctx, ds, *workers)
 	if err != nil {
 		return err
 	}

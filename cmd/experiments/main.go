@@ -20,6 +20,7 @@ import (
 
 	"asmodel/internal/experiments"
 	"asmodel/internal/metrics"
+	"asmodel/internal/model"
 	"asmodel/internal/obs"
 	"asmodel/internal/topology"
 )
@@ -30,7 +31,13 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: stats,figure2,table1,table2,pipeline,unseen,combined,figure3,multiprefix,iterations,whatif,ablations")
 	jsonPath := flag.String("json", "", "write headline numbers as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
+	workers := flag.Int("workers", model.DefaultWorkers(), "worker-pool size for evaluations and refinement verify sweeps (1 = sequential; same results at any count)")
 	flag.Parse()
+
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "experiments: -workers must be >= 1")
+		os.Exit(2)
+	}
 
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default())
@@ -41,7 +48,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
-	if err := run(*seed, *scale, *only, *jsonPath); err != nil {
+	if err := run(*seed, *scale, *workers, *only, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -81,7 +88,7 @@ type table2Report struct {
 	Policies     *metrics.Summary `json:"policies"`
 }
 
-func run(seed int64, scale int, only, jsonPath string) error {
+func run(seed int64, scale, workers int, only, jsonPath string) error {
 	want := func(name string) bool {
 		if only == "" {
 			return true
@@ -108,6 +115,7 @@ func run(seed int64, scale int, only, jsonPath string) error {
 	if err != nil {
 		return err
 	}
+	s.Workers = workers
 	fmt.Printf("dataset: %d records, %d prefixes, %d observation points; %d weird policies (%d reverted)\n\n",
 		s.Data.Len(), len(s.Data.Prefixes()), len(s.Data.ObsPoints()), len(s.Internet.Weird), s.Internet.QuirksReverted)
 

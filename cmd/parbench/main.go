@@ -1,0 +1,225 @@
+// Command parbench measures the parallel per-prefix evaluation against
+// its sequential baseline and writes a machine-readable report
+// (BENCH_parallel.json via `make bench-json`).
+//
+// For every worker count it times Model.EvaluateParallel over a refined
+// model and checks the result is identical (reflect.DeepEqual) to the
+// sequential evaluation; it then times a full refinement with the
+// parallel verify sweep and checks the serialized model is byte-identical
+// to the sequentially refined one. The report records GOMAXPROCS and
+// NumCPU alongside every timing: per-prefix simulation shares nothing, so
+// the speedup tracks the CPU count — on a single-CPU host it stays near
+// 1x and the run only demonstrates determinism plus pool overhead.
+//
+// Usage:
+//
+//	parbench -out BENCH_parallel.json -seed 1 -reps 3 -workers 1,2,4,8
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/experiments"
+	"asmodel/internal/model"
+	"asmodel/internal/topology"
+)
+
+type workerRow struct {
+	Workers   int     `json:"workers"`
+	NsOp      int64   `json:"ns_op"`
+	Speedup   float64 `json:"speedup"`
+	Identical bool    `json:"identical"`
+}
+
+type report struct {
+	Seed         int64       `json:"seed"`
+	Reps         int         `json:"reps"`
+	GoMaxProcs   int         `json:"gomaxprocs"`
+	NumCPU       int         `json:"num_cpu"`
+	GoVersion    string      `json:"go_version"`
+	Prefixes     int         `json:"prefixes"`
+	Paths        int         `json:"paths"`
+	QuasiRouters int         `json:"quasi_routers"`
+	Note         string      `json:"note"`
+	EvalSeqNsOp  int64       `json:"evaluate_sequential_ns_op"`
+	Evaluate     []workerRow `json:"evaluate_parallel"`
+	RefSeqNsOp   int64       `json:"refine_sequential_ns_op"`
+	Refine       []workerRow `json:"refine_parallel"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_parallel.json", "report file")
+	seed := flag.Int64("seed", 1, "generator and split seed")
+	reps := flag.Int("reps", 3, "timed repetitions per configuration (minimum is reported)")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
+	flag.Parse()
+	if err := run(*out, *seed, *reps, *workersList); err != nil {
+		fmt.Fprintln(os.Stderr, "parbench:", err)
+		os.Exit(1)
+	}
+}
+
+// minNs reports the minimum wall time of reps runs of f.
+func minNs(reps int, f func() error) (int64, error) {
+	best := int64(-1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+			best = ns
+		}
+	}
+	return best, nil
+}
+
+func run(out string, seed int64, reps int, workersList string) error {
+	var counts []int
+	for _, part := range strings.Split(workersList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -workers entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = seed
+	fmt.Fprintf(os.Stderr, "parbench: generating suite (seed=%d)...\n", seed)
+	s, err := experiments.NewSuite(cfg)
+	if err != nil {
+		return err
+	}
+	train, valid := s.Data.SplitByObsPoint(0.5, seed)
+	g := topology.FromDataset(s.Data)
+	u := dataset.NewUniverse(s.Data)
+
+	buildRefined := func(workers int) (*model.Model, error) {
+		m, err := model.NewInitial(g, u)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := m.Refine(train, model.RefineConfig{Workers: workers}); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "parbench: refining baseline model...\n")
+	m, err := buildRefined(0)
+	if err != nil {
+		return err
+	}
+	rep := &report{
+		Seed: seed, Reps: reps,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Prefixes:  len(s.Data.Prefixes()),
+		Note: "speedup is bounded by num_cpu: per-prefix simulation shares nothing, " +
+			"so on a single-CPU host parallel timings measure pool overhead while " +
+			"the identical flags still verify the deterministic merge",
+		QuasiRouters: m.NumQuasiRouters(),
+	}
+
+	// Evaluation: sequential baseline, then each worker count.
+	want, err := m.Evaluate(valid)
+	if err != nil {
+		return err
+	}
+	rep.Paths = want.Summary.Total
+	rep.EvalSeqNsOp, err = minNs(reps, func() error {
+		_, err := m.Evaluate(valid)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range counts {
+		var got *model.Evaluation
+		ns, err := minNs(reps, func() error {
+			var err error
+			got, err = m.EvaluateParallel(context.Background(), valid, w)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		rep.Evaluate = append(rep.Evaluate, workerRow{
+			Workers: w, NsOp: ns,
+			Speedup:   float64(rep.EvalSeqNsOp) / float64(ns),
+			Identical: reflect.DeepEqual(got, want),
+		})
+		fmt.Fprintf(os.Stderr, "parbench: evaluate workers=%d %.2fms (%.2fx)\n",
+			w, float64(ns)/1e6, float64(rep.EvalSeqNsOp)/float64(ns))
+	}
+
+	// Refinement: sequential verify sweep vs worker pools, compared by
+	// serialized model bytes.
+	var wantBytes bytes.Buffer
+	if err := m.Save(&wantBytes); err != nil {
+		return err
+	}
+	rep.RefSeqNsOp, err = minNs(reps, func() error {
+		_, err := buildRefined(0)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for _, w := range counts {
+		if w == 1 {
+			continue // Workers:1 is the sequential path already timed
+		}
+		var got *model.Model
+		ns, err := minNs(reps, func() error {
+			var err error
+			got, err = buildRefined(w)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		var gotBytes bytes.Buffer
+		if err := got.Save(&gotBytes); err != nil {
+			return err
+		}
+		rep.Refine = append(rep.Refine, workerRow{
+			Workers: w, NsOp: ns,
+			Speedup:   float64(rep.RefSeqNsOp) / float64(ns),
+			Identical: bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()),
+		})
+		fmt.Fprintf(os.Stderr, "parbench: refine workers=%d %.2fms (%.2fx)\n",
+			w, float64(ns)/1e6, float64(rep.RefSeqNsOp)/float64(ns))
+	}
+
+	for _, r := range append(append([]workerRow{}, rep.Evaluate...), rep.Refine...) {
+		if !r.Identical {
+			return fmt.Errorf("workers=%d produced a result that differs from sequential", r.Workers)
+		}
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parbench: report written to %s\n", out)
+	return nil
+}

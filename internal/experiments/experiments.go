@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -29,6 +30,28 @@ type Suite struct {
 	Cfg      gen.Config
 	Internet *gen.Internet
 	Data     *dataset.Dataset
+	// Workers sizes the worker pool used for model evaluations and the
+	// refinement verify sweep (0 or 1 = sequential; results are identical
+	// for any count — see model.EvaluateParallel).
+	Workers int
+}
+
+// evaluate scores a model against a dataset through the suite's worker
+// pool. context.Background is fine here: experiments run to completion.
+func (s *Suite) evaluate(m *model.Model, ds *dataset.Dataset) (*model.Evaluation, error) {
+	w := s.Workers
+	if w <= 0 {
+		w = 1
+	}
+	return m.EvaluateParallel(context.Background(), ds, w)
+}
+
+// refineCfg stamps the suite's worker count onto a refinement config.
+func (s *Suite) refineCfg(cfg model.RefineConfig) model.RefineConfig {
+	if cfg.Workers == 0 {
+		cfg.Workers = s.Workers
+	}
+	return cfg
 }
 
 // NewSuite generates the synthetic Internet and collects the ground-truth
@@ -116,7 +139,7 @@ func (s *Suite) Table2() (*Table2Result, string, error) {
 	if err != nil {
 		return nil, "", err
 	}
-	ev1, err := m1.Evaluate(s.Data)
+	ev1, err := s.evaluate(m1, s.Data)
 	if err != nil {
 		return nil, "", err
 	}
@@ -132,7 +155,7 @@ func (s *Suite) Table2() (*Table2Result, string, error) {
 		return nil, "", err
 	}
 	m2.ApplyRelationshipPolicies(inf)
-	ev2, err := m2.Evaluate(s.Data)
+	ev2, err := s.evaluate(m2, s.Data)
 	if err != nil {
 		return nil, "", err
 	}
@@ -194,15 +217,15 @@ func (s *Suite) RunPipeline(trainFrac float64, seed int64, cfg model.RefineConfi
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Refine(train, cfg)
+	res, err := m.Refine(train, s.refineCfg(cfg))
 	if err != nil {
 		return nil, err
 	}
-	evT, err := m.Evaluate(train)
+	evT, err := s.evaluate(m, train)
 	if err != nil {
 		return nil, err
 	}
-	evV, err := m.Evaluate(valid)
+	evV, err := s.evaluate(m, valid)
 	if err != nil {
 		return nil, err
 	}
@@ -312,15 +335,15 @@ func (s *Suite) UnseenPrefixes(trainFrac float64, seed int64) (*RefineOutcome, e
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Refine(train, model.RefineConfig{})
+	res, err := m.Refine(train, s.refineCfg(model.RefineConfig{}))
 	if err != nil {
 		return nil, err
 	}
-	evT, err := m.Evaluate(train)
+	evT, err := s.evaluate(m, train)
 	if err != nil {
 		return nil, err
 	}
-	evV, err := m.Evaluate(valid)
+	evV, err := s.evaluate(m, valid)
 	if err != nil {
 		return nil, err
 	}
@@ -559,15 +582,15 @@ func (s *Suite) CombinedSplit(trainFrac float64, seed int64) (*RefineOutcome, er
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Refine(train, model.RefineConfig{})
+	res, err := m.Refine(train, s.refineCfg(model.RefineConfig{}))
 	if err != nil {
 		return nil, err
 	}
-	evT, err := m.Evaluate(train)
+	evT, err := s.evaluate(m, train)
 	if err != nil {
 		return nil, err
 	}
-	evV, err := m.Evaluate(valid)
+	evV, err := s.evaluate(m, valid)
 	if err != nil {
 		return nil, err
 	}

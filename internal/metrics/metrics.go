@@ -225,13 +225,38 @@ func (c *Coverage) RecordPrefix(matched, total int) {
 // network's current (post-Run) state, updating the summary, and returns
 // the number of RIB-Out matches and the number of observed paths.
 func EvaluatePrefix(c *Classifier, observed map[bgp.ASN][]bgp.Path, sum *Summary) (matched, total int) {
+	return EvaluatePrefixSorted(c, SortObserved(observed), sum)
+}
+
+// ObservedAS groups the unique observed paths of one observing AS for one
+// prefix, in a deterministic flattened form.
+type ObservedAS struct {
+	AS    bgp.ASN
+	Paths []bgp.Path
+}
+
+// SortObserved flattens an observed-paths map into ascending-AS order.
+// Evaluation loops that visit the same prefix repeatedly (refinement
+// sweeps, worker pools) flatten once and reuse the slice, skipping the
+// per-visit map iteration and sort.
+func SortObserved(observed map[bgp.ASN][]bgp.Path) []ObservedAS {
 	asns := make([]bgp.ASN, 0, len(observed))
 	for a := range observed {
 		asns = append(asns, a)
 	}
 	bgp.SortASNs(asns)
-	for _, a := range asns {
-		for _, p := range observed[a] {
+	out := make([]ObservedAS, len(asns))
+	for i, a := range asns {
+		out[i] = ObservedAS{AS: a, Paths: observed[a]}
+	}
+	return out
+}
+
+// EvaluatePrefixSorted is EvaluatePrefix over a pre-flattened worklist
+// (see SortObserved).
+func EvaluatePrefixSorted(c *Classifier, observed []ObservedAS, sum *Summary) (matched, total int) {
+	for _, oa := range observed {
+		for _, p := range oa.Paths {
 			kind, step := c.Classify(p)
 			sum.Record(kind, step)
 			total++

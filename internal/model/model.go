@@ -182,6 +182,34 @@ func (m *Model) Evaluate(ds *dataset.Dataset) (*Evaluation, error) {
 	return m.EvaluateContext(context.Background(), ds)
 }
 
+// evalWork is the per-prefix unit of an evaluation: a simulatable prefix
+// and its observed paths, pre-flattened into deterministic order.
+type evalWork struct {
+	id       bgp.PrefixID
+	observed []metrics.ObservedAS
+}
+
+// evalWorklist derives the evaluation worklist from a dataset: one entry
+// per simulatable prefix in ascending universe order, plus the count of
+// prefixes that had to be skipped (unknown to the universe or without an
+// origin AS in the model). Dataset prefixes arrive name-sorted, so the
+// worklist is sorted once by dense ID without round-tripping through
+// []int.
+func (m *Model) evalWorklist(ds *dataset.Dataset) (works []evalWork, skipped int) {
+	names := ds.Prefixes()
+	works = make([]evalWork, 0, len(names))
+	for _, name := range names {
+		id, ok := m.Universe.ID(name)
+		if !ok || len(m.origins(id)) == 0 {
+			skipped++
+			continue
+		}
+		works = append(works, evalWork{id: id, observed: metrics.SortObserved(ds.ObservedPaths(name))})
+	}
+	sort.Slice(works, func(i, j int) bool { return works[i].id < works[j].id })
+	return works, skipped
+}
+
 // EvaluateContext is Evaluate with cancellation: between prefixes (and
 // mid-propagation inside the engine) a canceled context aborts with a
 // *InterruptedError carrying the number of prefixes already evaluated.
@@ -189,33 +217,20 @@ func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Eval
 	ev := &Evaluation{Summary: metrics.NewSummary()}
 	cls := metrics.NewClassifier(m.Net)
 
-	byPrefix := make(map[bgp.PrefixID]map[bgp.ASN][]bgp.Path)
-	for _, name := range ds.Prefixes() {
-		id, ok := m.Universe.ID(name)
-		if !ok || len(m.origins(id)) == 0 {
-			ev.SkippedPrefixes++
-			continue
-		}
-		byPrefix[id] = ds.ObservedPaths(name)
-	}
-	ids := make([]int, 0, len(byPrefix))
-	for id := range byPrefix {
-		ids = append(ids, int(id))
-	}
-	sort.Ints(ids)
+	works, skipped := m.evalWorklist(ds)
+	ev.SkippedPrefixes = skipped
 
 	done := 0
-	for _, id := range ids {
-		prefix := bgp.PrefixID(id)
+	for _, w := range works {
 		if err := ctx.Err(); err != nil {
 			return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: err}
 		}
-		if err := m.RunPrefixContext(ctx, prefix); err != nil {
+		if err := m.RunPrefixContext(ctx, w.id); err != nil {
 			var derr *sim.DivergenceError
 			if errors.As(err, &derr) {
 				ev.Diverged++
 				ev.Divergences = append(ev.Divergences, DivergenceRecord{
-					Prefix:   m.Universe.Name(prefix),
+					Prefix:   m.Universe.Name(w.id),
 					Messages: derr.Messages,
 					Budget:   derr.Budget,
 				})
@@ -226,7 +241,7 @@ func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Eval
 			}
 			return nil, err
 		}
-		matched, total := metrics.EvaluatePrefix(cls, byPrefix[prefix], ev.Summary)
+		matched, total := metrics.EvaluatePrefixSorted(cls, w.observed, ev.Summary)
 		ev.Coverage.RecordPrefix(matched, total)
 		done++
 	}

@@ -1,0 +1,227 @@
+package model
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/metrics"
+	"asmodel/internal/obs"
+	"asmodel/internal/sim"
+)
+
+// Parallel-evaluation metrics, registered on the obs default registry.
+// Per-run sim counters are batched inside each worker's own network
+// clone (sim.RunStats), so the only coordination here is the pool-level
+// bookkeeping below.
+var (
+	mParEvals   = obs.GetCounter("eval_parallel_runs_total", "EvaluateParallel invocations")
+	mParClones  = obs.GetCounter("eval_parallel_clones_total", "model clones built for worker pools")
+	mParWorkers = obs.GetGauge("eval_parallel_workers", "worker count of the most recent parallel sweep")
+	mParPerWkr  = obs.GetHistogram("eval_worker_prefixes", "prefixes processed per worker per parallel sweep",
+		obs.ExpBuckets(1, 4, 10))
+)
+
+// DefaultWorkers is the worker-pool size the parallel paths use when the
+// caller passes 0: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Clone returns a deep copy of the model sharing the immutable prefix
+// Universe and AS Graph: the underlying network (topology + policies) is
+// cloned via sim.Network.Clone, and the quasi-router index is rebuilt
+// against the cloned routers. Clone only reads the source model, so
+// several goroutines may clone the same quiescent model concurrently;
+// the source must not be mid-Run or mid-Refine while clones are taken.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		Net:      m.Net.Clone(),
+		Universe: m.Universe,
+		Graph:    m.Graph,
+		qrs:      make(map[bgp.ASN][]*sim.Router, len(m.qrs)),
+		nextIdx:  make(map[bgp.ASN]uint16, len(m.nextIdx)),
+	}
+	for asn, rs := range m.qrs {
+		crs := make([]*sim.Router, len(rs))
+		for i, r := range rs {
+			crs[i] = c.Net.Router(r.ID)
+		}
+		c.qrs[asn] = crs
+	}
+	for asn, idx := range m.nextIdx {
+		c.nextIdx[asn] = idx
+	}
+	return c
+}
+
+// prefixEval is one prefix's contribution to a parallel evaluation,
+// produced by a worker and merged in universe order by the coordinator.
+type prefixEval struct {
+	sum            *metrics.Summary // nil until evaluated
+	matched, total int
+	div            *DivergenceRecord
+	err            error // non-divergence simulation failure
+}
+
+// EvaluateParallel is Evaluate fanned out over a worker pool: each
+// worker gets its own model clone (Clone), pulls prefixes from the
+// shared universe-ordered worklist, and emits a per-prefix summary;
+// the coordinator merges summaries, coverage and divergence records in
+// universe order, so the result is identical to the sequential
+// EvaluateContext for any worker count. workers <= 0 selects
+// DefaultWorkers(); workers == 1 (or a worklist smaller than two
+// prefixes) falls back to the sequential path over the model's own
+// network.
+//
+// Cancellation matches EvaluateContext: a canceled context aborts with
+// a *InterruptedError carrying the number of prefixes fully evaluated.
+// The source model's network is never run by the pool, so m is safe to
+// read (but not mutate) concurrently with an in-flight
+// EvaluateParallel.
+func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, workers int) (*Evaluation, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	works, skipped := m.evalWorklist(ds)
+	if workers > len(works) {
+		workers = len(works)
+	}
+	if workers <= 1 {
+		return m.EvaluateContext(ctx, ds)
+	}
+	mParEvals.Inc()
+	mParWorkers.Set(int64(workers))
+
+	results := make([]prefixEval, len(works))
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := m.Clone()
+			mParClones.Inc()
+			cls := metrics.NewClassifier(clone.Net)
+			processed := 0
+			defer func() { mParPerWkr.ObserveInt(processed) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(works) || wctx.Err() != nil {
+					return
+				}
+				w, r := works[i], &results[i]
+				if err := clone.runPrefixBudget(wctx, w.id, 0); err != nil {
+					var derr *sim.DivergenceError
+					switch {
+					case errors.As(err, &derr):
+						r.div = &DivergenceRecord{
+							Prefix:   m.Universe.Name(w.id),
+							Messages: derr.Messages,
+							Budget:   derr.Budget,
+						}
+					case wctx.Err() != nil:
+						return
+					default:
+						r.err = err
+						cancel() // no point finishing the sweep
+						return
+					}
+					processed++
+					continue
+				}
+				r.sum = metrics.NewSummary()
+				r.matched, r.total = metrics.EvaluatePrefixSorted(cls, w.observed, r.sum)
+				processed++
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Merge in universe order. Worker errors win over the interrupt so a
+	// genuine failure is never masked by the cancel() it triggered.
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for i := range results {
+			if results[i].sum != nil {
+				done++
+			}
+		}
+		return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: err}
+	}
+	ev := &Evaluation{Summary: metrics.NewSummary(), SkippedPrefixes: skipped}
+	for i := range results {
+		r := &results[i]
+		if r.div != nil {
+			ev.Diverged++
+			ev.Divergences = append(ev.Divergences, *r.div)
+			continue
+		}
+		ev.Summary.Merge(r.sum)
+		ev.Coverage.RecordPrefix(r.matched, r.total)
+	}
+	return ev, nil
+}
+
+// verifyOutcome is one settled prefix's re-simulation result from the
+// parallel verify sweep.
+type verifyOutcome struct {
+	diverged                bool
+	unsat                   int
+	ribOut, potential, ribIn int
+	err                     error
+}
+
+// verifyParallel re-simulates the given settled prefixes on per-worker
+// model clones and reports each one's unsatisfied-requirement count (and
+// match counts when observing). It performs no model mutation and no
+// worklist state changes — the caller applies outcomes in deterministic
+// worklist order — so any worker count yields the same refinement.
+func (rr *refineRun) verifyParallel(towork []*prefixWork, workers int) []verifyOutcome {
+	mParWorkers.Set(int64(workers))
+	results := make([]verifyOutcome, len(towork))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := rr.m.Clone()
+			mParClones.Inc()
+			processed := 0
+			defer func() { mParPerWkr.ObserveInt(processed) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(towork) {
+					return
+				}
+				w, r := towork[i], &results[i]
+				if err := clone.runPrefixBudget(context.Background(), w.id, w.budget); err != nil {
+					if errors.Is(err, sim.ErrDiverged) {
+						r.diverged = true
+						processed++
+						continue
+					}
+					r.err = err
+					return
+				}
+				if rr.observing {
+					r.ribOut, r.potential, r.ribIn = clone.matchCounts(w)
+				}
+				r.unsat = clone.countUnsatisfied(w)
+				processed++
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

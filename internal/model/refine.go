@@ -60,6 +60,15 @@ type RefineConfig struct {
 	// E10c). The paper reports this approach caused divergence; the
 	// engine's message budget detects it.
 	UseLocalPref bool
+	// Workers sets the worker-pool size for the read-only
+	// verify-and-reopen sweep: each worker re-simulates settled prefixes
+	// on its own model clone (Model.Clone), and outcomes are applied in
+	// worklist order, so any worker count produces the same refinement
+	// (model, result counts and trace stream). 0 or 1 keeps the sweep
+	// sequential; a negative value selects DefaultWorkers(). The
+	// mutating refine iterations always stay sequential — they edit the
+	// shared topology.
+	Workers int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
 	// Observer, when set, receives one RefineEvent per refinement
@@ -446,6 +455,69 @@ func (rr *refineRun) retryQuarantined() int {
 	return n
 }
 
+// verifySweep re-simulates every settled prefix and re-opens the ones
+// later topology growth broke, returning how many it re-opened. The
+// sweep only reads the model, so with cfg.Workers it fans the prefixes
+// out across per-worker model clones (the forceDiverge test seam forces
+// the sequential path: it decrements shared per-prefix counters).
+// Outcomes are applied in worklist order either way, so the sweep is
+// deterministic for any worker count.
+func (rr *refineRun) verifySweep() (int, error) {
+	var towork []*prefixWork
+	for _, w := range rr.works {
+		if w.done && !w.gaveUp && w.ok {
+			towork = append(towork, w)
+		}
+	}
+	workers := rr.cfg.Workers
+	if workers < 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > len(towork) {
+		workers = len(towork)
+	}
+	reopened := 0
+	if workers > 1 && rr.cfg.forceDiverge == nil {
+		for i, o := range rr.verifyParallel(towork, workers) {
+			w := towork[i]
+			if o.err != nil {
+				return 0, o.err
+			}
+			if o.diverged {
+				w.ok = false
+				continue
+			}
+			if rr.observing {
+				w.ribOut, w.potential, w.ribIn = o.ribOut, o.potential, o.ribIn
+			}
+			if o.unsat > 0 {
+				w.done = false
+				w.ok = false
+				reopened++
+			}
+		}
+		return reopened, nil
+	}
+	for _, w := range towork {
+		if err := rr.runPrefix(w); err != nil {
+			if errors.Is(err, sim.ErrDiverged) {
+				w.ok = false
+				continue
+			}
+			return 0, err
+		}
+		if rr.observing {
+			w.ribOut, w.potential, w.ribIn = rr.m.matchCounts(w)
+		}
+		if rr.m.countUnsatisfied(w) > 0 {
+			w.done = false
+			w.ok = false
+			reopened++
+		}
+	}
+	return reopened, nil
+}
+
 // maybeCheckpoint writes a checkpoint if checkpointing is enabled and
 // either force is set (cancellation) or the iteration interval elapsed.
 func (rr *refineRun) maybeCheckpoint(force bool) error {
@@ -557,26 +629,9 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 		// Verification sweep: re-open settled prefixes that later
 		// topology growth invalidated.
 		res.VerifyRounds++
-		reopened := 0
-		for _, w := range rr.works {
-			if !w.done || w.gaveUp || !w.ok {
-				continue
-			}
-			if err := rr.runPrefix(w); err != nil {
-				if errors.Is(err, sim.ErrDiverged) {
-					w.ok = false
-					continue
-				}
-				return nil, err
-			}
-			if rr.observing {
-				w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
-			}
-			if m.countUnsatisfied(w) > 0 {
-				w.done = false
-				w.ok = false
-				reopened++
-			}
+		reopened, err := rr.verifySweep()
+		if err != nil {
+			return nil, err
 		}
 		if cfg.Logf != nil && reopened > 0 {
 			cfg.Logf("refine: verification reopened %d prefixes", reopened)
