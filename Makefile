@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json
+.PHONY: all build test vet race check bench bench-json fuzz-smoke
 
 all: check
 
@@ -20,6 +20,16 @@ race:
 	$(GO) test -race ./...
 
 check: build vet test race
+
+# Short fuzzing pass over every parser-facing fuzz target (go's fuzzer
+# accepts one -fuzz pattern per invocation, hence the separate runs).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/mrt -fuzz '^FuzzParsePeerIndexTable$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/mrt -fuzz '^FuzzParseRIB$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/mrt -fuzz '^FuzzParseBGP4MP$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/lg -fuzz '^FuzzLGParse$$' -fuzztime $(FUZZTIME) -run '^$$'
+	$(GO) test ./internal/model -fuzz '^FuzzModelLoad$$' -fuzztime $(FUZZTIME) -run '^$$'
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

@@ -47,6 +47,7 @@ import (
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
 	"asmodel/internal/gen"
+	"asmodel/internal/ingest"
 	"asmodel/internal/lg"
 	"asmodel/internal/model"
 	"asmodel/internal/mrt"
@@ -108,6 +109,16 @@ type (
 	// (Model.RefineContext, Model.EvaluateContext) when cancellation
 	// stops the run; it carries progress made and the last checkpoint.
 	InterruptedError = model.InterruptedError
+	// WorkerPanicError is a panic recovered inside a parallel
+	// evaluation or verify-sweep worker, attributed to the prefix that
+	// raised it.
+	WorkerPanicError = model.WorkerPanicError
+	// IngestOptions selects strict (abort on first malformed record) or
+	// lenient (skip, count, bounded by MaxRecordErrors) ingestion.
+	IngestOptions = ingest.Options
+	// IngestReport summarizes a lenient load: records read, records
+	// skipped and the first few errors verbatim.
+	IngestReport = ingest.Report
 )
 
 // DefaultWorkers is the worker-pool size Model.EvaluateParallel and
@@ -147,13 +158,31 @@ func GenerateInternet(cfg GenConfig) (*Internet, error) { return gen.Generate(cf
 // ParsePath parses a space-separated AS-path such as "701 1239 24249".
 func ParsePath(s string) (Path, error) { return bgp.ParsePath(s) }
 
-// ReadDataset parses the line-oriented dataset text format.
+// ReadDataset parses the line-oriented dataset text format, aborting on
+// the first malformed line. For dirty real-world inputs use
+// ReadDatasetReport with lenient IngestOptions.
 func ReadDataset(r io.Reader) (*Dataset, error) { return dataset.Read(r) }
 
-// MRTToDataset converts an MRT TABLE_DUMP_V2 RIB dump into a dataset.
+// ReadDatasetReport parses the dataset text format under the given
+// ingestion policy; in lenient mode malformed lines are skipped and
+// counted in the report until the error budget runs out.
+func ReadDatasetReport(r io.Reader, opts IngestOptions) (*Dataset, *IngestReport, error) {
+	return dataset.ReadReport(r, opts)
+}
+
+// MRTToDataset converts an MRT TABLE_DUMP_V2 RIB dump into a dataset,
+// aborting on the first malformed record.
 func MRTToDataset(r io.Reader) (*Dataset, error) {
 	ds, _, err := mrt.ToDataset(r)
 	return ds, err
+}
+
+// MRTToDatasetReport converts an MRT RIB dump under the given ingestion
+// policy; in lenient mode corrupt record bodies are skipped and counted,
+// and a torn trailing frame keeps everything up to the last good record.
+func MRTToDatasetReport(r io.Reader, opts IngestOptions) (*Dataset, *IngestReport, error) {
+	ds, _, rep, err := mrt.ToDatasetOpts(r, opts)
+	return ds, rep, err
 }
 
 // NewGraph derives the AS-level graph of a dataset (§3.1).

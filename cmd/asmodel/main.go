@@ -22,6 +22,8 @@ import (
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/durable"
+	"asmodel/internal/ingest"
 	"asmodel/internal/model"
 	"asmodel/internal/obs"
 	"asmodel/internal/stats"
@@ -153,13 +155,29 @@ func usage() {
   evaluate -model model.txt -in paths.txt       score a saved model on a dataset`)
 }
 
-func loadDataset(path string) (*dataset.Dataset, error) {
+// ingestFlags registers the shared -strict / -max-record-errors flags
+// on a subcommand's flag set and returns a getter for the resulting
+// ingest options.
+func ingestFlags(fs *flag.FlagSet) func() ingest.Options {
+	strict := fs.Bool("strict", false, "abort on the first malformed dataset line instead of skipping it")
+	maxErrs := fs.Int("max-record-errors", ingest.DefaultMaxRecordErrors,
+		"malformed lines tolerated before giving up (-1 = unlimited; ignored with -strict)")
+	return func() ingest.Options {
+		return ingest.Options{Strict: *strict, MaxRecordErrors: *maxErrs}
+	}
+}
+
+func loadDataset(path string, opts ingest.Options) (*dataset.Dataset, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	ds, err := dataset.Read(f)
+	ds, rep, err := dataset.ReadReport(f, opts)
+	if rep != nil && rep.Skipped > 0 {
+		rep.Source = path
+		fmt.Fprintf(os.Stderr, "asmodel: %s\n", rep)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +204,7 @@ func cmdStats(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	tier1 := fs.String("tier1", "", "comma-separated tier-1 seed ASes")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -199,7 +218,7 @@ func cmdStats(ctx context.Context, args []string) error {
 	if len(seeds) == 0 {
 		return usagef("stats: -tier1 seeds are required (e.g. -tier1 10,11)")
 	}
-	ds, err := loadDataset(*in)
+	ds, err := loadDataset(*in, iopts())
 	if err != nil {
 		return err
 	}
@@ -239,6 +258,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 	ckptEvery := fs.Int("checkpoint-every", model.DefaultCheckpointEvery, "iterations between checkpoints (with -checkpoint)")
 	resume := fs.Bool("resume", false, "resume refinement from the -checkpoint file instead of starting fresh")
 	workers := fs.Int("workers", model.DefaultWorkers(), "worker-pool size for the verify sweep and evaluations (1 = sequential; same results at any count)")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -259,7 +279,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	ds, err := loadDataset(*in)
+	ds, err := loadDataset(*in, iopts())
 	if err != nil {
 		return err
 	}
@@ -285,7 +305,9 @@ func cmdRefine(ctx context.Context, args []string) error {
 			return err
 		}
 		defer f.Close()
-		sink = obs.NewTraceSink(f)
+		// Transient write errors on the trace file are retried with
+		// bounded backoff instead of poisoning the sink.
+		sink = obs.NewTraceSink(durable.NewRetryWriter(f, durable.Policy{}))
 		cfg.Observer = func(ev model.RefineEvent) {
 			sink.Emit(ev)
 			if ev.Type == "checkpoint" {
@@ -303,7 +325,10 @@ func cmdRefine(ctx context.Context, args []string) error {
 			return cerr
 		}
 		m = cp.Model
-		fmt.Printf("resuming from %s at iteration %d\n", *checkpoint, cp.Iteration)
+		if cp.Source != "" && cp.Source != *checkpoint {
+			fmt.Fprintf(os.Stderr, "asmodel: checkpoint %s unreadable; recovered from %s\n", *checkpoint, cp.Source)
+		}
+		fmt.Printf("resuming from %s at iteration %d\n", cp.Source, cp.Iteration)
 		res, err = model.ResumeRefine(ctx, cp, train, cfg)
 	} else {
 		if m, err = model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds)); err != nil {
@@ -387,6 +412,7 @@ func cmdPredict(ctx context.Context, args []string) error {
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "observation AS")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -396,7 +422,7 @@ func cmdPredict(ctx context.Context, args []string) error {
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in); err != nil {
+		if ds, err = loadDataset(*in, iopts()); err != nil {
 			return err
 		}
 	}
@@ -426,6 +452,7 @@ func cmdWhatif(ctx context.Context, args []string) error {
 	b := fs.Uint64("b", 0, "second AS of the removed link")
 	watch := fs.String("watch", "", "comma-separated ASes whose routes to compare")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -435,7 +462,7 @@ func cmdWhatif(ctx context.Context, args []string) error {
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in); err != nil {
+		if ds, err = loadDataset(*in, iopts()); err != nil {
 			return err
 		}
 	}
@@ -487,6 +514,7 @@ func cmdExplain(ctx context.Context, args []string) error {
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "AS whose decision to explain")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -496,7 +524,7 @@ func cmdExplain(ctx context.Context, args []string) error {
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in); err != nil {
+		if ds, err = loadDataset(*in, iopts()); err != nil {
 			return err
 		}
 	}
@@ -517,6 +545,7 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	in := fs.String("in", "", "dataset file to score against")
 	modelPath := fs.String("model", "", "saved model file")
 	workers := fs.Int("workers", model.DefaultWorkers(), "worker-pool size for the evaluation (1 = sequential; same results at any count)")
+	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
@@ -526,7 +555,7 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	if *workers < 1 {
 		return usagef("evaluate: -workers must be >= 1")
 	}
-	ds, err := loadDataset(*in)
+	ds, err := loadDataset(*in, iopts())
 	if err != nil {
 		return err
 	}

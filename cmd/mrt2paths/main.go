@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"asmodel/internal/dataset"
+	"asmodel/internal/ingest"
 	"asmodel/internal/mrt"
 )
 
@@ -28,18 +29,22 @@ func main() {
 	minAge := flag.Int64("min-age", 3600, "with -stable-at: minimum route age in seconds (paper: one hour)")
 	normalize := flag.Bool("normalize", true, "strip AS-path prepending, drop loops, de-duplicate (§3.1)")
 	updates := flag.Bool("updates", false, "input is a BGP4MP update stream; replay it to a table snapshot")
+	strict := flag.Bool("strict", false, "abort on the first malformed MRT record instead of skipping it")
+	maxErrs := flag.Int("max-record-errors", ingest.DefaultMaxRecordErrors,
+		"malformed records tolerated before giving up (-1 = unlimited; ignored with -strict)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mrt2paths [flags] <rib.mrt[.gz]>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates); err != nil {
+	opts := ingest.Options{Strict: *strict, MaxRecordErrors: *maxErrs}
+	if err := run(flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "mrt2paths:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, stableAt, minAge int64, normalize, updates bool) error {
+func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts ingest.Options) error {
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -55,18 +60,21 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool) error 
 		r = gz
 	}
 	var ds *dataset.Dataset
+	var rep *ingest.Report
 	if updates {
 		var st *mrt.ReplayStats
-		ds, st, err = mrt.UpdatesToDataset(r, stableAt, minAge)
+		ds, st, rep, err = mrt.UpdatesToDatasetOpts(r, stableAt, minAge, opts)
 		if err != nil {
+			printReport(rep, in)
 			return err
 		}
 		defer fmt.Fprintf(os.Stderr, "mrt2paths: replayed %d updates (%d announces, %d withdraws, %d unstable)\n",
 			st.Updates, st.Announces, st.Withdraws, st.Unstable)
 	} else {
 		var st *mrt.ConvertStats
-		ds, st, err = mrt.ToDataset(r)
+		ds, st, rep, err = mrt.ToDatasetOpts(r, opts)
 		if err != nil {
+			printReport(rep, in)
 			return err
 		}
 		defer fmt.Fprintf(os.Stderr, "mrt2paths: %d MRT records, %d RIB records (skipped: %d AS_SET, %d no-path, %d bad-peer)\n",
@@ -75,6 +83,7 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool) error 
 			ds.StableAt(stableAt, minAge)
 		}
 	}
+	printReport(rep, in)
 	if normalize {
 		ds.Normalize()
 	}
@@ -92,4 +101,14 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool) error 
 	}
 	fmt.Fprintf(os.Stderr, "mrt2paths: wrote %d records\n", ds.Len())
 	return nil
+}
+
+// printReport surfaces the ingest report on stderr when anything was
+// skipped, naming the input file as the source.
+func printReport(rep *ingest.Report, in string) {
+	if rep == nil || rep.Skipped == 0 {
+		return
+	}
+	rep.Source = in
+	fmt.Fprintf(os.Stderr, "mrt2paths: %s\n", rep)
 }

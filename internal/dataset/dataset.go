@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"asmodel/internal/bgp"
+	"asmodel/internal/ingest"
 )
 
 // ObsPointID identifies one BGP feed (one peering session with a route
@@ -390,33 +391,63 @@ func (d *Dataset) Write(w io.Writer) error {
 }
 
 // Read parses the format produced by Write. Blank lines and lines starting
-// with '#' are ignored.
+// with '#' are ignored. It is strict: the first malformed line aborts the
+// load. Use ReadReport for lenient skip-and-count loading.
 func Read(r io.Reader) (*Dataset, error) {
+	d, _, err := ReadReport(r, ingest.Options{Strict: true})
+	return d, err
+}
+
+// ReadReport parses the format produced by Write under the given ingest
+// options. In lenient mode (the default) malformed lines are skipped and
+// counted in the returned report rather than discarding the whole
+// dataset, up to the report's error budget.
+func ReadReport(r io.Reader, opts ingest.Options) (*Dataset, *ingest.Report, error) {
 	d := &Dataset{}
+	rep := ingest.NewReport("dataset", opts)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
+	skip := func(err error) error {
+		if opts.Strict {
+			return fmt.Errorf("dataset: line %d: %w", lineNo, err)
+		}
+		return rep.Skip(lineNo, err)
+	}
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
+		rep.Record()
 		fields := strings.Fields(line)
 		if len(fields) < 5 {
-			return nil, fmt.Errorf("dataset: line %d: want at least 5 fields, got %d", lineNo, len(fields))
+			if err := skip(fmt.Errorf("want at least 5 fields, got %d", len(fields))); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		obsAS, err := strconv.ParseUint(fields[1], 10, 32)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad observation AS: %w", lineNo, err)
+			if err := skip(fmt.Errorf("bad observation AS: %w", err)); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		learned, err := strconv.ParseInt(fields[2], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: bad learned time: %w", lineNo, err)
+			if err := skip(fmt.Errorf("bad learned time: %w", err)); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		path, err := bgp.ParsePath(strings.Join(fields[4:], " "))
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			if err := skip(err); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		rec := Record{
 			Obs:     ObsPointID(fields[0]),
@@ -426,12 +457,15 @@ func Read(r io.Reader) (*Dataset, error) {
 			Learned: learned,
 		}
 		if err := rec.Valid(); err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", lineNo, err)
+			if err := skip(err); err != nil {
+				return nil, rep, err
+			}
+			continue
 		}
 		d.Records = append(d.Records, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return d, nil
+	return d, rep, nil
 }

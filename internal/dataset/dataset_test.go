@@ -2,12 +2,14 @@ package dataset
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"asmodel/internal/bgp"
+	"asmodel/internal/ingest"
 )
 
 func rec(obs string, prefix string, path ...bgp.ASN) Record {
@@ -286,6 +288,54 @@ func TestReadErrorsAndComments(t *testing.T) {
 	d, err := Read(strings.NewReader(ok))
 	if err != nil || d.Len() != 1 {
 		t.Fatalf("Read with comments: %v, %d records", err, d.Len())
+	}
+}
+
+// TestReadReportLenient: malformed lines are skipped and counted while
+// every well-formed line still loads; a tight error budget converts the
+// skips into a typed budget error.
+func TestReadReportLenient(t *testing.T) {
+	in := strings.Join([]string{
+		"x 1 0 P2 1 2",       // good
+		"x 1 0",              // too few fields
+		"x notanas 0 P2 1 2", // bad AS
+		"y 3 0 P9 3 4",       // good
+		"x 1 zzz P2 1 2",     // bad time
+		"x 1 0 P2 1 bad",     // bad path
+		"x 2 0 P2 1 2",       // path doesn't start at obs AS
+	}, "\n")
+	ds, rep, err := ReadReport(strings.NewReader(in), ingest.Options{})
+	if err != nil {
+		t.Fatalf("lenient read: %v", err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d, want the 2 good lines", ds.Len())
+	}
+	if rep.Records != 7 || rep.Skipped != 5 {
+		t.Fatalf("report %d records / %d skipped, want 7/5", rep.Records, rep.Skipped)
+	}
+	if len(rep.Errors) != 5 {
+		t.Fatalf("retained errors=%d, want 5", len(rep.Errors))
+	}
+	if rep.Errors[0].Record != 2 {
+		t.Fatalf("first skip attributed to line %d, want 2", rep.Errors[0].Record)
+	}
+
+	_, rep, err = ReadReport(strings.NewReader(in), ingest.Options{MaxRecordErrors: 3})
+	var be *ingest.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetExceededError over budget 3, got %v", err)
+	}
+	if be.Budget != 3 || be.Skipped != 4 {
+		t.Fatalf("budget error: %+v", be)
+	}
+	if rep == nil || rep.Skipped != 4 {
+		t.Fatal("report not returned alongside budget error")
+	}
+
+	// Strict options reproduce the legacy first-error abort.
+	if _, _, err := ReadReport(strings.NewReader(in), ingest.Options{Strict: true}); err == nil {
+		t.Fatal("strict read accepted malformed input")
 	}
 }
 

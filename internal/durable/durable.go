@@ -1,0 +1,227 @@
+// Package durable provides bounded-retry primitives for transient I/O
+// failures: reader/writer wrappers that resume short writes and retry
+// errors marked retryable, and an atomic write-file helper that keeps a
+// .bak of the previous good file. It backs the checkpoint and trace
+// sinks so a flaky disk or filesystem hiccup degrades to a retried
+// write instead of a lost run.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// transienter is the contract an error implements to opt into retries.
+type transienter interface{ Transient() bool }
+
+// IsTransient reports whether any error in err's chain marks itself
+// retryable via a Transient() bool method.
+func IsTransient(err error) bool {
+	for err != nil {
+		if t, ok := err.(transienter); ok && t.Transient() {
+			return true
+		}
+		err = errors.Unwrap(err)
+	}
+	return false
+}
+
+// Policy bounds the retry loop. The zero value is usable: DefaultPolicy
+// limits are substituted for unset fields.
+type Policy struct {
+	// MaxRetries is the number of retries after the first attempt
+	// (0 = DefaultPolicy.MaxRetries, negative = no retries).
+	MaxRetries int
+	// Backoff is the first retry delay; it doubles per retry up to
+	// MaxBackoff.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Sleep replaces time.Sleep (tests inject a no-op).
+	Sleep func(time.Duration)
+	// Transient replaces IsTransient as the retry predicate.
+	Transient func(error) bool
+	// OnRetry observes each retried error (metrics hook).
+	OnRetry func(error)
+	// WrapWriter, when set, wraps the raw destination writer before any
+	// buffering — the seam fault-injection tests use to corrupt file
+	// writes beneath the retry layer.
+	WrapWriter func(io.Writer) io.Writer
+}
+
+// DefaultPolicy is applied for unset Policy fields: 4 retries starting
+// at 1ms, capped at 50ms.
+var DefaultPolicy = Policy{
+	MaxRetries: 4,
+	Backoff:    time.Millisecond,
+	MaxBackoff: 50 * time.Millisecond,
+}
+
+func (p Policy) norm() Policy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = DefaultPolicy.MaxRetries
+	}
+	if p.MaxRetries < 0 {
+		p.MaxRetries = 0
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultPolicy.Backoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultPolicy.MaxBackoff
+	}
+	if p.Sleep == nil {
+		p.Sleep = time.Sleep
+	}
+	if p.Transient == nil {
+		p.Transient = IsTransient
+	}
+	return p
+}
+
+// retry runs f until it succeeds, fails permanently, or the retry
+// budget is exhausted. p must be normalized.
+func (p Policy) retry(f func() error) error {
+	delay := p.Backoff
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = f()
+		if err == nil || !p.Transient(err) || attempt >= p.MaxRetries {
+			return err
+		}
+		if p.OnRetry != nil {
+			p.OnRetry(err)
+		}
+		p.Sleep(delay)
+		if delay *= 2; delay > p.MaxBackoff {
+			delay = p.MaxBackoff
+		}
+	}
+}
+
+// --- Retry writer -------------------------------------------------------
+
+// RetryWriter retries transient write errors and resumes short writes,
+// so callers above it (bufio, encoders) see either full writes or a
+// permanent error.
+type RetryWriter struct {
+	w   io.Writer
+	pol Policy
+}
+
+// NewRetryWriter wraps w with pol's retry loop.
+func NewRetryWriter(w io.Writer, pol Policy) *RetryWriter {
+	return &RetryWriter{w: w, pol: pol.norm()}
+}
+
+func (rw *RetryWriter) Write(p []byte) (int, error) {
+	written := 0
+	err := rw.pol.retry(func() error {
+		for written < len(p) {
+			n, err := rw.w.Write(p[written:])
+			written += n
+			if err != nil {
+				if n > 0 && rw.pol.Transient(err) {
+					continue // partial progress: resume without burning a retry
+				}
+				return err
+			}
+			if n == 0 && written < len(p) {
+				return io.ErrShortWrite
+			}
+		}
+		return nil
+	})
+	return written, err
+}
+
+// Sync forwards to the underlying writer when it supports it.
+func (rw *RetryWriter) Sync() error {
+	if s, ok := rw.w.(interface{ Sync() error }); ok {
+		return rw.pol.retry(s.Sync)
+	}
+	return nil
+}
+
+// --- Retry reader -------------------------------------------------------
+
+// RetryReader retries transient read errors so framed decoders above it
+// (io.ReadFull-based record readers) never observe a retryable failure
+// mid-record and misframe the stream.
+type RetryReader struct {
+	r   io.Reader
+	pol Policy
+}
+
+// NewRetryReader wraps r with pol's retry loop.
+func NewRetryReader(r io.Reader, pol Policy) *RetryReader {
+	return &RetryReader{r: r, pol: pol.norm()}
+}
+
+func (rr *RetryReader) Read(p []byte) (int, error) {
+	var n int
+	err := rr.pol.retry(func() error {
+		var err error
+		n, err = rr.r.Read(p)
+		if n > 0 && err != nil && rr.pol.Transient(err) {
+			// Data was delivered; surface it now and retry on the next call.
+			err = nil
+		}
+		return err
+	})
+	return n, err
+}
+
+// --- Atomic file write with .bak rotation -------------------------------
+
+// WriteFileAtomic writes the output of write to path without ever
+// leaving a torn file behind: the payload goes to path+".tmp" (through
+// pol's retry writer and optional WrapWriter seam) and is fsynced; the
+// whole attempt restarts on a transient failure; on success any
+// existing file at path is rotated to path+".bak" before the tmp file
+// is renamed into place. On permanent failure the previous path and
+// .bak files are left untouched.
+func WriteFileAtomic(path string, pol Policy, write func(io.Writer) error) error {
+	pol = pol.norm()
+	tmp := path + ".tmp"
+	err := pol.retry(func() error { return writeTmp(tmp, pol, write) })
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	bak := path + ".bak"
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := os.Rename(path, bak); err != nil {
+			os.Remove(tmp)
+			return fmt.Errorf("durable: rotate %s: %w", bak, err)
+		}
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("durable: rename %s: %w", path, err)
+	}
+	return nil
+}
+
+func writeTmp(tmp string, pol Policy, write func(io.Writer) error) error {
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	if pol.WrapWriter != nil {
+		w = pol.WrapWriter(w)
+	}
+	rw := NewRetryWriter(w, pol)
+	if err := write(rw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,178 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"asmodel/internal/faultinject"
+)
+
+// noSleep is the test policy base: retries without real backoff.
+func noSleep() Policy {
+	return Policy{Sleep: func(time.Duration) {}}
+}
+
+func TestIsTransient(t *testing.T) {
+	te := &faultinject.TransientError{Op: "write"}
+	if !IsTransient(te) {
+		t.Fatal("TransientError not detected")
+	}
+	if !IsTransient(errorsWrap(te)) {
+		t.Fatal("wrapped TransientError not detected")
+	}
+	if IsTransient(&faultinject.InjectedError{Op: "write"}) {
+		t.Fatal("InjectedError misdetected as transient")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil misdetected as transient")
+	}
+}
+
+func errorsWrap(err error) error {
+	return &wrapped{err}
+}
+
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.err.Error() }
+func (w *wrapped) Unwrap() error { return w.err }
+
+func TestRetryWriterResumesShortWrites(t *testing.T) {
+	var sink bytes.Buffer
+	fw := faultinject.NewWriter(&sink, faultinject.WriterConfig{ShortWrites: true, TransientEvery: 4})
+	rw := NewRetryWriter(fw, noSleep())
+	payload := bytes.Repeat([]byte("chunk-of-checkpoint-data\n"), 40)
+	n, err := rw.Write(payload)
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if n != len(payload) || !bytes.Equal(sink.Bytes(), payload) {
+		t.Fatalf("wrote %d/%d bytes, sink %d", n, len(payload), sink.Len())
+	}
+}
+
+func TestRetryWriterGivesUpOnPermanent(t *testing.T) {
+	var sink bytes.Buffer
+	fw := faultinject.NewWriter(&sink, faultinject.WriterConfig{FailAt: 8})
+	rw := NewRetryWriter(fw, noSleep())
+	_, err := rw.Write(bytes.Repeat([]byte{7}, 64))
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want *InjectedError, got %v", err)
+	}
+}
+
+func TestRetryWriterExhaustsBudget(t *testing.T) {
+	var sink bytes.Buffer
+	// Every write call fails transiently and never recovers.
+	fw := faultinject.NewWriter(&sink, faultinject.WriterConfig{TransientEvery: 1})
+	retries := 0
+	pol := noSleep()
+	pol.MaxRetries = 3
+	pol.OnRetry = func(error) { retries++ }
+	rw := NewRetryWriter(fw, pol)
+	_, err := rw.Write([]byte("data"))
+	var te *faultinject.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("want *TransientError after budget, got %v", err)
+	}
+	if retries != 3 {
+		t.Fatalf("OnRetry fired %d times, want 3", retries)
+	}
+}
+
+func TestRetryReaderRecovers(t *testing.T) {
+	src := bytes.Repeat([]byte("record"), 50)
+	fr := faultinject.NewReader(bytes.NewReader(src), faultinject.ReaderConfig{TransientEvery: 3, ShortReads: true})
+	rr := NewRetryReader(fr, noSleep())
+	got, err := io.ReadAll(rr)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("got %d bytes, want %d", len(got), len(src))
+	}
+}
+
+func TestWriteFileAtomicCleanAndBak(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	write := func(payload string) error {
+		return WriteFileAtomic(path, noSleep(), func(w io.Writer) error {
+			_, err := io.WriteString(w, payload)
+			return err
+		})
+	}
+	if err := write("generation-1"); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if _, err := os.Stat(path + ".bak"); !os.IsNotExist(err) {
+		t.Fatalf(".bak should not exist after first write: %v", err)
+	}
+	if err := write("generation-2"); err != nil {
+		t.Fatalf("second write: %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	bak, _ := os.ReadFile(path + ".bak")
+	if string(got) != "generation-2" || string(bak) != "generation-1" {
+		t.Fatalf("primary=%q bak=%q", got, bak)
+	}
+}
+
+func TestWriteFileAtomicRetriesTransients(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	pol := noSleep()
+	retries := 0
+	pol.OnRetry = func(error) { retries++ }
+	pol.WrapWriter = func(w io.Writer) io.Writer {
+		return faultinject.NewWriter(w, faultinject.WriterConfig{ShortWrites: true, TransientEvery: 2, MaxTransient: 3})
+	}
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 32)
+	err := WriteFileAtomic(path, pol, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if retries == 0 {
+		t.Fatal("expected at least one retry")
+	}
+	got, _ := os.ReadFile(path)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("file corrupted after retries: %d bytes", len(got))
+	}
+}
+
+func TestWriteFileAtomicPermanentFailureKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	if err := os.WriteFile(path, []byte("previous-good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pol := noSleep()
+	pol.WrapWriter = func(w io.Writer) io.Writer {
+		return faultinject.NewWriter(w, faultinject.WriterConfig{FailAt: 4})
+	}
+	err := WriteFileAtomic(path, pol, func(w io.Writer) error {
+		_, err := w.Write([]byte("new-data-that-will-fail"))
+		return err
+	})
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want *InjectedError, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "previous-good" {
+		t.Fatalf("previous file damaged: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}

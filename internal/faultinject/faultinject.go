@@ -1,0 +1,316 @@
+// Package faultinject is a deterministic, seedable fault-injection layer
+// for hardening the ingestion and durability paths: io.Reader/io.Writer
+// wrappers that truncate the stream, flip bytes, deliver short
+// reads/writes, or fail with transient errors on a fixed schedule, plus
+// a panic injector for worker goroutines.
+//
+// Every fault fires from an explicit schedule (offsets and call counts)
+// or from a schedule derived deterministically from a seed, so a failing
+// fault-matrix run is always reproducible. The package is stdlib-only
+// and is imported by tests only — production code never depends on it.
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+)
+
+// InjectedError is a permanent injected failure: the wrapped stream is
+// considered damaged from the fault offset on, and retries must give up.
+type InjectedError struct {
+	Op  string // "read" or "write"
+	Off int64  // stream offset at which the fault fired
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected permanent %s failure at offset %d", e.Op, e.Off)
+}
+
+// TransientError is a retryable injected failure: no data was consumed
+// or accepted beyond the returned count, and the same call succeeds when
+// retried. It implements the Transient() bool contract that the retry
+// layer (internal/durable) checks.
+type TransientError struct {
+	Op  string
+	Off int64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("faultinject: injected transient %s error at offset %d", e.Op, e.Off)
+}
+
+// Transient marks the error as retryable for durable.IsTransient.
+func (e *TransientError) Transient() bool { return true }
+
+// --- Reader -------------------------------------------------------------
+
+// ReaderConfig schedules faults on a wrapped reader. The zero value
+// injects nothing.
+type ReaderConfig struct {
+	// TruncateAt > 0 ends the stream (clean io.EOF) after this many bytes,
+	// simulating a short upload or a partially written file.
+	TruncateAt int64
+	// FailAt > 0 makes reads fail permanently with *InjectedError once
+	// this many bytes have been delivered.
+	FailAt int64
+	// FlipBytes lists stream offsets whose byte is XOR-ed with FlipMask as
+	// it passes through (bit-flip corruption).
+	FlipBytes []int64
+	// FlipMask is the corruption mask; 0 selects 0xFF (invert the byte).
+	FlipMask byte
+	// TransientEvery > 0 makes every Nth Read call fail once with a
+	// *TransientError before consuming any input; the retried call
+	// proceeds normally.
+	TransientEvery int
+	// MaxTransient caps the number of injected transient errors
+	// (0 = unlimited).
+	MaxTransient int
+	// ShortReads delivers at most one byte per Read call, exercising
+	// io.ReadFull/bufio resilience to fragmented input.
+	ShortReads bool
+}
+
+// Reader applies a ReaderConfig to an underlying reader.
+type Reader struct {
+	r          io.Reader
+	cfg        ReaderConfig
+	off        int64
+	calls      int
+	transients int
+}
+
+// NewReader wraps r with the scheduled faults.
+func NewReader(r io.Reader, cfg ReaderConfig) *Reader {
+	return &Reader{r: r, cfg: cfg}
+}
+
+// Offset returns how many bytes have been delivered so far.
+func (rd *Reader) Offset() int64 { return rd.off }
+
+func (rd *Reader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return rd.r.Read(p)
+	}
+	rd.calls++
+	cfg := &rd.cfg
+	if cfg.TransientEvery > 0 &&
+		(cfg.MaxTransient == 0 || rd.transients < cfg.MaxTransient) &&
+		rd.calls%cfg.TransientEvery == 0 {
+		rd.transients++
+		return 0, &TransientError{Op: "read", Off: rd.off}
+	}
+	if cfg.FailAt > 0 && rd.off >= cfg.FailAt {
+		return 0, &InjectedError{Op: "read", Off: rd.off}
+	}
+	if cfg.TruncateAt > 0 {
+		if rd.off >= cfg.TruncateAt {
+			return 0, io.EOF
+		}
+		if rest := cfg.TruncateAt - rd.off; int64(len(p)) > rest {
+			p = p[:rest]
+		}
+	}
+	if cfg.FailAt > 0 {
+		if rest := cfg.FailAt - rd.off; int64(len(p)) > rest {
+			p = p[:rest]
+		}
+	}
+	if cfg.ShortReads && len(p) > 1 {
+		p = p[:1]
+	}
+	n, err := rd.r.Read(p)
+	for _, fo := range cfg.FlipBytes {
+		if fo >= rd.off && fo < rd.off+int64(n) {
+			mask := cfg.FlipMask
+			if mask == 0 {
+				mask = 0xFF
+			}
+			p[fo-rd.off] ^= mask
+		}
+	}
+	rd.off += int64(n)
+	return n, err
+}
+
+// --- Writer -------------------------------------------------------------
+
+// WriterConfig schedules faults on a wrapped writer. The zero value
+// injects nothing.
+type WriterConfig struct {
+	// FailAt > 0 makes writes fail permanently with *InjectedError once
+	// this many bytes have been accepted (bytes before the offset are
+	// still written — a torn write).
+	FailAt int64
+	// TransientEvery > 0 makes every Nth Write call fail once with a
+	// *TransientError before accepting any bytes.
+	TransientEvery int
+	// MaxTransient caps injected transient errors (0 = unlimited).
+	MaxTransient int
+	// ShortWrites accepts at most half of every multi-byte write and
+	// reports the remainder with a *TransientError, exercising
+	// resume-from-short-write logic.
+	ShortWrites bool
+}
+
+// Writer applies a WriterConfig to an underlying writer.
+type Writer struct {
+	w          io.Writer
+	cfg        WriterConfig
+	off        int64
+	calls      int
+	transients int
+}
+
+// NewWriter wraps w with the scheduled faults.
+func NewWriter(w io.Writer, cfg WriterConfig) *Writer {
+	return &Writer{w: w, cfg: cfg}
+}
+
+// Offset returns how many bytes have been accepted so far.
+func (wr *Writer) Offset() int64 { return wr.off }
+
+func (wr *Writer) Write(p []byte) (int, error) {
+	if len(p) == 0 {
+		return wr.w.Write(p)
+	}
+	wr.calls++
+	cfg := &wr.cfg
+	if cfg.TransientEvery > 0 &&
+		(cfg.MaxTransient == 0 || wr.transients < cfg.MaxTransient) &&
+		wr.calls%cfg.TransientEvery == 0 {
+		wr.transients++
+		return 0, &TransientError{Op: "write", Off: wr.off}
+	}
+	if cfg.FailAt > 0 && wr.off >= cfg.FailAt {
+		return 0, &InjectedError{Op: "write", Off: wr.off}
+	}
+	q := p
+	torn := false
+	if cfg.FailAt > 0 {
+		if rest := cfg.FailAt - wr.off; int64(len(q)) > rest {
+			q = q[:rest]
+			torn = true
+		}
+	}
+	short := false
+	if cfg.ShortWrites && len(q) > 1 {
+		q = q[:(len(q)+1)/2]
+		short = true
+	}
+	n, err := wr.w.Write(q)
+	wr.off += int64(n)
+	if err != nil {
+		return n, err
+	}
+	switch {
+	case torn && n == len(q):
+		return n, &InjectedError{Op: "write", Off: wr.off}
+	case short || n < len(p):
+		return n, &TransientError{Op: "write", Off: wr.off}
+	}
+	return n, nil
+}
+
+// Sync forwards to the underlying writer when it supports it, so the
+// wrapper can stand in for an *os.File in durability paths.
+func (wr *Writer) Sync() error {
+	if s, ok := wr.w.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// --- Panic injector -----------------------------------------------------
+
+// InjectedPanic is the value a PanicInjector panics with, so recovery
+// layers can assert the panic came from the injector.
+type InjectedPanic struct {
+	Key string // caller-supplied context (e.g. the prefix being processed)
+	N   int64  // 1-based invocation count that fired
+}
+
+func (p InjectedPanic) String() string {
+	return fmt.Sprintf("faultinject: injected panic #%d (%s)", p.N, p.Key)
+}
+
+// PanicInjector panics on scheduled invocation counts of Fire. It is
+// safe for concurrent use, so it can be shared across a worker pool:
+// the Nth call that any worker makes fires the Nth schedule slot.
+type PanicInjector struct {
+	mu     sync.Mutex
+	fireAt map[int64]bool
+	n      int64
+}
+
+// NewPanicInjector schedules panics on the given 1-based invocation
+// counts of Fire.
+func NewPanicInjector(at ...int64) *PanicInjector {
+	fireAt := make(map[int64]bool, len(at))
+	for _, n := range at {
+		fireAt[n] = true
+	}
+	return &PanicInjector{fireAt: fireAt}
+}
+
+// Fire increments the invocation counter and panics with an
+// InjectedPanic when the counter is scheduled.
+func (pi *PanicInjector) Fire(key string) {
+	pi.mu.Lock()
+	pi.n++
+	n := pi.n
+	fire := pi.fireAt[n]
+	pi.mu.Unlock()
+	if fire {
+		panic(InjectedPanic{Key: key, N: n})
+	}
+}
+
+// Calls returns how many times Fire has been invoked.
+func (pi *PanicInjector) Calls() int64 {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	return pi.n
+}
+
+// --- Seeded schedules ---------------------------------------------------
+
+// RandomReaderConfig derives a deterministic pseudo-random read-fault
+// schedule for a stream of roughly size bytes: truncation, a byte flip,
+// a transient-error schedule, or a permanent failure, chosen and placed
+// by the seed. Used by fault-matrix tests to sweep many fault positions
+// without hand-writing each case.
+func RandomReaderConfig(seed, size int64) ReaderConfig {
+	if size < 2 {
+		size = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch rng.Intn(4) {
+	case 0:
+		return ReaderConfig{TruncateAt: 1 + rng.Int63n(size-1)}
+	case 1:
+		return ReaderConfig{FlipBytes: []int64{rng.Int63n(size)}, FlipMask: 1 << uint(rng.Intn(8))}
+	case 2:
+		return ReaderConfig{TransientEvery: 1 + rng.Intn(4), MaxTransient: 1 + rng.Intn(3), ShortReads: rng.Intn(2) == 0}
+	default:
+		return ReaderConfig{FailAt: 1 + rng.Int63n(size-1)}
+	}
+}
+
+// RandomWriterConfig is RandomReaderConfig's write-side counterpart:
+// short writes, transient errors, or a permanent mid-stream failure.
+func RandomWriterConfig(seed, size int64) WriterConfig {
+	if size < 2 {
+		size = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	switch rng.Intn(3) {
+	case 0:
+		return WriterConfig{ShortWrites: true, TransientEvery: 2 + rng.Intn(3), MaxTransient: 1 + rng.Intn(3)}
+	case 1:
+		return WriterConfig{TransientEvery: 1 + rng.Intn(4), MaxTransient: 1 + rng.Intn(3)}
+	default:
+		return WriterConfig{FailAt: 1 + rng.Int63n(size-1)}
+	}
+}

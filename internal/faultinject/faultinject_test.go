@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReaderClean(t *testing.T) {
+	src := []byte("the quick brown fox jumps over the lazy dog")
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{})
+	got, err := io.ReadAll(rd)
+	if err != nil {
+		t.Fatalf("clean read: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("clean read mutated data: %q", got)
+	}
+}
+
+func TestReaderTruncate(t *testing.T) {
+	src := bytes.Repeat([]byte{0xAB}, 100)
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{TruncateAt: 37})
+	got, err := io.ReadAll(rd)
+	if err != nil {
+		t.Fatalf("truncated read should end with clean EOF, got %v", err)
+	}
+	if len(got) != 37 {
+		t.Fatalf("got %d bytes, want 37", len(got))
+	}
+}
+
+func TestReaderFailAt(t *testing.T) {
+	src := bytes.Repeat([]byte{1}, 50)
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{FailAt: 20})
+	got, err := io.ReadAll(rd)
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want *InjectedError, got %v", err)
+	}
+	if inj.Op != "read" || inj.Off != 20 {
+		t.Fatalf("unexpected fault coords: %+v", inj)
+	}
+	if len(got) != 20 {
+		t.Fatalf("delivered %d bytes before failure, want 20", len(got))
+	}
+}
+
+func TestReaderBitFlip(t *testing.T) {
+	src := make([]byte, 64)
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{FlipBytes: []int64{5, 63}, FlipMask: 0x01})
+	got, err := io.ReadAll(rd)
+	if err != nil || len(got) != 64 {
+		t.Fatalf("read: %d bytes, err=%v", len(got), err)
+	}
+	for i, b := range got {
+		want := byte(0)
+		if i == 5 || i == 63 {
+			want = 0x01
+		}
+		if b != want {
+			t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+		}
+	}
+}
+
+func TestReaderBitFlipShortReads(t *testing.T) {
+	src := make([]byte, 16)
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{FlipBytes: []int64{7}, ShortReads: true})
+	got, err := io.ReadAll(rd)
+	if err != nil || len(got) != 16 {
+		t.Fatalf("read: %d bytes, err=%v", len(got), err)
+	}
+	if got[7] != 0xFF {
+		t.Fatalf("byte 7 = %#x, want 0xFF (default mask)", got[7])
+	}
+}
+
+func TestReaderTransientThenRecover(t *testing.T) {
+	src := []byte("0123456789")
+	rd := NewReader(bytes.NewReader(src), ReaderConfig{TransientEvery: 2, MaxTransient: 3, ShortReads: true})
+	var out []byte
+	buf := make([]byte, 4)
+	transients := 0
+	for {
+		n, err := rd.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("transient error consumed %d bytes", n)
+			}
+			transients++
+			continue // retry
+		}
+	}
+	if transients != 3 {
+		t.Fatalf("saw %d transients, want 3 (MaxTransient)", transients)
+	}
+	if string(out) != "0123456789" {
+		t.Fatalf("retried stream = %q, want full data", out)
+	}
+}
+
+func TestWriterShortWritesAndTransients(t *testing.T) {
+	var sink bytes.Buffer
+	wr := NewWriter(&sink, WriterConfig{ShortWrites: true, TransientEvery: 3, MaxTransient: 2})
+	payload := []byte(strings.Repeat("abcdefgh", 8))
+	// Resume loop: the caller's retry logic under test elsewhere, done by hand here.
+	off := 0
+	for off < len(payload) {
+		n, err := wr.Write(payload[off:])
+		off += n
+		if err != nil {
+			var te *TransientError
+			if !errors.As(err, &te) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+		}
+	}
+	if !bytes.Equal(sink.Bytes(), payload) {
+		t.Fatalf("resumed stream mismatch: got %d bytes", sink.Len())
+	}
+}
+
+func TestWriterFailAt(t *testing.T) {
+	var sink bytes.Buffer
+	wr := NewWriter(&sink, WriterConfig{FailAt: 10})
+	n, err := wr.Write(bytes.Repeat([]byte{9}, 25))
+	var inj *InjectedError
+	if !errors.As(err, &inj) {
+		t.Fatalf("want *InjectedError, got %v", err)
+	}
+	if n != 10 || sink.Len() != 10 {
+		t.Fatalf("torn write accepted %d bytes (sink %d), want 10", n, sink.Len())
+	}
+	// Subsequent writes keep failing permanently.
+	if _, err := wr.Write([]byte{1}); !errors.As(err, &inj) {
+		t.Fatalf("post-failure write: want *InjectedError, got %v", err)
+	}
+}
+
+func TestPanicInjector(t *testing.T) {
+	pi := NewPanicInjector(2)
+	pi.Fire("a") // 1: no panic
+	fired := func() (p any) {
+		defer func() { p = recover() }()
+		pi.Fire("b")
+		return nil
+	}()
+	ip, ok := fired.(InjectedPanic)
+	if !ok {
+		t.Fatalf("want InjectedPanic, got %#v", fired)
+	}
+	if ip.Key != "b" || ip.N != 2 {
+		t.Fatalf("unexpected panic payload: %+v", ip)
+	}
+	pi.Fire("c") // 3: no panic
+	if pi.Calls() != 3 {
+		t.Fatalf("calls = %d, want 3", pi.Calls())
+	}
+}
+
+func TestRandomConfigsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a := RandomReaderConfig(seed, 1000)
+		b := RandomReaderConfig(seed, 1000)
+		if a.TruncateAt != b.TruncateAt || a.FailAt != b.FailAt ||
+			a.TransientEvery != b.TransientEvery || len(a.FlipBytes) != len(b.FlipBytes) {
+			t.Fatalf("seed %d: reader schedule not deterministic: %+v vs %+v", seed, a, b)
+		}
+		wa := RandomWriterConfig(seed, 1000)
+		wb := RandomWriterConfig(seed, 1000)
+		if wa != wb {
+			t.Fatalf("seed %d: writer schedule not deterministic: %+v vs %+v", seed, wa, wb)
+		}
+	}
+}

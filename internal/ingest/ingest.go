@@ -1,0 +1,124 @@
+// Package ingest holds the shared lenient-loading vocabulary used by
+// the mrt, lg, and dataset loaders: per-record skip-and-count
+// semantics, an error budget, and a structured report (records read,
+// records skipped, first N errors) that the CLIs print to stderr.
+package ingest
+
+import (
+	"fmt"
+	"strings"
+
+	"asmodel/internal/obs"
+)
+
+var mSkipped = obs.GetCounter("ingest_records_skipped",
+	"Malformed input records skipped by lenient loaders.")
+
+// DefaultMaxRecordErrors is the lenient-mode error budget when the
+// caller leaves Options.MaxRecordErrors at zero.
+const DefaultMaxRecordErrors = 100
+
+// maxReported caps how many individual record errors a Report retains.
+const maxReported = 8
+
+// Options selects between strict and lenient loading.
+type Options struct {
+	// Strict restores abort-on-first-error behavior: the loader returns
+	// the first record error instead of skipping.
+	Strict bool
+	// MaxRecordErrors is the lenient-mode budget: after this many skipped
+	// records the loader aborts with a *BudgetExceededError.
+	// 0 means DefaultMaxRecordErrors; negative means unlimited.
+	MaxRecordErrors int
+}
+
+func (o Options) budget() int {
+	switch {
+	case o.MaxRecordErrors == 0:
+		return DefaultMaxRecordErrors
+	case o.MaxRecordErrors < 0:
+		return -1
+	default:
+		return o.MaxRecordErrors
+	}
+}
+
+// RecordError is one malformed record: its position in the input and
+// the parse error.
+type RecordError struct {
+	Record int // 1-based record or line number
+	Err    error
+}
+
+func (e RecordError) String() string {
+	return fmt.Sprintf("record %d: %v", e.Record, e.Err)
+}
+
+// BudgetExceededError reports that a lenient loader skipped more
+// records than its budget allows and gave up.
+type BudgetExceededError struct {
+	Source  string
+	Skipped int
+	Budget  int
+	Last    error // the record error that blew the budget
+}
+
+func (e *BudgetExceededError) Error() string {
+	return fmt.Sprintf("%s: %d malformed records exceeds error budget %d (last: %v)",
+		e.Source, e.Skipped, e.Budget, e.Last)
+}
+
+func (e *BudgetExceededError) Unwrap() error { return e.Last }
+
+// Report accumulates what a lenient load saw. Loaders call Record for
+// every record and Skip for each malformed one; the CLIs print the
+// result to stderr when anything was skipped.
+type Report struct {
+	Source  string // input description, e.g. a file path or "mrt"
+	Records int    // records observed (including skipped ones)
+	Skipped int    // records dropped as malformed
+	Errors  []RecordError
+	strict  bool
+	budget  int // -1 = unlimited
+}
+
+// NewReport builds a report for one input source under opts.
+func NewReport(source string, opts Options) *Report {
+	return &Report{Source: source, strict: opts.Strict, budget: opts.budget()}
+}
+
+// Record counts one input record observed.
+func (r *Report) Record() { r.Records++ }
+
+// Skip registers a malformed record. In strict mode it returns the
+// error itself (the loader aborts); in lenient mode it counts the skip
+// and returns nil until the budget is exhausted, then returns a
+// *BudgetExceededError.
+func (r *Report) Skip(record int, err error) error {
+	if r.strict {
+		return fmt.Errorf("%s: record %d: %w", r.Source, record, err)
+	}
+	r.Skipped++
+	mSkipped.Inc()
+	if len(r.Errors) < maxReported {
+		r.Errors = append(r.Errors, RecordError{Record: record, Err: err})
+	}
+	if r.budget >= 0 && r.Skipped > r.budget {
+		return &BudgetExceededError{Source: r.Source, Skipped: r.Skipped, Budget: r.budget, Last: err}
+	}
+	return nil
+}
+
+// String renders the report for stderr: a summary line plus the first
+// few record errors.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d records, %d skipped", r.Source, r.Records, r.Skipped)
+	for _, re := range r.Errors {
+		fmt.Fprintf(&b, "\n  %s", re)
+	}
+	if r.Skipped > len(r.Errors) {
+		fmt.Fprintf(&b, "\n  ... and %d more", r.Skipped-len(r.Errors))
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStrictModeReturnsFirstError(t *testing.T) {
+	rep := NewReport("feed", Options{Strict: true})
+	base := errors.New("bad field")
+	err := rep.Skip(3, base)
+	if err == nil || !errors.Is(err, base) {
+		t.Fatalf("strict Skip = %v, want wrapped base error", err)
+	}
+	if rep.Skipped != 0 {
+		t.Fatalf("strict mode counted a skip: %d", rep.Skipped)
+	}
+}
+
+func TestLenientCountsAndBudget(t *testing.T) {
+	rep := NewReport("feed", Options{MaxRecordErrors: 5})
+	for i := 1; i <= 5; i++ {
+		if err := rep.Skip(i, fmt.Errorf("err %d", i)); err != nil {
+			t.Fatalf("skip %d within budget: %v", i, err)
+		}
+	}
+	err := rep.Skip(6, errors.New("one too many"))
+	var be *BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetExceededError, got %v", err)
+	}
+	if be.Skipped != 6 || be.Budget != 5 {
+		t.Fatalf("budget error: %+v", be)
+	}
+	if rep.Skipped != 6 {
+		t.Fatalf("Skipped = %d, want 6", rep.Skipped)
+	}
+}
+
+func TestDefaultAndUnlimitedBudget(t *testing.T) {
+	rep := NewReport("feed", Options{})
+	for i := 0; i < DefaultMaxRecordErrors; i++ {
+		if err := rep.Skip(i+1, errors.New("x")); err != nil {
+			t.Fatalf("skip %d under default budget: %v", i, err)
+		}
+	}
+	if err := rep.Skip(0, errors.New("x")); err == nil {
+		t.Fatal("default budget did not trip")
+	}
+
+	unl := NewReport("feed", Options{MaxRecordErrors: -1})
+	for i := 0; i < DefaultMaxRecordErrors*3; i++ {
+		if err := unl.Skip(i+1, errors.New("x")); err != nil {
+			t.Fatalf("unlimited budget tripped at %d: %v", i, err)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	rep := NewReport("rib.mrt", Options{MaxRecordErrors: -1})
+	for i := 1; i <= 12; i++ {
+		rep.Record()
+		if i%2 == 0 {
+			rep.Skip(i, fmt.Errorf("boom %d", i))
+		}
+	}
+	s := rep.String()
+	if !strings.Contains(s, "rib.mrt: 12 records, 6 skipped") {
+		t.Fatalf("summary line missing: %q", s)
+	}
+	if !strings.Contains(s, "record 2: boom 2") {
+		t.Fatalf("first error missing: %q", s)
+	}
+	if strings.Count(s, "\n") > maxReported+1 {
+		t.Fatalf("too many error lines: %q", s)
+	}
+}

@@ -1,0 +1,38 @@
+package lg
+
+import (
+	"strings"
+	"testing"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/ingest"
+)
+
+// FuzzLGParse fuzzes the looking-glass table parser, seeded with the
+// sample "show ip bgp" fixture and mutations of it. The parser must
+// never panic and every record it emits must pass Valid().
+func FuzzLGParse(f *testing.F) {
+	f.Add(sampleTable)
+	// Truncations and ragged variants of the valid table.
+	f.Add(sampleTable[:len(sampleTable)/2])
+	f.Add(strings.ReplaceAll(sampleTable, "0 4006", "x y"))
+	f.Add(strings.ReplaceAll(sampleTable, "Network", "NetWork"))
+	f.Add("   Network Path\n*>\n* x\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds := &dataset.Dataset{}
+		st, rep, err := ParseReport(strings.NewReader(input),
+			Options{Obs: "fuzz", LocalAS: 65000}, ingest.Options{MaxRecordErrors: -1}, ds)
+		if err != nil {
+			return // missing header or I/O error: fine, just no panic
+		}
+		for i := range ds.Records {
+			if verr := ds.Records[i].Valid(); verr != nil {
+				t.Fatalf("parser emitted invalid record %d: %v", i, verr)
+			}
+		}
+		if st.Malformed != rep.Skipped {
+			t.Fatalf("Malformed=%d but report counts %d skips", st.Malformed, rep.Skipped)
+		}
+	})
+}

@@ -24,6 +24,7 @@ import (
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/ingest"
 )
 
 // Options controls parsing.
@@ -54,10 +55,20 @@ type Stats struct {
 // Parse reads a "show ip bgp" style table and appends records to a
 // dataset. It returns parsing statistics. An error is returned only for
 // I/O failures or a missing header line; malformed route lines are
-// counted and skipped, as real looking-glass output is ragged.
+// counted and skipped without limit, as real looking-glass output is
+// ragged. Use ParseReport for strict mode or a bounded error budget.
 func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
+	st, _, err := ParseReport(r, opts, ingest.Options{MaxRecordErrors: -1}, ds)
+	return st, err
+}
+
+// ParseReport is Parse under explicit ingest options: strict mode aborts
+// on the first malformed route line, and lenient mode counts skips in
+// the returned report up to its error budget.
+func ParseReport(r io.Reader, opts Options, in ingest.Options, ds *dataset.Dataset) (*Stats, *ingest.Report, error) {
+	rep := ingest.NewReport("lg", in)
 	if opts.Obs == "" || opts.LocalAS == 0 {
-		return nil, fmt.Errorf("lg: Options.Obs and Options.LocalAS are required")
+		return nil, rep, fmt.Errorf("lg: Options.Obs and Options.LocalAS are required")
 	}
 	st := &Stats{}
 	sc := bufio.NewScanner(r)
@@ -85,12 +96,16 @@ func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
 			continue // suppressed/damped/history or continuation noise
 		}
 		best := strings.Contains(status, ">")
+		rep.Record()
 		if opts.BestOnly && !best {
 			st.SkippedNB++
 			continue
 		}
 		if len(line) <= pathCol {
 			st.Malformed++
+			if err := rep.Skip(st.Lines, fmt.Errorf("route line shorter than Path column")); err != nil {
+				return st, rep, err
+			}
 			continue
 		}
 
@@ -103,6 +118,9 @@ func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
 			fields := strings.Fields(line[3:min(len(line), pathCol)])
 			if len(fields) == 0 {
 				st.Malformed++
+				if err := rep.Skip(st.Lines, fmt.Errorf("no network field")); err != nil {
+					return st, rep, err
+				}
 				continue
 			}
 			network = fields[0]
@@ -110,12 +128,18 @@ func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
 		}
 		if network == "" {
 			st.Malformed++
+			if err := rep.Skip(st.Lines, fmt.Errorf("continuation line with no preceding network")); err != nil {
+				return st, rep, err
+			}
 			continue
 		}
 
 		pathText := strings.TrimSpace(line[pathCol:])
 		if pathText == "" {
 			st.Malformed++
+			if err := rep.Skip(st.Lines, fmt.Errorf("empty path column")); err != nil {
+				return st, rep, err
+			}
 			continue
 		}
 		// Drop the origin code when present.
@@ -130,6 +154,9 @@ func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
 		path, err := bgp.ParsePath(strings.Join(toks, " "))
 		if err != nil {
 			st.Malformed++
+			if err := rep.Skip(st.Lines, err); err != nil {
+				return st, rep, err
+			}
 			continue
 		}
 		full := path.Prepend(opts.LocalAS)
@@ -146,12 +173,12 @@ func Parse(r io.Reader, opts Options, ds *dataset.Dataset) (*Stats, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, rep, err
 	}
 	if pathCol < 0 {
-		return nil, fmt.Errorf("lg: no \"Network ... Path\" header found")
+		return nil, rep, fmt.Errorf("lg: no \"Network ... Path\" header found")
 	}
-	return st, nil
+	return st, rep, nil
 }
 
 func hasASSet(toks []string) bool {

@@ -1,11 +1,13 @@
 package lg
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/ingest"
 )
 
 const sampleTable = `BGP table version is 1234, local router ID is 198.32.162.100
@@ -128,5 +130,48 @@ func TestParseFeedsPipeline(t *testing.T) {
 	paths := ds.ObservedPaths("192.0.2.0/24")
 	if len(paths[10]) != 2 {
 		t.Fatalf("diversity lost: %+v", paths)
+	}
+}
+
+// TestParseReportStrictAndBudget: strict options abort on the first
+// malformed route line; a finite budget converts excess skips into a
+// typed budget error, while the default Parse stays lenient-unlimited.
+func TestParseReportStrictAndBudget(t *testing.T) {
+	table := `   Network          Next Hop            Metric LocPrf Weight Path
+*> 3.0.0.0          205.215.45.50            0             0 4006 701 i
+*> short
+garbage line
+*> 9.9.9.0/24       10.0.0.1                 0             0 bogus path i
+*> bad2
+*> bad3
+`
+	opts := Options{Obs: "lg", LocalAS: 2}
+
+	ds := &dataset.Dataset{}
+	_, _, err := ParseReport(strings.NewReader(table), opts, ingest.Options{Strict: true}, ds)
+	if err == nil {
+		t.Fatal("strict parse accepted malformed route line")
+	}
+	if !strings.Contains(err.Error(), "record 3") {
+		t.Fatalf("strict error does not name the failing line: %v", err)
+	}
+
+	ds = &dataset.Dataset{}
+	_, _, err = ParseReport(strings.NewReader(table), opts, ingest.Options{MaxRecordErrors: 2}, ds)
+	var be *ingest.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetExceededError over budget 2, got %v", err)
+	}
+
+	ds = &dataset.Dataset{}
+	st, rep, err := ParseReport(strings.NewReader(table), opts, ingest.Options{MaxRecordErrors: -1}, ds)
+	if err != nil {
+		t.Fatalf("unlimited lenient parse: %v", err)
+	}
+	if st.Malformed != rep.Skipped || rep.Skipped != 4 {
+		t.Fatalf("malformed=%d skipped=%d, want 4/4", st.Malformed, rep.Skipped)
+	}
+	if st.Routes != 1 {
+		t.Fatalf("routes=%d, want 1", st.Routes)
 	}
 }

@@ -10,6 +10,8 @@ import (
 	"strings"
 
 	"asmodel/internal/dataset"
+	"asmodel/internal/durable"
+	"asmodel/internal/obs"
 	"asmodel/internal/sim"
 )
 
@@ -54,6 +56,9 @@ type Checkpoint struct {
 	Works []CheckpointWork
 	// Model is the model as of the snapshot.
 	Model *Model
+	// Source is the file the checkpoint loaded from — the primary path
+	// or its ".bak" fallback. Set by LoadCheckpointFile, not serialized.
+	Source string
 }
 
 // CheckpointWork is the serialized state of one prefix's refinement.
@@ -138,30 +143,29 @@ func WriteCheckpoint(w io.Writer, cp *Checkpoint) error {
 	return cp.Model.Save(w)
 }
 
-// WriteCheckpointFile writes the checkpoint atomically: to path+".tmp"
-// first (fsynced), then renamed over path, so a crash mid-write never
-// clobbers the previous checkpoint.
+var mCkptRetries = obs.GetCounter("checkpoint_write_retries",
+	"transient checkpoint write errors retried")
+
+// checkpointWriteWrap, when non-nil, wraps the raw checkpoint file
+// writer — the seam fault-injection tests use to corrupt or fail
+// checkpoint writes beneath the retry layer. It must only be set while
+// no checkpoint write is in flight.
+var checkpointWriteWrap func(io.Writer) io.Writer
+
+// WriteCheckpointFile writes the checkpoint atomically and durably: the
+// payload goes to path+".tmp" (fsynced) and is renamed over path, so a
+// crash mid-write never clobbers the previous checkpoint; transient
+// write errors are retried with bounded backoff; and the previous
+// checkpoint is kept as path+".bak", which LoadCheckpointFile falls
+// back to when the primary is corrupt.
 func WriteCheckpointFile(path string, cp *Checkpoint) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
+	pol := durable.Policy{
+		OnRetry:    func(error) { mCkptRetries.Inc() },
+		WrapWriter: checkpointWriteWrap,
 	}
-	if err := WriteCheckpoint(f, cp); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return durable.WriteFileAtomic(path, pol, func(w io.Writer) error {
+		return WriteCheckpoint(w, cp)
+	})
 }
 
 // LoadCheckpoint reads a checkpoint written by WriteCheckpoint. A
@@ -277,8 +281,33 @@ scan:
 	return cp, nil
 }
 
-// LoadCheckpointFile reads a checkpoint from disk.
+// LoadCheckpointFile reads a checkpoint from disk. When the primary
+// file is corrupt or truncated it falls back to the path+".bak" copy of
+// the previous good checkpoint (kept by WriteCheckpointFile); the
+// returned checkpoint's Source records which file actually loaded. Both
+// failing yields the primary's error wrapped with the fallback's.
 func LoadCheckpointFile(path string) (*Checkpoint, error) {
+	cp, err := loadCheckpointPath(path)
+	if err == nil {
+		cp.Source = path
+		return cp, nil
+	}
+	if os.IsNotExist(err) {
+		return nil, err
+	}
+	bak := path + ".bak"
+	bcp, berr := loadCheckpointPath(bak)
+	if berr != nil {
+		if os.IsNotExist(berr) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w (fallback %v)", err, berr)
+	}
+	bcp.Source = bak
+	return bcp, nil
+}
+
+func loadCheckpointPath(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err

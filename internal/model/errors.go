@@ -41,3 +41,23 @@ func (e *InterruptedError) Error() string {
 }
 
 func (e *InterruptedError) Unwrap() error { return e.Err }
+
+// WorkerPanicError reports a panic recovered inside a parallel worker
+// goroutine. The pool converts the panic into this typed error, cancels
+// the sweep, and returns it from the merge, so a bug (or an injected
+// fault) in one prefix's simulation fails the call instead of killing
+// the process.
+type WorkerPanicError struct {
+	// Op is the sweep that panicked: "evaluate" or "verify".
+	Op string
+	// Prefix names the prefix being processed when the panic fired.
+	Prefix string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack trace captured at recovery.
+	Stack []byte
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("model: %s worker panicked on prefix %s: %v", e.Op, e.Prefix, e.Value)
+}

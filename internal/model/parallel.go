@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -24,7 +25,13 @@ var (
 	mParWorkers = obs.GetGauge("eval_parallel_workers", "worker count of the most recent parallel sweep")
 	mParPerWkr  = obs.GetHistogram("eval_worker_prefixes", "prefixes processed per worker per parallel sweep",
 		obs.ExpBuckets(1, 4, 10))
+	mWorkerPanics = obs.GetCounter("worker_panics_recovered", "panics recovered in parallel worker goroutines")
 )
+
+// workerFaultHook, when non-nil, runs at the top of every worker's
+// per-prefix body. Fault-injection tests point it at a panic injector;
+// it must only be set while no sweep is in flight.
+var workerFaultHook func(prefix bgp.PrefixID)
 
 // DefaultWorkers is the worker-pool size the parallel paths use when the
 // caller passes 0: one worker per available CPU.
@@ -115,28 +122,53 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 					return
 				}
 				w, r := works[i], &results[i]
-				if err := clone.runPrefixBudget(wctx, w.id, 0); err != nil {
-					var derr *sim.DivergenceError
-					switch {
-					case errors.As(err, &derr):
-						r.div = &DivergenceRecord{
-							Prefix:   m.Universe.Name(w.id),
-							Messages: derr.Messages,
-							Budget:   derr.Budget,
+				// One prefix per closure invocation, so a recovered panic
+				// is attributed to the prefix that raised it and stops
+				// only this worker — wg.Wait never deadlocks.
+				stop := func() (stop bool) {
+					defer func() {
+						if p := recover(); p != nil {
+							mWorkerPanics.Inc()
+							r.err = &WorkerPanicError{
+								Op:     "evaluate",
+								Prefix: m.Universe.Name(w.id),
+								Value:  p,
+								Stack:  debug.Stack(),
+							}
+							cancel()
+							stop = true
 						}
-					case wctx.Err() != nil:
-						return
-					default:
-						r.err = err
-						cancel() // no point finishing the sweep
-						return
+					}()
+					if hook := workerFaultHook; hook != nil {
+						hook(w.id)
 					}
+					if err := clone.runPrefixBudget(wctx, w.id, 0); err != nil {
+						var derr *sim.DivergenceError
+						switch {
+						case errors.As(err, &derr):
+							r.div = &DivergenceRecord{
+								Prefix:   m.Universe.Name(w.id),
+								Messages: derr.Messages,
+								Budget:   derr.Budget,
+							}
+						case wctx.Err() != nil:
+							return true
+						default:
+							r.err = err
+							cancel() // no point finishing the sweep
+							return true
+						}
+						processed++
+						return false
+					}
+					r.sum = metrics.NewSummary()
+					r.matched, r.total = metrics.EvaluatePrefixSorted(cls, w.observed, r.sum)
 					processed++
-					continue
+					return false
+				}()
+				if stop {
+					return
 				}
-				r.sum = metrics.NewSummary()
-				r.matched, r.total = metrics.EvaluatePrefixSorted(cls, w.observed, r.sum)
-				processed++
 			}
 		}()
 	}
@@ -175,10 +207,10 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 // verifyOutcome is one settled prefix's re-simulation result from the
 // parallel verify sweep.
 type verifyOutcome struct {
-	diverged                bool
-	unsat                   int
+	diverged                 bool
+	unsat                    int
 	ribOut, potential, ribIn int
-	err                     error
+	err                      error
 }
 
 // verifyParallel re-simulates the given settled prefixes on per-worker
@@ -190,6 +222,7 @@ func (rr *refineRun) verifyParallel(towork []*prefixWork, workers int) []verifyO
 	mParWorkers.Set(int64(workers))
 	results := make([]verifyOutcome, len(towork))
 	var next atomic.Int64
+	var abort atomic.Bool // one worker failed: stop claiming new prefixes
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
@@ -201,24 +234,47 @@ func (rr *refineRun) verifyParallel(towork []*prefixWork, workers int) []verifyO
 			defer func() { mParPerWkr.ObserveInt(processed) }()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(towork) {
+				if i >= len(towork) || abort.Load() {
 					return
 				}
 				w, r := towork[i], &results[i]
-				if err := clone.runPrefixBudget(context.Background(), w.id, w.budget); err != nil {
-					if errors.Is(err, sim.ErrDiverged) {
-						r.diverged = true
-						processed++
-						continue
+				stop := func() (stop bool) {
+					defer func() {
+						if p := recover(); p != nil {
+							mWorkerPanics.Inc()
+							r.err = &WorkerPanicError{
+								Op:     "verify",
+								Prefix: rr.name(w),
+								Value:  p,
+								Stack:  debug.Stack(),
+							}
+							abort.Store(true)
+							stop = true
+						}
+					}()
+					if hook := workerFaultHook; hook != nil {
+						hook(w.id)
 					}
-					r.err = err
+					if err := clone.runPrefixBudget(context.Background(), w.id, w.budget); err != nil {
+						if errors.Is(err, sim.ErrDiverged) {
+							r.diverged = true
+							processed++
+							return false
+						}
+						r.err = err
+						abort.Store(true)
+						return true
+					}
+					if rr.observing {
+						r.ribOut, r.potential, r.ribIn = clone.matchCounts(w)
+					}
+					r.unsat = clone.countUnsatisfied(w)
+					processed++
+					return false
+				}()
+				if stop {
 					return
 				}
-				if rr.observing {
-					r.ribOut, r.potential, r.ribIn = clone.matchCounts(w)
-				}
-				r.unsat = clone.countUnsatisfied(w)
-				processed++
 			}
 		}()
 	}

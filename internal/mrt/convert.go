@@ -8,6 +8,8 @@ import (
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/durable"
+	"asmodel/internal/ingest"
 )
 
 // ConvertStats reports what ToDataset encountered.
@@ -28,9 +30,30 @@ type ConvertStats struct {
 // with it, as with route servers). Routes carrying AS_SET aggregation are
 // dropped, mirroring the paper's per-path data handling.
 func ToDataset(r io.Reader) (*dataset.Dataset, *ConvertStats, error) {
-	rd := NewReader(r)
+	ds, st, _, err := ToDatasetOpts(r, ingest.Options{Strict: true})
+	return ds, st, err
+}
+
+// lenientReader wraps the input for lenient loads: transient read errors
+// are retried beneath the record framing, so a flaky source never
+// misframes the length-prefixed stream.
+func lenientReader(r io.Reader, opts ingest.Options) io.Reader {
+	if opts.Strict {
+		return r
+	}
+	return durable.NewRetryReader(r, durable.Policy{})
+}
+
+// ToDatasetOpts is ToDataset under explicit ingest options. In lenient
+// mode (the default) malformed record bodies are skipped and counted in
+// the returned report up to its error budget, and a framing failure
+// (truncated or corrupt record header) ends the stream with a counted
+// skip instead of discarding everything read so far.
+func ToDatasetOpts(r io.Reader, opts ingest.Options) (*dataset.Dataset, *ConvertStats, *ingest.Report, error) {
+	rd := NewReader(lenientReader(r, opts))
 	ds := &dataset.Dataset{}
 	st := &ConvertStats{}
+	rep := ingest.NewReport("mrt", opts)
 	var pit *PeerIndexTable
 	for {
 		rec, err := rd.Next()
@@ -38,24 +61,41 @@ func ToDataset(r io.Reader) (*dataset.Dataset, *ConvertStats, error) {
 			break
 		}
 		if err != nil {
-			return nil, st, err
+			// A broken frame loses sync with the length-prefixed stream:
+			// count one skip and stop at the last good record.
+			if serr := rep.Skip(st.Records+1, err); serr != nil {
+				return nil, st, rep, serr
+			}
+			break
 		}
 		st.Records++
+		rep.Record()
 		if rec.Type != TypeTableDumpV2 {
 			continue
 		}
 		switch rec.Subtype {
 		case SubtypePeerIndexTable:
-			if pit, err = ParsePeerIndexTable(rec); err != nil {
-				return nil, st, err
+			p, err := ParsePeerIndexTable(rec)
+			if err != nil {
+				if serr := rep.Skip(st.Records, err); serr != nil {
+					return nil, st, rep, serr
+				}
+				continue
 			}
+			pit = p
 		case SubtypeRIBIPv4Unicast, SubtypeRIBIPv6Unicast:
 			if pit == nil {
-				return nil, st, fmt.Errorf("mrt: RIB record before PEER_INDEX_TABLE")
+				if serr := rep.Skip(st.Records, fmt.Errorf("mrt: RIB record before PEER_INDEX_TABLE")); serr != nil {
+					return nil, st, rep, serr
+				}
+				continue
 			}
 			rib, err := ParseRIB(rec)
 			if err != nil {
-				return nil, st, err
+				if serr := rep.Skip(st.Records, err); serr != nil {
+					return nil, st, rep, serr
+				}
+				continue
 			}
 			st.RIBRecords++
 			if rec.Subtype == SubtypeRIBIPv6Unicast {
@@ -64,7 +104,7 @@ func ToDataset(r io.Reader) (*dataset.Dataset, *ConvertStats, error) {
 			convertRIB(ds, st, pit, rib)
 		}
 	}
-	return ds, st, nil
+	return ds, st, rep, nil
 }
 
 func convertRIB(ds *dataset.Dataset, st *ConvertStats, pit *PeerIndexTable, rib *RIB) {

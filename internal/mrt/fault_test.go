@@ -1,0 +1,245 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/faultinject"
+	"asmodel/internal/ingest"
+)
+
+// buildDump writes a valid TABLE_DUMP_V2 dump (PIT + nRIB RIB records)
+// and returns the raw bytes.
+func buildDump(t *testing.T, nRIB int) []byte {
+	t.Helper()
+	peers := []PeerEntry{
+		{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 1}), AS: 3356},
+		{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 2}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 2}), AS: 701},
+	}
+	var buf bytes.Buffer
+	tw, err := NewTableDumpWriter(NewWriter(&buf), 1000, "fault-view", peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nRIB; i++ {
+		prefix := netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, byte(2 + i), 0}), 24)
+		entries := []RIBEntry{{
+			PeerIndex:  uint16(i % 2),
+			Originated: uint32(100 + i),
+			Attrs: &PathAttrs{
+				Origin:   bgp.OriginIGP,
+				Segments: SequencePath(bgp.Path{3356, 1239, bgp.ASN(24000 + i)}),
+				NextHop:  peers[i%2].Addr,
+			},
+		}}
+		if err := tw.WriteRIB(uint32(1000+i), prefix, entries); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestFaultMatrixToDataset sweeps seeded read-fault schedules
+// (truncation, bit flips, transient errors with short reads, permanent
+// failures) over a valid dump. Lenient loads must degrade gracefully:
+// a typed budget error or a counted skip, never a crash; strict loads
+// must fail or produce the clean result.
+func TestFaultMatrixToDataset(t *testing.T) {
+	raw := buildDump(t, 8)
+	clean, _, _, err := ToDatasetOpts(bytes.NewReader(raw), ingest.Options{})
+	if err != nil {
+		t.Fatalf("clean load: %v", err)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := faultinject.RandomReaderConfig(seed, int64(len(raw)))
+			fr := faultinject.NewReader(bytes.NewReader(raw), cfg)
+			ds, _, rep, err := ToDatasetOpts(fr, ingest.Options{})
+			if err != nil {
+				var be *ingest.BudgetExceededError
+				if !errors.As(err, &be) && !errors.Is(err, ErrTruncated) &&
+					!isInjected(err) && !isParseErr(err) {
+					t.Fatalf("lenient load: untyped error %T: %v", err, err)
+				}
+				return
+			}
+			if ds == nil || rep == nil {
+				t.Fatal("nil dataset/report without error")
+			}
+			// Transient-only schedules are fully absorbed by the retry
+			// layer: the result must equal the clean load.
+			if cfg.TransientEvery > 0 && cfg.TruncateAt == 0 && cfg.FailAt == 0 && len(cfg.FlipBytes) == 0 {
+				if len(ds.Records) != len(clean.Records) {
+					t.Fatalf("transient faults changed the result: %d records, want %d",
+						len(ds.Records), len(clean.Records))
+				}
+				if rep.Skipped != 0 {
+					t.Fatalf("transient faults counted %d skips", rep.Skipped)
+				}
+			}
+		})
+	}
+}
+
+// isInjected reports whether the chain contains a permanent injected
+// fault (surfaced by a framing read in lenient mode once retries are
+// exhausted or the fault is non-transient).
+func isInjected(err error) bool {
+	var inj *faultinject.InjectedError
+	var te *faultinject.TransientError
+	return errors.As(err, &inj) || errors.As(err, &te)
+}
+
+// isParseErr accepts the loaders' own typed record errors (every mrt
+// parse error is prefixed "mrt:").
+func isParseErr(err error) bool {
+	return err != nil && len(err.Error()) >= 4 && err.Error()[:4] == "mrt:"
+}
+
+// TestFaultMatrixStrictAborts: under strict options every
+// stream-damaging schedule either fails or yields the clean result
+// (bit flips can land in bytes the converter never reads).
+func TestFaultMatrixStrictAborts(t *testing.T) {
+	raw := buildDump(t, 8)
+	clean, _, err := ToDataset(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := faultinject.RandomReaderConfig(seed, int64(len(raw)))
+		if cfg.TransientEvery > 0 {
+			continue // strict mode has no retry layer; transients legitimately abort
+		}
+		fr := faultinject.NewReader(bytes.NewReader(raw), cfg)
+		ds, _, err := ToDataset(fr)
+		if err == nil && ds != nil && len(ds.Records) > len(clean.Records) {
+			t.Fatalf("seed %d: corrupt stream grew the dataset: %d > %d",
+				seed, len(ds.Records), len(clean.Records))
+		}
+	}
+}
+
+// TestLenientTruncatedDump: a dump cut mid-record loads every complete
+// record and counts exactly one skip for the torn frame.
+func TestLenientTruncatedDump(t *testing.T) {
+	raw := buildDump(t, 8)
+	cut := raw[:len(raw)-7]
+	ds, st, rep, err := ToDatasetOpts(bytes.NewReader(cut), ingest.Options{})
+	if err != nil {
+		t.Fatalf("lenient truncated load: %v", err)
+	}
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped=%d, want 1 (the torn frame)", rep.Skipped)
+	}
+	if st.RIBRecords != 7 {
+		t.Fatalf("RIB records=%d, want 7 of 8", st.RIBRecords)
+	}
+	if len(ds.Records) == 0 {
+		t.Fatal("no records recovered from truncated dump")
+	}
+	// Strict mode must abort instead.
+	if _, _, err := ToDataset(bytes.NewReader(cut)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("strict truncated load: want ErrTruncated, got %v", err)
+	}
+}
+
+// TestLenientCorruptBodiesBudget: corrupt record bodies are skipped and
+// counted; a tight budget converts them into a typed budget error.
+func TestLenientCorruptBodiesBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	peers := []PeerEntry{{BGPID: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Addr: netip.AddrFrom4([4]byte{10, 1, 0, 1}), AS: 3356}}
+	if _, err := NewTableDumpWriter(w, 1000, "v", peers); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		// Garbage RIB bodies: parse fails, conversion must skip them.
+		if err := w.WriteRecord(uint32(2000+i), TypeTableDumpV2, SubtypeRIBIPv4Unicast, []byte{0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+
+	ds, _, rep, err := ToDatasetOpts(bytes.NewReader(raw), ingest.Options{})
+	if err != nil {
+		t.Fatalf("lenient load: %v", err)
+	}
+	if rep.Skipped != 4 {
+		t.Fatalf("skipped=%d, want 4", rep.Skipped)
+	}
+	if len(rep.Errors) != 4 {
+		t.Fatalf("reported errors=%d, want 4", len(rep.Errors))
+	}
+	if ds.Len() != 0 {
+		t.Fatalf("records=%d, want 0", ds.Len())
+	}
+
+	_, _, _, err = ToDatasetOpts(bytes.NewReader(raw), ingest.Options{MaxRecordErrors: 2})
+	var be *ingest.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BudgetExceededError with budget 2, got %v", err)
+	}
+	if be.Budget != 2 || be.Skipped != 3 {
+		t.Fatalf("budget error: %+v", be)
+	}
+
+	// Strict mode aborts on the first corrupt body.
+	if _, _, err := ToDataset(bytes.NewReader(raw)); err == nil {
+		t.Fatal("strict load accepted corrupt bodies")
+	}
+}
+
+// TestLenientReplayFaults runs the same matrix over the BGP4MP replay
+// path.
+func TestLenientReplayFaults(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 6; i++ {
+		u := &Update{
+			Attrs: &PathAttrs{
+				Origin:   bgp.OriginIGP,
+				Segments: SequencePath(bgp.Path{65001, bgp.ASN(64000 + i)}),
+				NextHop:  netip.AddrFrom4([4]byte{10, 0, 0, 9}),
+			},
+			NLRI: []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{192, 0, byte(2 + i), 0}), 24)},
+		}
+		if err := w.WriteBGP4MPUpdate(uint32(100+i), 65001, 65000,
+			netip.AddrFrom4([4]byte{10, 0, 0, 1}), netip.AddrFrom4([4]byte{10, 0, 0, 2}), u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := buf.Bytes()
+	clean, _, _, err := UpdatesToDatasetOpts(bytes.NewReader(raw), 0, 0, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Len() != 6 {
+		t.Fatalf("clean replay: %d records", clean.Len())
+	}
+	for seed := int64(0); seed < 100; seed++ {
+		cfg := faultinject.RandomReaderConfig(seed, int64(len(raw)))
+		fr := faultinject.NewReader(bytes.NewReader(raw), cfg)
+		ds, _, rep, err := UpdatesToDatasetOpts(fr, 0, 0, ingest.Options{})
+		if err != nil {
+			var be *ingest.BudgetExceededError
+			if !errors.As(err, &be) && !errors.Is(err, ErrTruncated) && !isInjected(err) && !isParseErr(err) {
+				t.Fatalf("seed %d: untyped error %T: %v", seed, err, err)
+			}
+			continue
+		}
+		if ds == nil || rep == nil {
+			t.Fatalf("seed %d: nil result without error", seed)
+		}
+		if cfg.TransientEvery > 0 && cfg.TruncateAt == 0 && cfg.FailAt == 0 && len(cfg.FlipBytes) == 0 {
+			if ds.Len() != clean.Len() {
+				t.Fatalf("seed %d: transient faults changed replay: %d records, want %d",
+					seed, ds.Len(), clean.Len())
+			}
+		}
+	}
+}

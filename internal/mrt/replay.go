@@ -8,6 +8,7 @@ import (
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/ingest"
 )
 
 // ReplayStats reports what UpdatesToDataset processed.
@@ -44,8 +45,19 @@ type replayRoute struct {
 // "we are planning to also incorporate the AS-path information from BGP
 // updates."
 func UpdatesToDataset(r io.Reader, cutoff int64, minAge int64) (*dataset.Dataset, *ReplayStats, error) {
-	rd := NewReader(r)
+	ds, st, _, err := UpdatesToDatasetOpts(r, cutoff, minAge, ingest.Options{Strict: true})
+	return ds, st, err
+}
+
+// UpdatesToDatasetOpts is UpdatesToDataset under explicit ingest
+// options. In lenient mode (the default) unparsable BGP4MP messages are
+// skipped and counted in the returned report up to its error budget,
+// and a framing failure ends the stream with a counted skip instead of
+// discarding the replay so far.
+func UpdatesToDatasetOpts(r io.Reader, cutoff int64, minAge int64, opts ingest.Options) (*dataset.Dataset, *ReplayStats, *ingest.Report, error) {
+	rd := NewReader(lenientReader(r, opts))
 	st := &ReplayStats{}
+	rep := ingest.NewReport("mrt", opts)
 	tables := make(map[peerKey]map[netip.Prefix]replayRoute)
 	var lastTS uint32
 
@@ -55,9 +67,13 @@ func UpdatesToDataset(r io.Reader, cutoff int64, minAge int64) (*dataset.Dataset
 			break
 		}
 		if err != nil {
-			return nil, st, err
+			if serr := rep.Skip(st.Records+1, err); serr != nil {
+				return nil, st, rep, serr
+			}
+			break
 		}
 		st.Records++
+		rep.Record()
 		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
 			continue
 		}
@@ -73,7 +89,10 @@ func UpdatesToDataset(r io.Reader, cutoff int64, minAge int64) (*dataset.Dataset
 		}
 		m, err := ParseBGP4MP(rec)
 		if err != nil {
-			return nil, st, fmt.Errorf("mrt: record %d: %w", st.Records, err)
+			if serr := rep.Skip(st.Records, err); serr != nil {
+				return nil, st, rep, serr
+			}
+			continue
 		}
 		if m.Update == nil {
 			continue
@@ -150,5 +169,5 @@ func UpdatesToDataset(r io.Reader, cutoff int64, minAge int64) (*dataset.Dataset
 			})
 		}
 	}
-	return ds, st, nil
+	return ds, st, rep, nil
 }
