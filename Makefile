@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json fuzz-smoke
+.PHONY: all build test vet race check bench bench-json bench-gen fuzz-smoke
 
 all: check
 
@@ -34,7 +34,13 @@ fuzz-smoke:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# Sequential-vs-parallel evaluate/refine timings plus determinism check;
-# writes BENCH_parallel.json (checked in; regenerate after engine changes).
+# Sequential-vs-parallel timings plus determinism checks; writes
+# BENCH_parallel.json (evaluate/refine) and BENCH_gen.json (ground-truth
+# generation), both checked in; regenerate after engine changes.
 bench-json:
-	$(GO) run ./cmd/parbench -out BENCH_parallel.json
+	$(GO) run ./cmd/parbench -out BENCH_parallel.json -gen-out BENCH_gen.json
+
+# Fast smoke of the generation benchmark: one repetition, exits non-zero
+# if any worker count produces a dataset that differs from sequential.
+bench-gen:
+	$(GO) run ./cmd/parbench -mode gen -reps 1 -gen-out BENCH_gen.json

@@ -31,7 +31,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset: stats,figure2,table1,table2,pipeline,unseen,combined,figure3,multiprefix,iterations,whatif,ablations")
 	jsonPath := flag.String("json", "", "write headline numbers as JSON to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
-	workers := flag.Int("workers", model.DefaultWorkers(), "worker-pool size for evaluations and refinement verify sweeps (1 = sequential; same results at any count)")
+	workers := flag.Int("workers", model.DefaultWorkers(), "worker-pool size for ground-truth generation, evaluations and refinement verify sweeps (1 = sequential; same results at any count)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -111,11 +111,10 @@ func run(seed int64, scale, workers int, only, jsonPath string) error {
 	}
 	fmt.Printf("== generating synthetic Internet (seed=%d, %d ASes) ==\n\n",
 		seed, cfg.NumTier1+cfg.NumTier2+cfg.NumTier3+cfg.NumStub)
-	s, err := experiments.NewSuite(cfg)
+	s, err := experiments.NewSuiteWorkers(cfg, workers)
 	if err != nil {
 		return err
 	}
-	s.Workers = workers
 	fmt.Printf("dataset: %d records, %d prefixes, %d observation points; %d weird policies (%d reverted)\n\n",
 		s.Data.Len(), len(s.Data.Prefixes()), len(s.Data.ObsPoints()), len(s.Internet.Weird), s.Internet.QuirksReverted)
 

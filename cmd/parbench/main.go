@@ -1,19 +1,25 @@
-// Command parbench measures the parallel per-prefix evaluation against
-// its sequential baseline and writes a machine-readable report
-// (BENCH_parallel.json via `make bench-json`).
+// Command parbench measures the parallel per-prefix machinery against its
+// sequential baselines and writes machine-readable reports
+// (BENCH_parallel.json and BENCH_gen.json via `make bench-json`).
 //
-// For every worker count it times Model.EvaluateParallel over a refined
-// model and checks the result is identical (reflect.DeepEqual) to the
-// sequential evaluation; it then times a full refinement with the
-// parallel verify sweep and checks the serialized model is byte-identical
-// to the sequentially refined one. The report records GOMAXPROCS and
-// NumCPU alongside every timing: per-prefix simulation shares nothing, so
-// the speedup tracks the CPU count — on a single-CPU host it stays near
-// 1x and the run only demonstrates determinism plus pool overhead.
+// The eval section times Model.EvaluateParallel over a refined model for
+// every worker count and checks the result is identical
+// (reflect.DeepEqual) to the sequential evaluation; it then times a full
+// refinement with the parallel verify sweep and checks the serialized
+// model is byte-identical to the sequentially refined one. The gen
+// section times gen.Internet.RunAllParallel — the ground-truth
+// generation that dominates suite setup — on a freshly generated
+// Internet per repetition and checks the dataset bytes and the
+// Weird/QuirksReverted bookkeeping match the sequential RunAll. Both
+// reports record GOMAXPROCS and NumCPU alongside every timing:
+// per-prefix simulation shares nothing, so the speedup tracks the CPU
+// count — on a single-CPU host it stays near 1x and the run only
+// demonstrates determinism plus pool overhead.
 //
 // Usage:
 //
-//	parbench -out BENCH_parallel.json -seed 1 -reps 3 -workers 1,2,4,8
+//	parbench -out BENCH_parallel.json -gen-out BENCH_gen.json -seed 1 -reps 3 -workers 1,2,4,8
+//	parbench -mode gen -reps 1            # generation smoke only (make bench-gen)
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"asmodel/internal/dataset"
 	"asmodel/internal/experiments"
+	"asmodel/internal/gen"
 	"asmodel/internal/model"
 	"asmodel/internal/topology"
 )
@@ -59,12 +66,18 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_parallel.json", "report file")
+	out := flag.String("out", "BENCH_parallel.json", "evaluate/refine report file")
+	genOut := flag.String("gen-out", "BENCH_gen.json", "ground-truth generation report file")
 	seed := flag.Int64("seed", 1, "generator and split seed")
 	reps := flag.Int("reps", 3, "timed repetitions per configuration (minimum is reported)")
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
+	mode := flag.String("mode", "all", "which sections to run: all, eval (evaluate+refine), or gen (ground-truth generation)")
 	flag.Parse()
-	if err := run(*out, *seed, *reps, *workersList); err != nil {
+	if *mode != "all" && *mode != "eval" && *mode != "gen" {
+		fmt.Fprintln(os.Stderr, "parbench: -mode must be all, eval or gen")
+		os.Exit(2)
+	}
+	if err := run(*out, *genOut, *mode, *seed, *reps, *workersList); err != nil {
 		fmt.Fprintln(os.Stderr, "parbench:", err)
 		os.Exit(1)
 	}
@@ -85,7 +98,7 @@ func minNs(reps int, f func() error) (int64, error) {
 	return best, nil
 }
 
-func run(out string, seed int64, reps int, workersList string) error {
+func run(out, genOut, mode string, seed int64, reps int, workersList string) error {
 	var counts []int
 	for _, part := range strings.Split(workersList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -94,7 +107,134 @@ func run(out string, seed int64, reps int, workersList string) error {
 		}
 		counts = append(counts, n)
 	}
+	if mode == "all" || mode == "gen" {
+		if err := runGen(genOut, seed, reps, counts); err != nil {
+			return err
+		}
+	}
+	if mode == "all" || mode == "eval" {
+		if err := runEval(out, seed, reps, counts); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
+// genReport is the BENCH_gen.json shape: sequential RunAll vs
+// RunAllParallel on a freshly generated Internet per repetition.
+type genReport struct {
+	Seed           int64       `json:"seed"`
+	Reps           int         `json:"reps"`
+	GoMaxProcs     int         `json:"gomaxprocs"`
+	NumCPU         int         `json:"num_cpu"`
+	GoVersion      string      `json:"go_version"`
+	Prefixes       int         `json:"prefixes"`
+	Records        int         `json:"records"`
+	QuirksReverted int         `json:"quirks_reverted"`
+	Note           string      `json:"note"`
+	SeqNsOp        int64       `json:"run_all_sequential_ns_op"`
+	Parallel       []workerRow `json:"run_all_parallel"`
+}
+
+// runGen benches ground-truth generation. Every repetition regenerates
+// the Internet from the seed: RunAll mutates the generator's quirk
+// bookkeeping (diverging weird policies are reverted on first contact),
+// so re-running on a used Internet would not time the same work.
+func runGen(out string, seed int64, reps int, counts []int) error {
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = seed
+
+	timeRunAll := func(workers int) (int64, *dataset.Dataset, *gen.Internet, error) {
+		best := int64(-1)
+		var ds *dataset.Dataset
+		var in *gen.Internet
+		for i := 0; i < reps; i++ {
+			fresh, err := gen.Generate(cfg)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			start := time.Now()
+			d, err := fresh.RunAllParallel(context.Background(), workers)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+				best = ns
+			}
+			ds, in = d, fresh
+		}
+		return best, ds, in, nil
+	}
+
+	fmt.Fprintf(os.Stderr, "parbench: ground-truth generation (seed=%d)...\n", seed)
+	seqNs, seqDS, seqIn, err := timeRunAll(1)
+	if err != nil {
+		return err
+	}
+	var want bytes.Buffer
+	if err := seqDS.Write(&want); err != nil {
+		return err
+	}
+	rep := &genReport{
+		Seed: seed, Reps: reps,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		GoVersion:      runtime.Version(),
+		Prefixes:       seqIn.NumPrefixes(),
+		Records:        seqDS.Len(),
+		QuirksReverted: seqIn.QuirksReverted,
+		Note: "speedup is bounded by num_cpu: per-prefix ground-truth simulation shares " +
+			"nothing, so on a single-CPU host parallel timings measure clone + pool " +
+			"overhead while the identical flags still verify the deterministic merge",
+		SeqNsOp: seqNs,
+	}
+	fmt.Fprintf(os.Stderr, "parbench: gen sequential %.2fms (%d records)\n", float64(seqNs)/1e6, seqDS.Len())
+	for _, w := range counts {
+		if w == 1 {
+			continue // workers=1 is the sequential path already timed
+		}
+		ns, ds, in, err := timeRunAll(w)
+		if err != nil {
+			return err
+		}
+		var got bytes.Buffer
+		if err := ds.Write(&got); err != nil {
+			return err
+		}
+		identical := bytes.Equal(got.Bytes(), want.Bytes()) &&
+			in.QuirksReverted == seqIn.QuirksReverted &&
+			len(in.Weird) == len(seqIn.Weird)
+		rep.Parallel = append(rep.Parallel, workerRow{
+			Workers: w, NsOp: ns,
+			Speedup:   float64(seqNs) / float64(ns),
+			Identical: identical,
+		})
+		fmt.Fprintf(os.Stderr, "parbench: gen workers=%d %.2fms (%.2fx)\n",
+			w, float64(ns)/1e6, float64(seqNs)/float64(ns))
+	}
+	for _, r := range rep.Parallel {
+		if !r.Identical {
+			return fmt.Errorf("gen workers=%d produced a dataset that differs from sequential", r.Workers)
+		}
+	}
+	if err := writeJSON(out, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "parbench: report written to %s\n", out)
+	return nil
+}
+
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func runEval(out string, seed int64, reps int, counts []int) error {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
 	fmt.Fprintf(os.Stderr, "parbench: generating suite (seed=%d)...\n", seed)

@@ -7,9 +7,11 @@
 //
 //	topogen [flags] > paths.txt
 //	topogen -mrt rib.mrt -o paths.txt
+//	topogen -workers 8 -stubs 2000      # parallel ground-truth simulation
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -33,20 +35,25 @@ func main() {
 	out := flag.String("o", "-", "dataset output file ('-' for stdout)")
 	mrtOut := flag.String("mrt", "", "also write the dataset as an MRT TABLE_DUMP_V2 file")
 	quiet := flag.Bool("q", false, "suppress the summary on stderr")
+	workers := flag.Int("workers", gen.DefaultWorkers(), "worker-pool size for the ground-truth simulation (1 = sequential; identical output at any count)")
 	flag.Parse()
 
-	if err := run(cfg, *out, *mrtOut, *quiet); err != nil {
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "topogen: -workers must be >= 1")
+		os.Exit(2)
+	}
+	if err := run(cfg, *out, *mrtOut, *quiet, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg gen.Config, out, mrtOut string, quiet bool) error {
+func run(cfg gen.Config, out, mrtOut string, quiet bool, workers int) error {
 	in, err := gen.Generate(cfg)
 	if err != nil {
 		return err
 	}
-	ds, err := in.RunAll()
+	ds, err := in.RunAllParallel(context.Background(), workers)
 	if err != nil {
 		return err
 	}

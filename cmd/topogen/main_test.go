@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -21,7 +22,7 @@ func TestRunWritesDatasetAndMRT(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "paths.txt")
 	mrtOut := filepath.Join(dir, "rib.mrt")
-	if err := run(smallCfg(), out, mrtOut, true); err != nil {
+	if err := run(smallCfg(), out, mrtOut, true, 2); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -53,16 +54,39 @@ func TestRunWritesDatasetAndMRT(t *testing.T) {
 func TestRunInvalidConfig(t *testing.T) {
 	cfg := smallCfg()
 	cfg.NumTier1 = 0
-	if err := run(cfg, filepath.Join(t.TempDir(), "x"), "", true); err == nil {
+	if err := run(cfg, filepath.Join(t.TempDir(), "x"), "", true, 1); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
 
 func TestRunBadOutputPath(t *testing.T) {
-	if err := run(smallCfg(), "/nonexistent-dir/paths.txt", "", true); err == nil {
+	if err := run(smallCfg(), "/nonexistent-dir/paths.txt", "", true, 1); err == nil {
 		t.Error("bad output path accepted")
 	}
-	if err := run(smallCfg(), filepath.Join(t.TempDir(), "ok.txt"), "/nonexistent-dir/rib.mrt", true); err == nil {
+	if err := run(smallCfg(), filepath.Join(t.TempDir(), "ok.txt"), "/nonexistent-dir/rib.mrt", true, 1); err == nil {
 		t.Error("bad MRT path accepted")
+	}
+}
+
+func TestRunWorkerCountsProduceIdenticalOutput(t *testing.T) {
+	dir := t.TempDir()
+	seq := filepath.Join(dir, "seq.txt")
+	par := filepath.Join(dir, "par.txt")
+	if err := run(smallCfg(), seq, "", true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(smallCfg(), par, "", true, 4); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("-workers 4 output differs from sequential")
 	}
 }

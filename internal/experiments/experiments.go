@@ -55,18 +55,31 @@ func (s *Suite) refineCfg(cfg model.RefineConfig) model.RefineConfig {
 }
 
 // NewSuite generates the synthetic Internet and collects the ground-truth
-// dataset (normalized per §3.1).
+// dataset (normalized per §3.1) sequentially. NewSuiteWorkers parallelizes
+// the collection.
 func NewSuite(cfg gen.Config) (*Suite, error) {
+	return NewSuiteWorkers(cfg, 1)
+}
+
+// NewSuiteWorkers is NewSuite with the ground-truth simulation fanned out
+// over a worker pool (gen.Internet.RunAllParallel): the dominant cost of
+// suite setup at -scale > 1. The dataset is identical for any worker
+// count; workers also becomes the suite's pool size for model evaluations
+// and refinement verify sweeps (workers <= 0 selects one per CPU).
+func NewSuiteWorkers(cfg gen.Config, workers int) (*Suite, error) {
+	if workers <= 0 {
+		workers = gen.DefaultWorkers()
+	}
 	in, err := gen.Generate(cfg)
 	if err != nil {
 		return nil, err
 	}
-	ds, err := in.RunAll()
+	ds, err := in.RunAllParallel(context.Background(), workers)
 	if err != nil {
 		return nil, err
 	}
 	ds.Normalize()
-	return &Suite{Cfg: cfg, Internet: in, Data: ds}, nil
+	return &Suite{Cfg: cfg, Internet: in, Data: ds, Workers: workers}, nil
 }
 
 // DefaultConfig is the experiment-harness default: a few hundred ASes

@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"asmodel/internal/bgp"
+	"asmodel/internal/routersim"
+)
+
+// Clone returns a deep copy of the generated Internet suitable for
+// running prefixes concurrently with the original: the router-level
+// network is cloned (routersim.Internet.Clone — IGP distance matrices
+// shared, everything mutable copied), every per-session policy is
+// duplicated, the import/export hooks are re-bound to the copied
+// policies, the quirk-undo records are carried over (they are keyed by
+// session, so they resolve against the clone's own policy table), and
+// the vantage points are re-pointed at the clone's routers.
+//
+// Shared with the parent because immutable after Generate: the tier
+// membership slices, the ground-truth relationship map Rels, and the
+// prefix origin/name tables. The Weird map and QuirksReverted counter
+// are copied — a revert on a clone never shows on the parent.
+//
+// A clone cannot generate (its rng is nil); it exists to Run. The parent
+// must be quiescent — not mid-RunAll — while clones are taken; several
+// goroutines may clone the same quiescent Internet concurrently.
+func (in *Internet) Clone() *Internet {
+	c := &Internet{
+		Cfg:            in.Cfg,
+		RS:             in.RS.Clone(),
+		Tier1:          in.Tier1,
+		Tier2:          in.Tier2,
+		Tier3:          in.Tier3,
+		Stubs:          in.Stubs,
+		Rels:           in.Rels,
+		Weird:          make(map[bgp.PrefixID]string, len(in.Weird)),
+		QuirksReverted: in.QuirksReverted,
+		prefixOrigin:   in.prefixOrigin,
+		prefixName:     in.prefixName,
+		prefixByName:   in.prefixByName,
+		policies:       make(map[sessKey]*sessPolicy, len(in.policies)),
+		quirkUndo:      make(map[bgp.PrefixID][]quirkUndoRec, len(in.quirkUndo)),
+	}
+	for k, v := range in.Weird {
+		c.Weird[k] = v
+	}
+	for k, sp := range in.policies {
+		c.policies[k] = sp.clone()
+	}
+	for p, recs := range in.quirkUndo {
+		c.quirkUndo[p] = append([]quirkUndoRec(nil), recs...)
+	}
+	// sim.Network.Clone shared the parent's hook closures; re-bind them to
+	// the clone's own policy objects so per-prefix overrides (and their
+	// reverts) stay private to this copy.
+	c.bindPolicyHooks()
+	c.vps = make([]routersim.VantagePoint, len(in.vps))
+	for i, vp := range in.vps {
+		c.vps[i] = routersim.VantagePoint{ID: vp.ID, Router: c.RS.Net.Router(vp.Router.ID)}
+	}
+	mGenClones.Inc()
+	return c
+}

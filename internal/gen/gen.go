@@ -21,7 +21,10 @@
 //
 // Each AS originates exactly one prefix (§4.1). The generator runs the
 // ground-truth simulation per prefix and records what every vantage point
-// sees, yielding a dataset in the same shape as parsed MRT dumps.
+// sees, yielding a dataset in the same shape as parsed MRT dumps. RunAll
+// does this sequentially; RunAllParallel fans the prefixes across a pool
+// of Internet clones and merges deterministically, producing the same
+// dataset byte for byte at any worker count (see DESIGN.md §7).
 package gen
 
 import (
@@ -162,8 +165,8 @@ type Internet struct {
 	prefixName   []string
 	prefixByName map[string]bgp.PrefixID
 	policies     map[sessKey]*sessPolicy
-	quirkUndo    map[bgp.PrefixID][]func()
-	rng          *rand.Rand
+	quirkUndo    map[bgp.PrefixID][]quirkUndoRec
+	rng          *rand.Rand // nil on clones; only Generate draws from it
 }
 
 type sessKey struct {
@@ -177,6 +180,28 @@ type sessPolicy struct {
 	lpOverride  map[bgp.PrefixID]uint32
 	expDeny     map[bgp.PrefixID]bool
 	leak        map[bgp.PrefixID]bool
+}
+
+// clone returns an independent copy of the policy state (the per-prefix
+// override maps are what weird-policy reverts mutate mid-RunAll).
+func (sp *sessPolicy) clone() *sessPolicy {
+	c := &sessPolicy{
+		baseLP:      sp.baseLP,
+		relToRemote: sp.relToRemote,
+		lpOverride:  make(map[bgp.PrefixID]uint32, len(sp.lpOverride)),
+		expDeny:     make(map[bgp.PrefixID]bool, len(sp.expDeny)),
+		leak:        make(map[bgp.PrefixID]bool, len(sp.leak)),
+	}
+	for k, v := range sp.lpOverride {
+		c.lpOverride[k] = v
+	}
+	for k, v := range sp.expDeny {
+		c.expDeny[k] = v
+	}
+	for k, v := range sp.leak {
+		c.leak[k] = v
+	}
+	return c
 }
 
 // RelOf returns the ground-truth relationship of a toward b.
@@ -239,7 +264,7 @@ func Generate(cfg Config) (*Internet, error) {
 		Rels:      make(map[topology.Edge]relation.Rel),
 		Weird:     make(map[bgp.PrefixID]string),
 		policies:  make(map[sessKey]*sessPolicy),
-		quirkUndo: make(map[bgp.PrefixID][]func()),
+		quirkUndo: make(map[bgp.PrefixID][]quirkUndoRec),
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if err := in.buildTopology(); err != nil {
@@ -451,8 +476,9 @@ func pickDistinct(rng *rand.Rand, pool []bgp.ASN, n int) []bgp.ASN {
 	return out
 }
 
-// installPolicies attaches relationship-based import/export hooks to every
-// eBGP session, with per-prefix override maps for weird policies.
+// installPolicies builds the relationship-based per-session policy state
+// for every eBGP session (with per-prefix override maps for weird
+// policies) and binds the sim hooks to it.
 func (in *Internet) installPolicies() {
 	for _, r := range in.RS.Net.Routers() {
 		for _, p := range r.Peers() {
@@ -460,14 +486,33 @@ func (in *Internet) installPolicies() {
 				continue
 			}
 			relToRemote := in.RelOf(p.Local.AS, p.Remote.AS)
-			sp := &sessPolicy{
+			in.policies[sessKey{p.Local.ID, p.Remote.ID}] = &sessPolicy{
 				baseLP:      relation.LocalPrefFor(relToRemote),
 				relToRemote: relToRemote,
 				lpOverride:  make(map[bgp.PrefixID]uint32),
 				expDeny:     make(map[bgp.PrefixID]bool),
 				leak:        make(map[bgp.PrefixID]bool),
 			}
-			in.policies[sessKey{p.Local.ID, p.Remote.ID}] = sp
+		}
+	}
+	in.bindPolicyHooks()
+}
+
+// bindPolicyHooks (re-)installs the import/export hooks of every eBGP
+// session so they close over THIS Internet's sessPolicy objects. Clone
+// depends on the re-binding: sim.Network.Clone shares hook references, so
+// without it a clone's routers would keep consulting — and the quirk
+// machinery mutating — the parent's per-prefix override maps.
+func (in *Internet) bindPolicyHooks() {
+	for _, r := range in.RS.Net.Routers() {
+		for _, p := range r.Peers() {
+			if !p.EBGP {
+				continue
+			}
+			sp := in.policies[sessKey{p.Local.ID, p.Remote.ID}]
+			if sp == nil {
+				continue
+			}
 			p.ImportHook = func(rt *bgp.Route) bool {
 				if lp, ok := sp.lpOverride[rt.Prefix]; ok {
 					rt.LocalPref = lp

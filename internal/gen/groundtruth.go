@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -58,18 +59,22 @@ func (in *Internet) installWeirdPolicies() {
 	}
 }
 
+// sessRef pairs a session policy with its stable key. Quirk tweaks hold
+// the key, not the policy pointer, so the undo records below stay valid
+// across Internet.Clone (each clone resolves the key in its own table).
+type sessRef struct {
+	key sessKey
+	sp  *sessPolicy
+}
+
 // sessionsOf returns the eBGP session policies of an AS toward neighbors
 // with the given relationship, deterministically ordered.
-func (in *Internet) sessionsOf(asn bgp.ASN, rel relation.Rel) []*sessPolicy {
+func (in *Internet) sessionsOf(asn bgp.ASN, rel relation.Rel) []sessRef {
 	a := in.RS.AS(asn)
 	if a == nil {
 		return nil
 	}
-	type keyed struct {
-		k  sessKey
-		sp *sessPolicy
-	}
-	var out []keyed
+	var out []sessRef
 	for _, r := range a.Routers {
 		for _, p := range r.Peers() {
 			if !p.EBGP {
@@ -77,21 +82,67 @@ func (in *Internet) sessionsOf(asn bgp.ASN, rel relation.Rel) []*sessPolicy {
 			}
 			k := sessKey{p.Local.ID, p.Remote.ID}
 			if sp := in.policies[k]; sp != nil && sp.relToRemote == rel {
-				out = append(out, keyed{k, sp})
+				out = append(out, sessRef{k, sp})
 			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].k.local != out[j].k.local {
-			return out[i].k.local < out[j].k.local
+		if out[i].key.local != out[j].key.local {
+			return out[i].key.local < out[j].key.local
 		}
-		return out[i].k.remote < out[j].k.remote
+		return out[i].key.remote < out[j].key.remote
 	})
-	sps := make([]*sessPolicy, len(out))
-	for i, o := range out {
-		sps[i] = o.sp
+	return out
+}
+
+// quirkUndoRec is one recorded weird-policy tweak in undoable form: which
+// per-prefix override map of which session to clear. Undo state is plain
+// data rather than closures so that (a) Internet.Clone can rebind the
+// records to the clone's own policy table and (b) a revert decided on a
+// worker's clone can be replayed verbatim on the canonical Internet — the
+// determinism rule behind parallel RunAll (DESIGN.md §7).
+type quirkUndoRec struct {
+	kind undoKind
+	key  sessKey
+}
+
+type undoKind uint8
+
+const (
+	undoLPOverride undoKind = iota // clear sessPolicy.lpOverride[prefix]
+	undoExpDeny                    // clear sessPolicy.expDeny[prefix]
+	undoLeak                       // clear sessPolicy.leak[prefix]
+)
+
+// revertQuirks rolls back every weird-policy tweak recorded for the
+// prefix and updates the Weird/QuirksReverted bookkeeping, reporting
+// whether there was anything to revert. RunAll calls it when a quirk
+// makes BGP diverge; the parallel path replays it on the canonical
+// Internet in prefix order so sequential and parallel runs leave
+// identical state.
+func (in *Internet) revertQuirks(prefix bgp.PrefixID) bool {
+	recs := in.quirkUndo[prefix]
+	if len(recs) == 0 {
+		return false
 	}
-	return sps
+	for _, rec := range recs {
+		sp := in.policies[rec.key]
+		if sp == nil {
+			continue
+		}
+		switch rec.kind {
+		case undoLPOverride:
+			delete(sp.lpOverride, prefix)
+		case undoExpDeny:
+			delete(sp.expDeny, prefix)
+		case undoLeak:
+			delete(sp.leak, prefix)
+		}
+	}
+	delete(in.quirkUndo, prefix)
+	delete(in.Weird, prefix)
+	in.QuirksReverted++
+	return true
 }
 
 // quirkPreferProvider makes asn prefer provider-learned routes for the
@@ -101,10 +152,9 @@ func (in *Internet) quirkPreferProvider(prefix bgp.PrefixID, asn bgp.ASN) bool {
 	if len(provSessions) == 0 {
 		return false
 	}
-	for _, sp := range provSessions {
-		sp := sp
-		sp.lpOverride[prefix] = relation.LPCustomer + 10
-		in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.lpOverride, prefix) })
+	for _, s := range provSessions {
+		s.sp.lpOverride[prefix] = relation.LPCustomer + 10
+		in.quirkUndo[prefix] = append(in.quirkUndo[prefix], quirkUndoRec{undoLPOverride, s.key})
 	}
 	return true
 }
@@ -118,24 +168,24 @@ func (in *Internet) quirkSelectiveExport(prefix bgp.PrefixID) bool {
 	if len(provSessions) < 2 {
 		return false
 	}
-	sp := provSessions[in.rng.Intn(len(provSessions))]
-	sp.expDeny[prefix] = true
-	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.expDeny, prefix) })
+	s := provSessions[in.rng.Intn(len(provSessions))]
+	s.sp.expDeny[prefix] = true
+	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], quirkUndoRec{undoExpDeny, s.key})
 	return true
 }
 
 // quirkLeak makes asn export the prefix to providers/peers even when it
 // was not learned from a customer (a controlled route leak).
 func (in *Internet) quirkLeak(prefix bgp.PrefixID, asn bgp.ASN) bool {
-	var sessions []*sessPolicy
+	var sessions []sessRef
 	sessions = append(sessions, in.sessionsOf(asn, relation.Customer)...) // toward providers
 	sessions = append(sessions, in.sessionsOf(asn, relation.Peer)...)
 	if len(sessions) == 0 {
 		return false
 	}
-	sp := sessions[in.rng.Intn(len(sessions))]
-	sp.leak[prefix] = true
-	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], func() { delete(sp.leak, prefix) })
+	s := sessions[in.rng.Intn(len(sessions))]
+	s.sp.leak[prefix] = true
+	in.quirkUndo[prefix] = append(in.quirkUndo[prefix], quirkUndoRec{undoLeak, s.key})
 	return true
 }
 
@@ -171,42 +221,48 @@ func shuffled(rng *rand.Rand, s []bgp.ASN) []bgp.ASN {
 	return out
 }
 
-// RunAll simulates every prefix and returns the ground-truth dataset of
-// vantage-point observations. Weird policies that cause divergence are
-// reverted (and counted) so the returned routing is always a stable one.
+// RunAll simulates every prefix on the canonical network, one at a time,
+// and returns the ground-truth dataset of vantage-point observations (one
+// record per vantage point per reachable prefix, in prefix order). Weird
+// policies that cause divergence are reverted and counted in
+// QuirksReverted so the returned routing is always a stable one.
+// RunAllParallel produces a byte-identical dataset on a worker pool.
 func (in *Internet) RunAll() (*dataset.Dataset, error) {
+	defer obsGenRun()()
 	ds := &dataset.Dataset{}
 	for pi := range in.prefixOrigin {
 		prefix := bgp.PrefixID(pi)
-		err := in.RS.RunPrefix(prefix, in.prefixOrigin[pi])
-		if errors.Is(err, sim.ErrDiverged) && len(in.quirkUndo[prefix]) > 0 {
-			for _, undo := range in.quirkUndo[prefix] {
-				undo()
-			}
-			delete(in.quirkUndo, prefix)
-			delete(in.Weird, prefix)
-			in.QuirksReverted++
-			err = in.RS.RunPrefix(prefix, in.prefixOrigin[pi])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("gen: prefix %s: %w", in.PrefixName(prefix), err)
+		if _, err := in.runPrefixRevertible(context.Background(), prefix); err != nil {
+			return nil, err
 		}
 		routersim.Observe(ds, in.PrefixName(prefix), CollectionTime-7200, in.vps)
 	}
 	return ds, nil
 }
 
-// RunOne re-simulates a single prefix in the ground truth (used by
-// what-if comparisons after topology edits).
-func (in *Internet) RunOne(prefix bgp.PrefixID) error {
-	return in.RS.RunPrefix(prefix, in.prefixOrigin[prefix])
+// runPrefixRevertible simulates one prefix, reverting its weird-policy
+// tweaks and retrying once if they made BGP diverge. It reports whether a
+// revert happened — the parallel path uses that to replay the revert on
+// the canonical Internet.
+func (in *Internet) runPrefixRevertible(ctx context.Context, prefix bgp.PrefixID) (reverted bool, err error) {
+	err = in.RS.RunPrefixContext(ctx, prefix, in.prefixOrigin[prefix])
+	if errors.Is(err, sim.ErrDiverged) && in.revertQuirks(prefix) {
+		reverted = true
+		err = in.RS.RunPrefixContext(ctx, prefix, in.prefixOrigin[prefix])
+	}
+	if err != nil {
+		return reverted, fmt.Errorf("gen: prefix %s: %w", in.PrefixName(prefix), err)
+	}
+	return reverted, nil
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+// RunOne re-simulates a single prefix in the ground truth on the
+// canonical network, leaving the converged state in place for inspection
+// with ObservedPathSet (used by what-if comparisons after topology
+// edits). Previous per-prefix run state is discarded, so RunOne behaves
+// identically whether the preceding RunAll was sequential or parallel.
+func (in *Internet) RunOne(prefix bgp.PrefixID) error {
+	return in.RS.RunPrefix(prefix, in.prefixOrigin[prefix])
 }
 
 // DisableASLink administratively disables every eBGP session between two

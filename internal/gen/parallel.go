@@ -1,0 +1,177 @@
+package gen
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/obs"
+	"asmodel/internal/routersim"
+)
+
+// Ground-truth generation metrics. Per-prefix simulation work is counted
+// by the sim/routersim layers (on each worker's own clone); these cover
+// the generation-level workload and the pool bookkeeping.
+var (
+	mGenRuns    = obs.GetCounter("gen_runs_total", "full ground-truth generation runs (RunAll / RunAllParallel)")
+	mGenClones  = obs.GetCounter("gen_clones_total", "ground-truth Internet clones built for RunAll worker pools")
+	mGenWorkers = obs.GetGauge("gen_parallel_workers", "worker count of the most recent ground-truth generation")
+	mGenRunTime = obs.GetHistogram("gen_run_seconds", "wall time of a full ground-truth generation",
+		obs.ExpBuckets(1e-2, 4, 12))
+	mGenPerWkr = obs.GetHistogram("gen_worker_prefixes", "prefixes simulated per worker per parallel RunAll",
+		obs.ExpBuckets(1, 4, 10))
+)
+
+// obsGenRun stamps one generation run on the metrics above; call the
+// returned func when the run finishes.
+func obsGenRun() func() {
+	mGenRuns.Inc()
+	start := time.Now()
+	return func() { mGenRunTime.ObserveDuration(time.Since(start)) }
+}
+
+// DefaultWorkers is the pool size RunAllParallel uses when the caller
+// passes 0: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// prefixShard is one prefix's contribution to a parallel generation,
+// produced by a worker on its private clone and merged in prefix order by
+// the coordinator.
+type prefixShard struct {
+	records  []dataset.Record
+	reverted bool // the prefix's weird policy diverged and was rolled back
+	err      error
+}
+
+// RunAllParallel is RunAll fanned out over a worker pool: each worker
+// gets its own deep copy of the Internet (Clone), pulls prefixes from an
+// atomic cursor, simulates them on its clone and records what the
+// clone's vantage points see into a private shard. Shards are merged in
+// prefix order, so the returned dataset is byte-identical to the
+// sequential RunAll for any worker count.
+//
+// Divergence handling is preserved: a prefix whose weird-policy quirk
+// makes BGP diverge is reverted on the worker's clone and re-run there,
+// and the revert is replayed on the canonical Internet during the merge
+// — in prefix order — so Weird, QuirksReverted and the session policies
+// end up exactly as a sequential run leaves them. The canonical network
+// finishes converged on the last prefix, again matching the sequential
+// run, so later RunOne / DisableASLink what-ifs behave identically.
+//
+// workers <= 0 selects DefaultWorkers(); workers == 1 (or a single-prefix
+// Internet) falls back to the sequential path. A canceled context aborts
+// the run with an error wrapping ctx.Err(). On any failure the canonical
+// Internet's bookkeeping is left untouched.
+func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.Dataset, error) {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	n := len(in.prefixOrigin)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("gen: ground-truth generation not started: %w", err)
+		}
+		return in.RunAll()
+	}
+	defer obsGenRun()()
+	mGenWorkers.Set(int64(workers))
+
+	results := make([]prefixShard, n)
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clone := in.Clone()
+			processed := 0
+			defer func() { mGenPerWkr.ObserveInt(processed) }()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || wctx.Err() != nil {
+					return
+				}
+				r := &results[i]
+				// One prefix per closure invocation so a recovered panic is
+				// attributed to the prefix that raised it and stops only
+				// this worker — wg.Wait never deadlocks.
+				stop := func() (stop bool) {
+					defer func() {
+						if p := recover(); p != nil {
+							r.err = fmt.Errorf("gen: worker panic on prefix %s: %v\n%s",
+								in.prefixName[i], p, debug.Stack())
+							cancel()
+							stop = true
+						}
+					}()
+					reverted, err := clone.runPrefixRevertible(wctx, bgp.PrefixID(i))
+					if err != nil {
+						if wctx.Err() != nil {
+							return true // interrupted, not failed
+						}
+						r.err = err
+						cancel() // no point finishing the sweep
+						return true
+					}
+					var shard dataset.Dataset
+					routersim.Observe(&shard, clone.PrefixName(bgp.PrefixID(i)), CollectionTime-7200, clone.vps)
+					r.records = shard.Records
+					r.reverted = reverted
+					processed++
+					return false
+				}()
+				if stop {
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Worker errors win over the interrupt so a genuine failure is never
+	// masked by the cancel() it triggered; scanning in prefix order makes
+	// the reported error match the sequential run's.
+	for i := range results {
+		if err := results[i].err; err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("gen: ground-truth generation interrupted: %w", err)
+	}
+
+	// Merge in prefix order: replay worker-side reverts on the canonical
+	// Internet (identical bookkeeping to sequential), then concatenate the
+	// shards (identical record order).
+	total := 0
+	for i := range results {
+		total += len(results[i].records)
+	}
+	ds := &dataset.Dataset{Records: make([]dataset.Record, 0, total)}
+	for i := range results {
+		if results[i].reverted {
+			in.revertQuirks(bgp.PrefixID(i))
+		}
+		ds.Records = append(ds.Records, results[i].records...)
+	}
+
+	// Leave the canonical network converged on the last prefix, exactly
+	// where a sequential RunAll stops (all reverts are applied by now, so
+	// this re-run cannot diverge unless the sequential run would have).
+	last := bgp.PrefixID(n - 1)
+	if err := in.RS.RunPrefix(last, in.prefixOrigin[last]); err != nil {
+		return nil, fmt.Errorf("gen: prefix %s: %w", in.PrefixName(last), err)
+	}
+	return ds, nil
+}

@@ -1,0 +1,52 @@
+package routersim
+
+import (
+	"asmodel/internal/bgp"
+	"asmodel/internal/obs"
+	"asmodel/internal/sim"
+)
+
+var mClones = obs.GetCounter("routersim_clones_total", "router-level Internet clones built (parallel ground-truth workers)")
+
+// Clone returns a deep copy of the router-level Internet: the underlying
+// sim network (routers, iBGP meshes, eBGP sessions, per-session policies
+// and flags) is cloned via sim.Network.Clone, and the AS table is rebuilt
+// against the cloned routers. The per-AS all-pairs IGP distance matrices
+// are shared, not copied: they are immutable after Finalize and the
+// hot-potato tie-break only reads them, so every clone can consult the
+// same matrices concurrently. The IGP-cost callback is re-bound to the
+// clone's own AS table (reading the shared matrices), so a clone is fully
+// self-contained: running prefixes, disabling sessions or editing
+// per-session policies on it never touches the parent.
+//
+// Like sim.Network.Clone, per-prefix run state is not copied — a clone
+// starts quiescent — and hook functions on sessions are shared by
+// reference (package gen re-binds them to per-clone policy state; see
+// gen.Internet.Clone). Clone must be called on a finalized Internet that
+// is not mid-RunPrefix; several goroutines may clone the same quiescent
+// Internet concurrently.
+func (in *Internet) Clone() *Internet {
+	c := &Internet{
+		Net:       in.Net.Clone(),
+		ases:      make(map[bgp.ASN]*AS, len(in.ases)),
+		finalized: in.finalized,
+	}
+	for asn, a := range in.ases {
+		ca := &AS{
+			ASN:            a.ASN,
+			RouteReflector: a.RouteReflector,
+			Routers:        make([]*sim.Router, len(a.Routers)),
+			igpGraph:       a.igpGraph, // read-only after Finalize
+			dist:           a.dist,     // immutable, shared across clones
+		}
+		for i, r := range a.Routers {
+			ca.Routers[i] = c.Net.Router(r.ID)
+		}
+		c.ases[asn] = ca
+	}
+	if in.finalized {
+		c.installIGPCost()
+	}
+	mClones.Inc()
+	return c
+}

@@ -9,6 +9,7 @@
 package routersim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -167,7 +168,9 @@ func (in *Internet) ConnectAS(a bgp.ASN, ia int, b bgp.ASN, ib int) (*sim.Peer, 
 // Finalize computes all-pairs IGP distances for every AS and installs the
 // IGP-cost callback on the network. Call after the topology is complete
 // and before RunPrefix. Disconnected IGP pairs get a large finite cost so
-// hot-potato comparison still works deterministically.
+// hot-potato comparison still works deterministically. After Finalize the
+// per-AS distance matrices are immutable; Clone relies on that to share
+// them across copies.
 func (in *Internet) Finalize() {
 	for _, a := range in.ases {
 		a.dist = a.igpGraph.AllPairs()
@@ -179,6 +182,13 @@ func (in *Internet) Finalize() {
 			}
 		}
 	}
+	in.installIGPCost()
+	in.finalized = true
+}
+
+// installIGPCost binds the network's IGP-cost callback to this Internet's
+// AS table (hot-potato tie-breaks read the per-AS distance matrices).
+func (in *Internet) installIGPCost() {
 	in.Net.IGPCost = func(from, to bgp.RouterID) uint32 {
 		if from.AS() != to.AS() {
 			return 0
@@ -193,13 +203,20 @@ func (in *Internet) Finalize() {
 		}
 		return a.dist[i][j]
 	}
-	in.finalized = true
 }
 
 // RunPrefix propagates one prefix originated by every router of the origin
 // AS (the usual "network statement on each border router" setup) and
 // leaves the converged state in the network for inspection.
 func (in *Internet) RunPrefix(prefix bgp.PrefixID, origin bgp.ASN) error {
+	return in.RunPrefixContext(context.Background(), prefix, origin)
+}
+
+// RunPrefixContext is RunPrefix with cancellation: a canceled context
+// aborts the propagation mid-run (see sim.Network.RunContext). The
+// parallel ground-truth generator uses it so a failing worker can stop
+// its siblings promptly.
+func (in *Internet) RunPrefixContext(ctx context.Context, prefix bgp.PrefixID, origin bgp.ASN) error {
 	if !in.finalized {
 		return fmt.Errorf("routersim: Finalize must be called before RunPrefix")
 	}
@@ -212,7 +229,7 @@ func (in *Internet) RunPrefix(prefix bgp.PrefixID, origin bgp.ASN) error {
 		ids[i] = r.ID
 	}
 	mRuns.Inc()
-	return in.Net.Run(prefix, ids)
+	return in.Net.RunContext(ctx, prefix, ids)
 }
 
 // VantagePoint is one BGP feed: a specific router whose post-convergence
