@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-json bench-gen fuzz-smoke
+.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-check fuzz-smoke
 
 all: check
 
@@ -31,16 +31,28 @@ fuzz-smoke:
 	$(GO) test ./internal/lg -fuzz '^FuzzLGParse$$' -fuzztime $(FUZZTIME) -run '^$$'
 	$(GO) test ./internal/model -fuzz '^FuzzModelLoad$$' -fuzztime $(FUZZTIME) -run '^$$'
 
-bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
-
 # Sequential-vs-parallel timings plus determinism checks; writes
-# BENCH_parallel.json (evaluate/refine) and BENCH_gen.json (ground-truth
-# generation), both checked in; regenerate after engine changes.
-bench-json:
+# schema-versioned BENCH_parallel.json (evaluate/refine) and
+# BENCH_gen.json (ground-truth generation) with host metadata and
+# per-worker utilization, both checked in; regenerate after engine
+# changes and keep baselines/ in step (see bench-check).
+bench:
 	$(GO) run ./cmd/parbench -out BENCH_parallel.json -gen-out BENCH_gen.json
+
+bench-json: bench
+
+# Go microbenchmarks (testing.B) at the repo root.
+bench-go:
+	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # Fast smoke of the generation benchmark: one repetition, exits non-zero
 # if any worker count produces a dataset that differs from sequential.
 bench-gen:
 	$(GO) run ./cmd/parbench -mode gen -reps 1 -gen-out BENCH_gen.json
+
+# Perf-regression gate: validate the BENCH reports against the
+# checked-in baselines (generous single-core tolerances — this catches
+# order-of-magnitude regressions and broken determinism flags).
+bench-check:
+	$(GO) run ./cmd/obsreport check BENCH_parallel.json baselines/BENCH_parallel.baseline.json
+	$(GO) run ./cmd/obsreport check BENCH_gen.json baselines/BENCH_gen.baseline.json

@@ -167,21 +167,81 @@ func ingestFlags(fs *flag.FlagSet) func() ingest.Options {
 	}
 }
 
-func loadDataset(path string, opts ingest.Options) (*dataset.Dataset, error) {
+// cmdObs is one invocation's observability bundle: the span recorder
+// feeding stage accounting (and, for refine's -trace, the trace sink)
+// plus the -report run report. The zero state (no -report, no sink) is
+// inert: rec is nil, so every span started under the context is the
+// nil no-op span.
+type cmdObs struct {
+	report *obs.RunReport
+	rec    *obs.SpanRecorder
+	path   string
+}
+
+// newCmdObs builds the bundle and returns a context carrying the root
+// span. sink may be nil (spans are still collected for the report);
+// reportPath may be "" (spans are only emitted to the sink).
+func newCmdObs(ctx context.Context, command string, args []string, reportPath string, sink *obs.TraceSink, opts obs.SpanOptions) (context.Context, *cmdObs) {
+	co := &cmdObs{path: reportPath}
+	if reportPath == "" && sink == nil {
+		return ctx, co
+	}
+	co.rec = obs.NewSpanRecorder(sink, command, opts)
+	ctx = obs.ContextWithSpan(ctx, co.rec.Root())
+	if reportPath != "" {
+		co.report = obs.NewRunReport(command, args)
+	}
+	return ctx, co
+}
+
+// section attaches a command-specific payload to the report, if any.
+func (co *cmdObs) section(name string, v interface{}) {
+	if co.report != nil {
+		co.report.AddSection(name, v)
+	}
+}
+
+// finish emits the span tree to the sink and writes the run report.
+func (co *cmdObs) finish() error {
+	if co.rec == nil {
+		return nil
+	}
+	err := co.rec.Finish()
+	if co.report != nil {
+		co.report.Finish(co.rec, obs.Default())
+		if werr := co.report.WriteFile(co.path); werr != nil {
+			if err == nil {
+				err = fmt.Errorf("writing run report %s: %w", co.path, werr)
+			}
+		} else {
+			fmt.Printf("run report written to %s\n", co.path)
+		}
+	}
+	return err
+}
+
+// loadDataset reads and normalizes a dataset under an "ingest" span,
+// returning the ingest report for the -report sections.
+func loadDataset(ctx context.Context, path string, opts ingest.Options) (*dataset.Dataset, *ingest.Report, error) {
+	_, span := obs.StartSpan(ctx, "ingest", obs.A("source", path))
+	defer span.End()
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer f.Close()
 	ds, rep, err := dataset.ReadReport(f, opts)
-	if rep != nil && rep.Skipped > 0 {
+	if rep != nil {
 		rep.Source = path
-		fmt.Fprintf(os.Stderr, "asmodel: %s\n", rep)
+		if rep.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "asmodel: %s\n", rep)
+		}
+		span.Set(obs.A("records", rep.Records), obs.A("skipped", rep.Skipped))
 	}
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	return ds.Normalize(), nil
+	return ds.Normalize(), rep, nil
 }
 
 func parseASList(s string) ([]bgp.ASN, error) {
@@ -200,10 +260,10 @@ func parseASList(s string) ([]bgp.ASN, error) {
 }
 
 func cmdStats(ctx context.Context, args []string) error {
-	_ = ctx // stats runs no simulation; nothing long enough to cancel
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	in := fs.String("in", "", "dataset file")
 	tier1 := fs.String("tier1", "", "comma-separated tier-1 seed ASes")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -218,14 +278,19 @@ func cmdStats(ctx context.Context, args []string) error {
 	if len(seeds) == 0 {
 		return usagef("stats: -tier1 seeds are required (e.g. -tier1 10,11)")
 	}
-	ds, err := loadDataset(*in, iopts())
+	ctx, co := newCmdObs(ctx, "asmodel stats", args, *report, nil, obs.SpanOptions{})
+	ds, rep, err := loadDataset(ctx, *in, iopts())
 	if err != nil {
 		return err
 	}
+	co.section("ingest", rep)
+	_, tspan := obs.StartSpan(ctx, "stats")
 	st, err := topology.ComputeStats(ds, seeds)
+	tspan.End()
 	if err != nil {
 		return err
 	}
+	co.section("stats", st)
 	tb := stats.NewTable("quantity", "value")
 	tb.AddRow("records", fmt.Sprintf("%d", ds.Len()))
 	tb.AddRow("observation points", fmt.Sprintf("%d", len(ds.ObsPoints())))
@@ -241,7 +306,7 @@ func cmdStats(ctx context.Context, args []string) error {
 	tb.AddRow("ASes after stub pruning", fmt.Sprintf("%d", st.PrunedASes))
 	tb.AddRow("edges after stub pruning", fmt.Sprintf("%d", st.PrunedEdges))
 	fmt.Print(tb.String())
-	return nil
+	return co.finish()
 }
 
 func cmdRefine(ctx context.Context, args []string) error {
@@ -252,7 +317,10 @@ func cmdRefine(ctx context.Context, args []string) error {
 	byOrigin := fs.Bool("by-origin", false, "split by originating AS instead of observation point")
 	verbose := fs.Bool("v", false, "log refinement progress")
 	save := fs.String("save", "", "write the refined model to this file")
-	tracePath := fs.String("trace", "", "write per-iteration refinement trace events (JSONL) to this file")
+	tracePath := fs.String("trace", "", "write per-iteration refinement trace events and pipeline spans (JSONL) to this file")
+	redactTiming := fs.Bool("trace-redact-timing", false, "omit wall-clock fields and scheduling-dependent attributes from emitted spans, so identical runs yield byte-identical traces")
+	spanSample := fs.Int("span-sample", 0, "emit a span for every Nth prefix of generate/evaluate sweeps (0 = no per-prefix spans)")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	checkpoint := fs.String("checkpoint", "", "write a crash-safe refinement checkpoint to this file (atomic rename; also on SIGINT/SIGTERM)")
 	ckptEvery := fs.Int("checkpoint-every", model.DefaultCheckpointEvery, "iterations between checkpoints (with -checkpoint)")
@@ -279,10 +347,28 @@ func cmdRefine(ctx context.Context, args []string) error {
 			return err
 		}
 	}
-	ds, err := loadDataset(*in, iopts())
+	var sink *obs.TraceSink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		// Transient write errors on the trace file are retried with
+		// bounded backoff instead of poisoning the sink; Close flushes
+		// and closes the file through the RetryWriter.
+		sink = obs.NewTraceSink(durable.NewRetryWriter(f, durable.Policy{}))
+		defer sink.Close()
+	}
+	ctx, co := newCmdObs(ctx, "asmodel refine", args, *report, sink,
+		obs.SpanOptions{RedactTiming: *redactTiming, PrefixSample: *spanSample})
+	if co.report != nil {
+		co.report.Seed = *seed
+	}
+	ds, rep, err := loadDataset(ctx, *in, iopts())
 	if err != nil {
 		return err
 	}
+	co.section("ingest", rep)
 	var train, valid *dataset.Dataset
 	if *byOrigin {
 		train, valid = ds.SplitByOrigin(*trainFrac, *seed)
@@ -298,16 +384,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		}
 	}
-	var sink *obs.TraceSink
-	if *tracePath != "" {
-		f, err := os.Create(*tracePath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		// Transient write errors on the trace file are retried with
-		// bounded backoff instead of poisoning the sink.
-		sink = obs.NewTraceSink(durable.NewRetryWriter(f, durable.Policy{}))
+	if sink != nil {
 		cfg.Observer = func(ev model.RefineEvent) {
 			sink.Emit(ev)
 			if ev.Type == "checkpoint" {
@@ -336,11 +413,9 @@ func cmdRefine(ctx context.Context, args []string) error {
 		}
 		res, err = m.RefineContext(ctx, train, cfg)
 	}
-	if sink != nil {
-		if ferr := sink.Flush(); ferr != nil && err == nil {
+	if sink != nil && err == nil {
+		if ferr := sink.Err(); ferr != nil {
 			err = fmt.Errorf("refine: writing trace %s: %w", *tracePath, ferr)
-		} else {
-			fmt.Printf("trace: %d events written to %s\n", sink.Count(), *tracePath)
 		}
 	}
 	if err != nil {
@@ -348,6 +423,7 @@ func cmdRefine(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("refinement: iterations=%d converged=%v quasi-routers=+%d filters=%d(-%d) med-rules=%d\n",
 		res.Iterations, res.Converged, res.QuasiRoutersAdded, res.FiltersAdded, res.FiltersRemoved, res.MEDRules)
+	co.section("refine", res)
 	if n := len(res.Quarantined); n > 0 {
 		recovered := 0
 		for _, q := range res.Quarantined {
@@ -370,17 +446,37 @@ func cmdRefine(ctx context.Context, args []string) error {
 		}
 		s := ev.Summary
 		fmt.Printf("%-10s %s  down-to-tie-break=%s\n", part.name, s, stats.Pct(s.DownToTieBreak(), s.Total))
+		co.section("evaluation_"+part.name, map[string]interface{}{
+			"summary":          s,
+			"coverage":         ev.Coverage,
+			"skipped_prefixes": ev.SkippedPrefixes,
+			"diverged":         ev.Diverged,
+			"divergences":      ev.Divergences,
+		})
 	}
 	if *save != "" {
+		_, sspan := obs.StartSpan(ctx, "save", obs.A("path", *save))
 		f, err := os.Create(*save)
 		if err != nil {
+			sspan.End()
 			return err
 		}
 		defer f.Close()
 		if err := m.Save(f); err != nil {
+			sspan.End()
 			return err
 		}
+		sspan.End()
 		fmt.Printf("model saved to %s\n", *save)
+	}
+	if err := co.finish(); err != nil {
+		return err
+	}
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return fmt.Errorf("refine: writing trace %s: %w", *tracePath, err)
+		}
+		fmt.Printf("trace: %d events written to %s\n", sink.Count(), *tracePath)
 	}
 	return nil
 }
@@ -412,6 +508,7 @@ func cmdPredict(ctx context.Context, args []string) error {
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "observation AS")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -419,29 +516,35 @@ func cmdPredict(ctx context.Context, args []string) error {
 	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
 		return usagef("predict: -prefix, -as and one of -in/-model are required")
 	}
+	ctx, co := newCmdObs(ctx, "asmodel predict", args, *report, nil, obs.SpanOptions{})
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in, iopts()); err != nil {
+		var rep *ingest.Report
+		if ds, rep, err = loadDataset(ctx, *in, iopts()); err != nil {
 			return err
 		}
+		co.section("ingest", rep)
 	}
 	m, err := loadOrRefine(ctx, *modelPath, ds)
 	if err != nil {
 		return err
 	}
+	_, pspan := obs.StartSpan(ctx, "predict", obs.A("prefix", *prefix), obs.A("as", *asn))
 	paths, err := m.PredictPaths(*prefix, bgp.ASN(*asn))
+	pspan.End()
 	if err != nil {
 		return err
 	}
+	co.section("predict", map[string]interface{}{"prefix": *prefix, "as": *asn, "paths": len(paths)})
 	if len(paths) == 0 {
 		fmt.Printf("AS %d selects no route for %s\n", *asn, *prefix)
-		return nil
+		return co.finish()
 	}
 	for _, p := range paths {
 		fmt.Println(p)
 	}
-	return nil
+	return co.finish()
 }
 
 func cmdWhatif(ctx context.Context, args []string) error {
@@ -452,6 +555,7 @@ func cmdWhatif(ctx context.Context, args []string) error {
 	b := fs.Uint64("b", 0, "second AS of the removed link")
 	watch := fs.String("watch", "", "comma-separated ASes whose routes to compare")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -459,12 +563,15 @@ func cmdWhatif(ctx context.Context, args []string) error {
 	if *in == "" && *modelPath == "" || *prefix == "" || *a == 0 || *b == 0 {
 		return usagef("whatif: -prefix, -a, -b and one of -in/-model are required")
 	}
+	ctx, co := newCmdObs(ctx, "asmodel whatif", args, *report, nil, obs.SpanOptions{})
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in, iopts()); err != nil {
+		var rep *ingest.Report
+		if ds, rep, err = loadDataset(ctx, *in, iopts()); err != nil {
 			return err
 		}
+		co.section("ingest", rep)
 	}
 	watchASes, err := parseASList(*watch)
 	if err != nil {
@@ -480,23 +587,30 @@ func cmdWhatif(ctx context.Context, args []string) error {
 	if err != nil {
 		return err
 	}
+	_, wspan := obs.StartSpan(ctx, "whatif", obs.A("prefix", *prefix), obs.A("a", *a), obs.A("b", *b))
 	changes, err := m.WhatIfDepeer(*prefix, bgp.ASN(*a), bgp.ASN(*b), watchASes)
+	wspan.End()
 	if err != nil {
 		return err
 	}
 	fmt.Printf("de-peering AS%d -- AS%d, prefix %s:\n", *a, *b, *prefix)
 	anyChange := false
+	changed := 0
 	for _, c := range changes {
 		if !c.Changed() {
 			continue
 		}
 		anyChange = true
+		changed++
 		fmt.Printf("  AS %d: {%s} -> {%s}\n", c.AS, joinPaths(c.Before), joinPaths(c.After))
 	}
 	if !anyChange {
 		fmt.Println("  no watched AS changes its routes")
 	}
-	return nil
+	co.section("whatif", map[string]interface{}{
+		"prefix": *prefix, "a": *a, "b": *b, "watched": len(watchASes), "changed": changed,
+	})
+	return co.finish()
 }
 
 // joinPaths renders a path set as "a b c; d e f".
@@ -514,6 +628,7 @@ func cmdExplain(ctx context.Context, args []string) error {
 	prefix := fs.String("prefix", "", "prefix name")
 	asn := fs.Uint64("as", 0, "AS whose decision to explain")
 	modelPath := fs.String("model", "", "load a saved model instead of refining")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -521,23 +636,28 @@ func cmdExplain(ctx context.Context, args []string) error {
 	if *in == "" && *modelPath == "" || *prefix == "" || *asn == 0 {
 		return usagef("explain: -prefix, -as and one of -in/-model are required")
 	}
+	ctx, co := newCmdObs(ctx, "asmodel explain", args, *report, nil, obs.SpanOptions{})
 	var ds *dataset.Dataset
 	var err error
 	if *in != "" {
-		if ds, err = loadDataset(*in, iopts()); err != nil {
+		var rep *ingest.Report
+		if ds, rep, err = loadDataset(ctx, *in, iopts()); err != nil {
 			return err
 		}
+		co.section("ingest", rep)
 	}
 	m, err := loadOrRefine(ctx, *modelPath, ds)
 	if err != nil {
 		return err
 	}
+	_, espan := obs.StartSpan(ctx, "explain", obs.A("prefix", *prefix), obs.A("as", *asn))
 	ex, err := m.ExplainPath(*prefix, bgp.ASN(*asn))
+	espan.End()
 	if err != nil {
 		return err
 	}
 	fmt.Print(ex.String())
-	return nil
+	return co.finish()
 }
 
 func cmdEvaluate(ctx context.Context, args []string) error {
@@ -545,6 +665,7 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	in := fs.String("in", "", "dataset file to score against")
 	modelPath := fs.String("model", "", "saved model file")
 	workers := fs.Int("workers", model.DefaultWorkers(), "worker-pool size for the evaluation (1 = sequential; same results at any count)")
+	report := fs.String("report", "", "write a schema-versioned JSON run report to this file")
 	iopts := ingestFlags(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
@@ -555,10 +676,12 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	if *workers < 1 {
 		return usagef("evaluate: -workers must be >= 1")
 	}
-	ds, err := loadDataset(*in, iopts())
+	ctx, co := newCmdObs(ctx, "asmodel evaluate", args, *report, nil, obs.SpanOptions{})
+	ds, rep, err := loadDataset(ctx, *in, iopts())
 	if err != nil {
 		return err
 	}
+	co.section("ingest", rep)
 	m, err := loadOrRefine(ctx, *modelPath, nil)
 	if err != nil {
 		return err
@@ -575,5 +698,12 @@ func cmdEvaluate(ctx context.Context, args []string) error {
 	for _, d := range ev.Divergences {
 		fmt.Printf("diverged: %s (%d messages, budget %d)\n", d.Prefix, d.Messages, d.Budget)
 	}
-	return nil
+	co.section("evaluation", map[string]interface{}{
+		"summary":          s,
+		"coverage":         ev.Coverage,
+		"skipped_prefixes": ev.SkippedPrefixes,
+		"diverged":         ev.Diverged,
+		"divergences":      ev.Divergences,
+	})
+	return co.finish()
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"asmodel/internal/bgp"
+	"bytes"
 
 	"context"
 
@@ -298,25 +299,84 @@ func TestCmdRefineDebugAndTrace(t *testing.T) {
 	if len(lines) < 2 {
 		t.Fatalf("trace has %d lines, want at least iteration + done", len(lines))
 	}
-	iterations := 0
+	iterations, spans := 0, 0
+	lastRefine := ""
 	for i, line := range lines {
 		var ev map[string]interface{}
 		if err := json.Unmarshal([]byte(line), &ev); err != nil {
 			t.Fatalf("trace line %d not JSON: %v\n%s", i, err, line)
 		}
-		if ev["type"] == "iteration" {
+		switch ev["type"] {
+		case "iteration":
 			iterations++
 			for _, key := range []string{"rib_out_frac", "potential_frac", "rib_in_frac", "actions"} {
 				if _, ok := ev[key]; !ok {
 					t.Errorf("trace line %d missing %q: %s", i, key, line)
 				}
 			}
+		case "span":
+			spans++
+			for _, key := range []string{"name", "path"} {
+				if _, ok := ev[key]; !ok {
+					t.Errorf("span line %d missing %q: %s", i, key, line)
+				}
+			}
+			continue // spans are appended after the refine events
 		}
+		lastRefine = line
 	}
 	if iterations == 0 {
 		t.Error("trace has no iteration events")
 	}
-	if last := lines[len(lines)-1]; !strings.Contains(last, `"type":"done"`) {
-		t.Errorf("last trace event is not done: %s", last)
+	if !strings.Contains(lastRefine, `"type":"done"`) {
+		t.Errorf("last refine trace event is not done: %s", lastRefine)
+	}
+	// The span tree covers the pipeline stages: the root command span plus
+	// ingest, refine (with per-iteration children) and the evaluations.
+	if spans < 4 {
+		t.Errorf("trace has %d span events, want >= 4 (root, ingest, refine, evaluate)", spans)
+	}
+	for _, path := range []string{`"path":"asmodel refine"`, `"path":"asmodel refine/ingest"`,
+		`"path":"asmodel refine/model.refine"`, `"path":"asmodel refine/model.refine/iteration"`,
+		`"path":"asmodel refine/model.evaluate"`} {
+		if !strings.Contains(string(raw), path) {
+			t.Errorf("trace missing span %s", path)
+		}
+	}
+}
+
+// TestCmdRefineTraceRedactedDeterminism runs the same refinement twice
+// with a parallel worker pool and -trace-redact-timing and requires the
+// two trace files — refine events and the full span tree, per-prefix
+// spans included — to be byte-identical.
+func TestCmdRefineTraceRedactedDeterminism(t *testing.T) {
+	path := writeDataset(t)
+	runOnce := func(name string) []byte {
+		t.Helper()
+		tracePath := filepath.Join(t.TempDir(), name)
+		err := cmdRefine(context.Background(), []string{"-in", path, "-train-frac", "1.0",
+			"-workers", "4", "-span-sample", "1", "-trace-redact-timing", "-trace", tracePath})
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(tracePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	a := runOnce("a.jsonl")
+	b := runOnce("b.jsonl")
+	if !strings.Contains(string(a), `"type":"span"`) {
+		t.Fatal("trace has no span events")
+	}
+	if strings.Contains(string(a), "start_ns") || strings.Contains(string(a), "dur_ns") {
+		t.Fatal("redacted trace contains timing fields")
+	}
+	if strings.Contains(string(a), "busy_seconds") {
+		t.Fatal("redacted trace contains volatile worker attributes")
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("redacted traces differ across identical runs:\n--- a ---\n%s\n--- b ---\n%s", a, b)
 	}
 }

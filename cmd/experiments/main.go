@@ -30,6 +30,7 @@ func main() {
 	scale := flag.Int("scale", 1, "topology scale multiplier")
 	only := flag.String("only", "", "comma-separated subset: stats,figure2,table1,table2,pipeline,unseen,combined,figure3,multiprefix,iterations,whatif,ablations")
 	jsonPath := flag.String("json", "", "write headline numbers as JSON to this file")
+	reportPath := flag.String("report", "", "write a schema-versioned JSON run report (per-section timing + metric snapshot) to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address while running")
 	workers := flag.Int("workers", model.DefaultWorkers(), "worker-pool size for ground-truth generation, evaluations and refinement verify sweeps (1 = sequential; same results at any count)")
 	flag.Parse()
@@ -48,7 +49,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
-	if err := run(*seed, *scale, *workers, *only, *jsonPath); err != nil {
+	if err := run(*seed, *scale, *workers, *only, *jsonPath, *reportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -88,7 +89,7 @@ type table2Report struct {
 	Policies     *metrics.Summary `json:"policies"`
 }
 
-func run(seed int64, scale, workers int, only, jsonPath string) error {
+func run(seed int64, scale, workers int, only, jsonPath, reportPath string) error {
 	want := func(name string) bool {
 		if only == "" {
 			return true
@@ -101,6 +102,16 @@ func run(seed int64, scale, workers int, only, jsonPath string) error {
 		return false
 	}
 
+	var runRep *obs.RunReport
+	var rec *obs.SpanRecorder
+	root := (*obs.Span)(nil)
+	if reportPath != "" {
+		runRep = obs.NewRunReport("experiments", os.Args[1:])
+		runRep.Seed = seed
+		rec = obs.NewSpanRecorder(nil, "experiments", obs.SpanOptions{})
+		root = rec.Root()
+	}
+
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
 	if scale > 1 {
@@ -111,7 +122,9 @@ func run(seed int64, scale, workers int, only, jsonPath string) error {
 	}
 	fmt.Printf("== generating synthetic Internet (seed=%d, %d ASes) ==\n\n",
 		seed, cfg.NumTier1+cfg.NumTier2+cfg.NumTier3+cfg.NumStub)
+	gspan := root.StartChild("generate", obs.A("seed", seed), obs.A("scale", scale))
 	s, err := experiments.NewSuiteWorkers(cfg, workers)
+	gspan.End()
 	if err != nil {
 		return err
 	}
@@ -130,7 +143,9 @@ func run(seed int64, scale, workers int, only, jsonPath string) error {
 		if !want(name) {
 			return nil
 		}
+		sp := root.StartChild(name)
 		out, err := f()
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
@@ -265,6 +280,17 @@ func run(seed int64, scale, workers int, only, jsonPath string) error {
 			return fmt.Errorf("writing %s: %w", jsonPath, err)
 		}
 		fmt.Printf("headline numbers written to %s\n", jsonPath)
+	}
+	if runRep != nil {
+		if err := rec.Finish(); err != nil {
+			return err
+		}
+		runRep.AddSection("headline", rep)
+		runRep.Finish(rec, obs.Default())
+		if err := runRep.WriteFile(reportPath); err != nil {
+			return fmt.Errorf("writing run report %s: %w", reportPath, err)
+		}
+		fmt.Printf("run report written to %s\n", reportPath)
 	}
 	return nil
 }

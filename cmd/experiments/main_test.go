@@ -12,7 +12,7 @@ import (
 // numbers (others omitted).
 func TestRunJSONReport(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "report.json")
-	if err := run(1, 1, 2, "figure2,figure3", jsonPath); err != nil {
+	if err := run(1, 1, 2, "figure2,figure3", jsonPath, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(jsonPath)

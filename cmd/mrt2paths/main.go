@@ -21,6 +21,7 @@ import (
 	"asmodel/internal/dataset"
 	"asmodel/internal/ingest"
 	"asmodel/internal/mrt"
+	"asmodel/internal/obs"
 )
 
 func main() {
@@ -32,19 +33,40 @@ func main() {
 	strict := flag.Bool("strict", false, "abort on the first malformed MRT record instead of skipping it")
 	maxErrs := flag.Int("max-record-errors", ingest.DefaultMaxRecordErrors,
 		"malformed records tolerated before giving up (-1 = unlimited; ignored with -strict)")
+	report := flag.String("report", "", "write a schema-versioned JSON run report to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mrt2paths [flags] <rib.mrt[.gz]>")
 		os.Exit(2)
 	}
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mrt2paths:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
 	opts := ingest.Options{Strict: *strict, MaxRecordErrors: *maxErrs}
-	if err := run(flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates, opts); err != nil {
+	if err := run(flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates, opts, *report, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mrt2paths:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts ingest.Options) error {
+func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts ingest.Options, reportPath string, args []string) error {
+	var runRep *obs.RunReport
+	var rec *obs.SpanRecorder
+	root := (*obs.Span)(nil)
+	if reportPath != "" {
+		runRep = obs.NewRunReport("mrt2paths", args)
+		rec = obs.NewSpanRecorder(nil, "mrt2paths", obs.SpanOptions{})
+		root = rec.Root()
+	}
+
+	ispan := root.StartChild("ingest", obs.A("source", in))
 	f, err := os.Open(in)
 	if err != nil {
 		return err
@@ -70,6 +92,9 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts i
 		}
 		defer fmt.Fprintf(os.Stderr, "mrt2paths: replayed %d updates (%d announces, %d withdraws, %d unstable)\n",
 			st.Updates, st.Announces, st.Withdraws, st.Unstable)
+		if runRep != nil {
+			runRep.AddSection("replay", st)
+		}
 	} else {
 		var st *mrt.ConvertStats
 		ds, st, rep, err = mrt.ToDatasetOpts(r, opts)
@@ -82,24 +107,49 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts i
 		if stableAt != 0 {
 			ds.StableAt(stableAt, minAge)
 		}
+		if runRep != nil {
+			runRep.AddSection("convert", st)
+		}
 	}
 	printReport(rep, in)
+	if rep != nil {
+		ispan.Set(obs.A("records", rep.Records), obs.A("skipped", rep.Skipped))
+		if runRep != nil {
+			runRep.AddSection("ingest", rep)
+		}
+	}
+	ispan.End()
 	if normalize {
 		ds.Normalize()
 	}
+	wspan := root.StartChild("write", obs.A("out", out))
 	var w io.Writer = os.Stdout
 	if out != "-" {
 		of, err := os.Create(out)
 		if err != nil {
+			wspan.End()
 			return err
 		}
 		defer of.Close()
 		w = of
 	}
 	if err := ds.Write(w); err != nil {
+		wspan.End()
 		return err
 	}
+	wspan.Set(obs.A("records", ds.Len()))
+	wspan.End()
 	fmt.Fprintf(os.Stderr, "mrt2paths: wrote %d records\n", ds.Len())
+	if runRep != nil {
+		if err := rec.Finish(); err != nil {
+			return err
+		}
+		runRep.Finish(rec, obs.Default())
+		if err := runRep.WriteFile(reportPath); err != nil {
+			return fmt.Errorf("writing run report %s: %w", reportPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "mrt2paths: run report written to %s\n", reportPath)
+	}
 	return nil
 }
 

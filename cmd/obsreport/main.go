@@ -1,0 +1,382 @@
+// Command obsreport works with the JSON artifacts the pipeline emits:
+// run reports (asmodel/topogen/mrt2paths/experiments/parbench -report)
+// and the checked-in BENCH_*.json benchmark reports.
+//
+//	obsreport show report.json              # human-readable stage breakdown
+//	obsreport diff old.json new.json        # metric deltas, stage-time ratios
+//	obsreport check BENCH_parallel.json baselines/BENCH_parallel.baseline.json
+//
+// check exits non-zero when any baseline rule is violated — it is the
+// perf-regression gate behind `make bench-check`. Rules tolerate the
+// slow single-core CI runners via generous one-sided ratios; the point
+// is catching order-of-magnitude regressions and broken determinism
+// flags, not 10% noise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asmodel/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "show":
+		if len(os.Args) != 3 {
+			usage()
+		}
+		err = show(os.Args[2])
+	case "diff":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		err = diff(os.Args[2], os.Args[3])
+	case "check":
+		if len(os.Args) != 4 {
+			usage()
+		}
+		err = check(os.Args[2], os.Args[3])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsreport:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  obsreport show <report.json>
+  obsreport diff <old.json> <new.json>
+  obsreport check <report.json> <baseline.json>`)
+	os.Exit(2)
+}
+
+func readJSON(path string) (map[string]interface{}, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v map[string]interface{}
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// flatten turns nested objects and arrays into dotted leaf keys
+// ("stages.0.seconds"), the shape both diff and check operate on.
+func flatten(prefix string, v interface{}, out map[string]interface{}) {
+	switch t := v.(type) {
+	case map[string]interface{}:
+		for k, sub := range t {
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flatten(key, sub, out)
+		}
+	case []interface{}:
+		for i, sub := range t {
+			key := strconv.Itoa(i)
+			if prefix != "" {
+				key = prefix + "." + key
+			}
+			flatten(key, sub, out)
+		}
+	default:
+		out[prefix] = v
+	}
+}
+
+func flatMap(v map[string]interface{}) map[string]interface{} {
+	out := make(map[string]interface{})
+	flatten("", v, out)
+	return out
+}
+
+func sortedKeys(m map[string]interface{}) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fmtVal(v interface{}) string {
+	switch t := v.(type) {
+	case float64:
+		return strconv.FormatFloat(t, 'g', 6, 64)
+	case string:
+		return t
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprint(t)
+	}
+}
+
+// show renders a run report as a stage breakdown when the file carries
+// the run-report schema, and as a sorted key dump otherwise (BENCH
+// files, unknown schemas).
+func show(path string) error {
+	raw, err := readJSON(path)
+	if err != nil {
+		return err
+	}
+	if raw["schema"] == obs.RunReportSchema {
+		rep, err := obs.ReadRunReport(path)
+		if err != nil {
+			return err
+		}
+		return showRunReport(rep)
+	}
+	if s, ok := raw["schema"].(string); ok {
+		fmt.Printf("%s (%s)\n", path, s)
+	} else {
+		fmt.Printf("%s (no schema field)\n", path)
+	}
+	flat := flatMap(raw)
+	for _, k := range sortedKeys(flat) {
+		fmt.Printf("  %-50s %s\n", k, fmtVal(flat[k]))
+	}
+	return nil
+}
+
+func showRunReport(rep *obs.RunReport) error {
+	fmt.Printf("%s  (%s)\n", rep.Command, rep.Schema)
+	if len(rep.Args) > 0 {
+		fmt.Printf("  args:        %s\n", strings.Join(rep.Args, " "))
+	}
+	fmt.Printf("  started:     %s\n", rep.Start)
+	fmt.Printf("  wall:        %.3fs\n", rep.WallSeconds)
+	fmt.Printf("  seed:        %d\n", rep.Seed)
+	fmt.Printf("  host:        %s/%s gomaxprocs=%d numcpu=%d %s\n",
+		rep.GOOS, rep.GOARCH, rep.GoMaxProcs, rep.NumCPU, rep.GoVersion)
+	if rep.GitDescribe != "" {
+		fmt.Printf("  git:         %s\n", rep.GitDescribe)
+	}
+	if len(rep.Stages) > 0 {
+		fmt.Println("  stages:")
+		for _, st := range rep.Stages {
+			pct := 0.0
+			if rep.WallSeconds > 0 {
+				pct = 100 * st.Seconds / rep.WallSeconds
+			}
+			line := fmt.Sprintf("    %-24s %9.3fs %5.1f%%", st.Name, st.Seconds, pct)
+			if len(st.Attrs) > 0 {
+				parts := make([]string, 0, len(st.Attrs))
+				for _, k := range sortedKeys(st.Attrs) {
+					parts = append(parts, k+"="+fmtVal(st.Attrs[k]))
+				}
+				line += "  " + strings.Join(parts, " ")
+			}
+			fmt.Println(line)
+		}
+	}
+	if len(rep.Sections) > 0 {
+		fmt.Printf("  sections:    %s\n", strings.Join(sortedKeys(rep.Sections), " "))
+	}
+	fmt.Printf("  metrics:     %d recorded\n", len(rep.Metrics))
+	return nil
+}
+
+// diff prints keys added, removed and changed between two reports; for
+// numeric changes it includes the new/old ratio so stage-time drift
+// stands out.
+func diff(oldPath, newPath string) error {
+	oldRaw, err := readJSON(oldPath)
+	if err != nil {
+		return err
+	}
+	newRaw, err := readJSON(newPath)
+	if err != nil {
+		return err
+	}
+	a, b := flatMap(oldRaw), flatMap(newRaw)
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	changes := 0
+	for _, k := range ordered {
+		av, aok := a[k]
+		bv, bok := b[k]
+		switch {
+		case !aok:
+			fmt.Printf("+ %-50s %s\n", k, fmtVal(bv))
+			changes++
+		case !bok:
+			fmt.Printf("- %-50s %s\n", k, fmtVal(av))
+			changes++
+		case fmtVal(av) != fmtVal(bv):
+			line := fmt.Sprintf("~ %-50s %s -> %s", k, fmtVal(av), fmtVal(bv))
+			if af, aIsNum := av.(float64); aIsNum {
+				if bf, bIsNum := bv.(float64); bIsNum && af != 0 {
+					line += fmt.Sprintf("  (%.2fx)", bf/af)
+				}
+			}
+			fmt.Println(line)
+			changes++
+		}
+	}
+	if changes == 0 {
+		fmt.Println("no differences")
+	}
+	return nil
+}
+
+// rule is one baseline constraint applied to every flattened key that
+// matches its pattern. Exactly the fields set are enforced:
+//
+//	equals     — deep equality with the baseline value
+//	value +    — one-sided perf gate: actual <= value × max_ratio
+//	max_ratio    (ratios are generous — 25–50× — so only
+//	             order-of-magnitude regressions trip on slow runners)
+//	min / max  — numeric bounds (inclusive)
+//
+// required (default true) fails the check when no key matches the
+// pattern at all — so a renamed field cannot silently skip its gate.
+type rule struct {
+	Equals   interface{} `json:"equals,omitempty"`
+	Value    *float64    `json:"value,omitempty"`
+	MaxRatio *float64    `json:"max_ratio,omitempty"`
+	Min      *float64    `json:"min,omitempty"`
+	Max      *float64    `json:"max,omitempty"`
+	Required *bool       `json:"required,omitempty"`
+}
+
+type baseline struct {
+	Schema string          `json:"schema,omitempty"`
+	Rules  map[string]rule `json:"rules"`
+}
+
+// matchPattern reports whether a dotted key matches a dotted pattern
+// where "*" matches exactly one segment (typically an array index).
+func matchPattern(pattern, key string) bool {
+	ps := strings.Split(pattern, ".")
+	ks := strings.Split(key, ".")
+	if len(ps) != len(ks) {
+		return false
+	}
+	for i := range ps {
+		if ps[i] != "*" && ps[i] != ks[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func check(reportPath, baselinePath string) error {
+	raw, err := readJSON(reportPath)
+	if err != nil {
+		return err
+	}
+	bb, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base baseline
+	if err := json.Unmarshal(bb, &base); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	flat := flatMap(raw)
+	var violations []string
+	if base.Schema != "" {
+		if got, _ := raw["schema"].(string); got != base.Schema {
+			violations = append(violations,
+				fmt.Sprintf("schema: got %q, baseline wants %q", got, base.Schema))
+		}
+	}
+	patterns := make([]string, 0, len(base.Rules))
+	for p := range base.Rules {
+		patterns = append(patterns, p)
+	}
+	sort.Strings(patterns)
+	checked := 0
+	for _, pattern := range patterns {
+		r := base.Rules[pattern]
+		matched := 0
+		for _, key := range sortedKeys(flat) {
+			if !matchPattern(pattern, key) {
+				continue
+			}
+			matched++
+			checked++
+			violations = append(violations, checkRule(pattern, key, flat[key], r)...)
+		}
+		if matched == 0 && (r.Required == nil || *r.Required) {
+			violations = append(violations, fmt.Sprintf("%s: no key matches", pattern))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "obsreport: FAIL", v)
+		}
+		return fmt.Errorf("%s: %d violation(s) against %s", reportPath, len(violations), baselinePath)
+	}
+	fmt.Printf("obsreport: %s ok (%d keys checked against %s)\n", reportPath, checked, baselinePath)
+	return nil
+}
+
+func checkRule(pattern, key string, v interface{}, r rule) []string {
+	var out []string
+	if r.Equals != nil {
+		if fmtVal(v) != fmtVal(r.Equals) {
+			out = append(out, fmt.Sprintf("%s: got %s, want %s", key, fmtVal(v), fmtVal(r.Equals)))
+		}
+	}
+	needNum := r.Value != nil || r.Min != nil || r.Max != nil
+	if !needNum {
+		return out
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return append(out, fmt.Sprintf("%s: got non-numeric %s for numeric rule", key, fmtVal(v)))
+	}
+	if r.Value != nil {
+		ratio := 1.0
+		if r.MaxRatio != nil {
+			ratio = *r.MaxRatio
+		}
+		limit := *r.Value * ratio
+		if f > limit {
+			out = append(out, fmt.Sprintf("%s: %s exceeds %s (baseline %s × %g)",
+				key, fmtFloat(f), fmtFloat(limit), fmtFloat(*r.Value), ratio))
+		}
+	}
+	if r.Min != nil && f < *r.Min {
+		out = append(out, fmt.Sprintf("%s: %s below min %s", key, fmtFloat(f), fmtFloat(*r.Min)))
+	}
+	if r.Max != nil && f > *r.Max {
+		out = append(out, fmt.Sprintf("%s: %s above max %s", key, fmtFloat(f), fmtFloat(*r.Max)))
+	}
+	return out
+}
+
+func fmtFloat(f float64) string {
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(f, 'g', 6, 64)
+}

@@ -39,7 +39,15 @@ import (
 	"asmodel/internal/experiments"
 	"asmodel/internal/gen"
 	"asmodel/internal/model"
+	"asmodel/internal/obs"
 	"asmodel/internal/topology"
+)
+
+// Schema identifiers for the two report files; obsreport check keys its
+// baseline rules on these.
+const (
+	evalSchema = "asmodel-bench-parallel-v1"
+	genSchema  = "asmodel-bench-gen-v1"
 )
 
 type workerRow struct {
@@ -47,14 +55,24 @@ type workerRow struct {
 	NsOp      int64   `json:"ns_op"`
 	Speedup   float64 `json:"speedup"`
 	Identical bool    `json:"identical"`
+	// BusySeconds is the per-worker busy time summed over every worker
+	// and every timed repetition (from the obs worker histograms);
+	// Utilization divides it by reps × wall × workers, so 1.0 means no
+	// worker ever waited on the clone build or the shared cursor.
+	BusySeconds float64 `json:"busy_seconds"`
+	Utilization float64 `json:"utilization"`
 }
 
 type report struct {
+	Schema       string      `json:"schema"`
 	Seed         int64       `json:"seed"`
 	Reps         int         `json:"reps"`
 	GoMaxProcs   int         `json:"gomaxprocs"`
 	NumCPU       int         `json:"num_cpu"`
 	GoVersion    string      `json:"go_version"`
+	GOOS         string      `json:"goos"`
+	GOARCH       string      `json:"goarch"`
+	Hostname     string      `json:"hostname,omitempty"`
 	Prefixes     int         `json:"prefixes"`
 	Paths        int         `json:"paths"`
 	QuasiRouters int         `json:"quasi_routers"`
@@ -65,6 +83,11 @@ type report struct {
 	Refine       []workerRow `json:"refine_parallel"`
 }
 
+func hostname() string {
+	h, _ := os.Hostname()
+	return h
+}
+
 func main() {
 	out := flag.String("out", "BENCH_parallel.json", "evaluate/refine report file")
 	genOut := flag.String("gen-out", "BENCH_gen.json", "ground-truth generation report file")
@@ -72,33 +95,55 @@ func main() {
 	reps := flag.Int("reps", 3, "timed repetitions per configuration (minimum is reported)")
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
 	mode := flag.String("mode", "all", "which sections to run: all, eval (evaluate+refine), or gen (ground-truth generation)")
+	reportPath := flag.String("report", "", "write a schema-versioned JSON run report to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 	if *mode != "all" && *mode != "eval" && *mode != "gen" {
 		fmt.Fprintln(os.Stderr, "parbench: -mode must be all, eval or gen")
 		os.Exit(2)
 	}
-	if err := run(*out, *genOut, *mode, *seed, *reps, *workersList); err != nil {
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "parbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
+	if err := run(*out, *genOut, *mode, *seed, *reps, *workersList, *reportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "parbench:", err)
 		os.Exit(1)
 	}
 }
 
-// minNs reports the minimum wall time of reps runs of f.
-func minNs(reps int, f func() error) (int64, error) {
-	best := int64(-1)
+// minNs reports the minimum and the summed wall time of reps runs of f.
+func minNs(reps int, f func() error) (best, total int64, err error) {
+	best = -1
 	for i := 0; i < reps; i++ {
 		start := time.Now()
 		if err := f(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
-		if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+		ns := time.Since(start).Nanoseconds()
+		total += ns
+		if best < 0 || ns < best {
 			best = ns
 		}
 	}
-	return best, nil
+	return best, total, nil
 }
 
-func run(out, genOut, mode string, seed int64, reps int, workersList string) error {
+// utilization turns a busy-seconds histogram delta into a 0..1 pool
+// utilization: busy / (wall × workers).
+func utilization(busy float64, totalNs int64, workers int) float64 {
+	if totalNs <= 0 || workers <= 0 {
+		return 0
+	}
+	return busy / (float64(totalNs) / 1e9 * float64(workers))
+}
+
+func run(out, genOut, mode string, seed int64, reps int, workersList, reportPath string) error {
 	var counts []int
 	for _, part := range strings.Split(workersList, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -107,15 +152,46 @@ func run(out, genOut, mode string, seed int64, reps int, workersList string) err
 		}
 		counts = append(counts, n)
 	}
+	var runRep *obs.RunReport
+	var rec *obs.SpanRecorder
+	root := (*obs.Span)(nil)
+	if reportPath != "" {
+		runRep = obs.NewRunReport("parbench", os.Args[1:])
+		runRep.Seed = seed
+		rec = obs.NewSpanRecorder(nil, "parbench", obs.SpanOptions{})
+		root = rec.Root()
+	}
 	if mode == "all" || mode == "gen" {
-		if err := runGen(genOut, seed, reps, counts); err != nil {
+		sp := root.StartChild("gen")
+		grep, err := runGen(genOut, seed, reps, counts)
+		sp.End()
+		if err != nil {
 			return err
+		}
+		if runRep != nil {
+			runRep.AddSection("gen", grep)
 		}
 	}
 	if mode == "all" || mode == "eval" {
-		if err := runEval(out, seed, reps, counts); err != nil {
+		sp := root.StartChild("eval")
+		erep, err := runEval(out, seed, reps, counts)
+		sp.End()
+		if err != nil {
 			return err
 		}
+		if runRep != nil {
+			runRep.AddSection("eval", erep)
+		}
+	}
+	if runRep != nil {
+		if err := rec.Finish(); err != nil {
+			return err
+		}
+		runRep.Finish(rec, obs.Default())
+		if err := runRep.WriteFile(reportPath); err != nil {
+			return fmt.Errorf("writing run report %s: %w", reportPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "parbench: run report written to %s\n", reportPath)
 	}
 	return nil
 }
@@ -123,11 +199,15 @@ func run(out, genOut, mode string, seed int64, reps int, workersList string) err
 // genReport is the BENCH_gen.json shape: sequential RunAll vs
 // RunAllParallel on a freshly generated Internet per repetition.
 type genReport struct {
+	Schema         string      `json:"schema"`
 	Seed           int64       `json:"seed"`
 	Reps           int         `json:"reps"`
 	GoMaxProcs     int         `json:"gomaxprocs"`
 	NumCPU         int         `json:"num_cpu"`
 	GoVersion      string      `json:"go_version"`
+	GOOS           string      `json:"goos"`
+	GOARCH         string      `json:"goarch"`
+	Hostname       string      `json:"hostname,omitempty"`
 	Prefixes       int         `json:"prefixes"`
 	Records        int         `json:"records"`
 	QuirksReverted int         `json:"quirks_reverted"`
@@ -140,45 +220,51 @@ type genReport struct {
 // the Internet from the seed: RunAll mutates the generator's quirk
 // bookkeeping (diverging weird policies are reverted on first contact),
 // so re-running on a used Internet would not time the same work.
-func runGen(out string, seed int64, reps int, counts []int) error {
+func runGen(out string, seed int64, reps int, counts []int) (*genReport, error) {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
+	busyHist := obs.GetHistogram("gen_worker_busy_seconds", "", nil)
 
-	timeRunAll := func(workers int) (int64, *dataset.Dataset, *gen.Internet, error) {
-		best := int64(-1)
+	timeRunAll := func(workers int) (int64, int64, *dataset.Dataset, *gen.Internet, error) {
+		best, total := int64(-1), int64(0)
 		var ds *dataset.Dataset
 		var in *gen.Internet
 		for i := 0; i < reps; i++ {
 			fresh, err := gen.Generate(cfg)
 			if err != nil {
-				return 0, nil, nil, err
+				return 0, 0, nil, nil, err
 			}
 			start := time.Now()
 			d, err := fresh.RunAllParallel(context.Background(), workers)
 			if err != nil {
-				return 0, nil, nil, err
+				return 0, 0, nil, nil, err
 			}
-			if ns := time.Since(start).Nanoseconds(); best < 0 || ns < best {
+			ns := time.Since(start).Nanoseconds()
+			total += ns
+			if best < 0 || ns < best {
 				best = ns
 			}
 			ds, in = d, fresh
 		}
-		return best, ds, in, nil
+		return best, total, ds, in, nil
 	}
 
 	fmt.Fprintf(os.Stderr, "parbench: ground-truth generation (seed=%d)...\n", seed)
-	seqNs, seqDS, seqIn, err := timeRunAll(1)
+	seqNs, _, seqDS, seqIn, err := timeRunAll(1)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var want bytes.Buffer
 	if err := seqDS.Write(&want); err != nil {
-		return err
+		return nil, err
 	}
 	rep := &genReport{
-		Seed: seed, Reps: reps,
+		Schema: genSchema,
+		Seed:   seed, Reps: reps,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-		GoVersion:      runtime.Version(),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
+		Hostname:       hostname(),
 		Prefixes:       seqIn.NumPrefixes(),
 		Records:        seqDS.Len(),
 		QuirksReverted: seqIn.QuirksReverted,
@@ -192,35 +278,39 @@ func runGen(out string, seed int64, reps int, counts []int) error {
 		if w == 1 {
 			continue // workers=1 is the sequential path already timed
 		}
-		ns, ds, in, err := timeRunAll(w)
+		busy0 := busyHist.Sum()
+		ns, totalNs, ds, in, err := timeRunAll(w)
 		if err != nil {
-			return err
+			return nil, err
 		}
+		busy := busyHist.Sum() - busy0
 		var got bytes.Buffer
 		if err := ds.Write(&got); err != nil {
-			return err
+			return nil, err
 		}
 		identical := bytes.Equal(got.Bytes(), want.Bytes()) &&
 			in.QuirksReverted == seqIn.QuirksReverted &&
 			len(in.Weird) == len(seqIn.Weird)
 		rep.Parallel = append(rep.Parallel, workerRow{
 			Workers: w, NsOp: ns,
-			Speedup:   float64(seqNs) / float64(ns),
-			Identical: identical,
+			Speedup:     float64(seqNs) / float64(ns),
+			Identical:   identical,
+			BusySeconds: busy,
+			Utilization: utilization(busy, totalNs, w),
 		})
-		fmt.Fprintf(os.Stderr, "parbench: gen workers=%d %.2fms (%.2fx)\n",
-			w, float64(ns)/1e6, float64(seqNs)/float64(ns))
+		fmt.Fprintf(os.Stderr, "parbench: gen workers=%d %.2fms (%.2fx, util %.2f)\n",
+			w, float64(ns)/1e6, float64(seqNs)/float64(ns), utilization(busy, totalNs, w))
 	}
 	for _, r := range rep.Parallel {
 		if !r.Identical {
-			return fmt.Errorf("gen workers=%d produced a dataset that differs from sequential", r.Workers)
+			return nil, fmt.Errorf("gen workers=%d produced a dataset that differs from sequential", r.Workers)
 		}
 	}
 	if err := writeJSON(out, rep); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "parbench: report written to %s\n", out)
-	return nil
+	return rep, nil
 }
 
 func writeJSON(path string, v any) error {
@@ -234,13 +324,14 @@ func writeJSON(path string, v any) error {
 	return enc.Encode(v)
 }
 
-func runEval(out string, seed int64, reps int, counts []int) error {
+func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
+	busyHist := obs.GetHistogram("eval_worker_busy_seconds", "", nil)
 	fmt.Fprintf(os.Stderr, "parbench: generating suite (seed=%d)...\n", seed)
 	s, err := experiments.NewSuite(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	train, valid := s.Data.SplitByObsPoint(0.5, seed)
 	g := topology.FromDataset(s.Data)
@@ -260,13 +351,16 @@ func runEval(out string, seed int64, reps int, counts []int) error {
 	fmt.Fprintf(os.Stderr, "parbench: refining baseline model...\n")
 	m, err := buildRefined(0)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep := &report{
-		Seed: seed, Reps: reps,
+		Schema: evalSchema,
+		Seed:   seed, Reps: reps,
 		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 		GoVersion: runtime.Version(),
-		Prefixes:  len(s.Data.Prefixes()),
+		GOOS:      runtime.GOOS, GOARCH: runtime.GOARCH,
+		Hostname: hostname(),
+		Prefixes: len(s.Data.Prefixes()),
 		Note: "speedup is bounded by num_cpu: per-prefix simulation shares nothing, " +
 			"so on a single-CPU host parallel timings measure pool overhead while " +
 			"the identical flags still verify the deterministic merge",
@@ -276,69 +370,79 @@ func runEval(out string, seed int64, reps int, counts []int) error {
 	// Evaluation: sequential baseline, then each worker count.
 	want, err := m.Evaluate(valid)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	rep.Paths = want.Summary.Total
-	rep.EvalSeqNsOp, err = minNs(reps, func() error {
+	rep.EvalSeqNsOp, _, err = minNs(reps, func() error {
 		_, err := m.Evaluate(valid)
 		return err
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, w := range counts {
 		var got *model.Evaluation
-		ns, err := minNs(reps, func() error {
+		busy0 := busyHist.Sum()
+		ns, totalNs, err := minNs(reps, func() error {
 			var err error
 			got, err = m.EvaluateParallel(context.Background(), valid, w)
 			return err
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		busy := busyHist.Sum() - busy0
 		rep.Evaluate = append(rep.Evaluate, workerRow{
 			Workers: w, NsOp: ns,
-			Speedup:   float64(rep.EvalSeqNsOp) / float64(ns),
-			Identical: reflect.DeepEqual(got, want),
+			Speedup:     float64(rep.EvalSeqNsOp) / float64(ns),
+			Identical:   reflect.DeepEqual(got, want),
+			BusySeconds: busy,
+			Utilization: utilization(busy, totalNs, w),
 		})
-		fmt.Fprintf(os.Stderr, "parbench: evaluate workers=%d %.2fms (%.2fx)\n",
-			w, float64(ns)/1e6, float64(rep.EvalSeqNsOp)/float64(ns))
+		fmt.Fprintf(os.Stderr, "parbench: evaluate workers=%d %.2fms (%.2fx, util %.2f)\n",
+			w, float64(ns)/1e6, float64(rep.EvalSeqNsOp)/float64(ns), utilization(busy, totalNs, w))
 	}
 
 	// Refinement: sequential verify sweep vs worker pools, compared by
-	// serialized model bytes.
+	// serialized model bytes. The busy histogram only fills during the
+	// parallel verify sweeps, so utilization here covers the sweep
+	// fraction of the refinement, not the whole wall time.
 	var wantBytes bytes.Buffer
 	if err := m.Save(&wantBytes); err != nil {
-		return err
+		return nil, err
 	}
-	rep.RefSeqNsOp, err = minNs(reps, func() error {
+	rep.RefSeqNsOp, _, err = minNs(reps, func() error {
 		_, err := buildRefined(0)
 		return err
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, w := range counts {
 		if w == 1 {
 			continue // Workers:1 is the sequential path already timed
 		}
 		var got *model.Model
-		ns, err := minNs(reps, func() error {
+		busy0 := busyHist.Sum()
+		ns, totalNs, err := minNs(reps, func() error {
 			var err error
 			got, err = buildRefined(w)
 			return err
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
+		busy := busyHist.Sum() - busy0
 		var gotBytes bytes.Buffer
 		if err := got.Save(&gotBytes); err != nil {
-			return err
+			return nil, err
 		}
 		rep.Refine = append(rep.Refine, workerRow{
 			Workers: w, NsOp: ns,
-			Speedup:   float64(rep.RefSeqNsOp) / float64(ns),
-			Identical: bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()),
+			Speedup:     float64(rep.RefSeqNsOp) / float64(ns),
+			Identical:   bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()),
+			BusySeconds: busy,
+			Utilization: utilization(busy, totalNs, w),
 		})
 		fmt.Fprintf(os.Stderr, "parbench: refine workers=%d %.2fms (%.2fx)\n",
 			w, float64(ns)/1e6, float64(rep.RefSeqNsOp)/float64(ns))
@@ -346,20 +450,13 @@ func runEval(out string, seed int64, reps int, counts []int) error {
 
 	for _, r := range append(append([]workerRow{}, rep.Evaluate...), rep.Refine...) {
 		if !r.Identical {
-			return fmt.Errorf("workers=%d produced a result that differs from sequential", r.Workers)
+			return nil, fmt.Errorf("workers=%d produced a result that differs from sequential", r.Workers)
 		}
 	}
 
-	f, err := os.Create(out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		return err
+	if err := writeJSON(out, rep); err != nil {
+		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "parbench: report written to %s\n", out)
-	return nil
+	return rep, nil
 }

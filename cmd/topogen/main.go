@@ -19,6 +19,7 @@ import (
 
 	"asmodel/internal/gen"
 	"asmodel/internal/mrt"
+	"asmodel/internal/obs"
 )
 
 func main() {
@@ -36,54 +37,107 @@ func main() {
 	mrtOut := flag.String("mrt", "", "also write the dataset as an MRT TABLE_DUMP_V2 file")
 	quiet := flag.Bool("q", false, "suppress the summary on stderr")
 	workers := flag.Int("workers", gen.DefaultWorkers(), "worker-pool size for the ground-truth simulation (1 = sequential; identical output at any count)")
+	report := flag.String("report", "", "write a schema-versioned JSON run report to this file")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
 
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "topogen: -workers must be >= 1")
 		os.Exit(2)
 	}
-	if err := run(cfg, *out, *mrtOut, *quiet, *workers); err != nil {
+	if *debugAddr != "" {
+		srv, err := obs.Serve(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topogen:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
+	}
+	if err := run(cfg, *out, *mrtOut, *quiet, *workers, *report, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg gen.Config, out, mrtOut string, quiet bool, workers int) error {
+func run(cfg gen.Config, out, mrtOut string, quiet bool, workers int, reportPath string, args []string) error {
+	ctx := context.Background()
+	var rep *obs.RunReport
+	var rec *obs.SpanRecorder
+	if reportPath != "" {
+		rep = obs.NewRunReport("topogen", args)
+		rep.Seed = cfg.Seed
+		rec = obs.NewSpanRecorder(nil, "topogen", obs.SpanOptions{})
+		ctx = obs.ContextWithSpan(ctx, rec.Root())
+	}
+
+	_, gspan := obs.StartSpan(ctx, "generate", obs.A("seed", cfg.Seed))
 	in, err := gen.Generate(cfg)
+	gspan.End()
 	if err != nil {
 		return err
 	}
-	ds, err := in.RunAllParallel(context.Background(), workers)
+	gspan.Set(obs.A("ases", len(in.ASNs())), obs.A("routers", in.RS.Net.NumRouters()))
+
+	ds, err := in.RunAllParallel(ctx, workers)
 	if err != nil {
 		return err
 	}
+
+	_, wspan := obs.StartSpan(ctx, "write", obs.A("out", out), obs.A("mrt", mrtOut))
 	var w io.Writer = os.Stdout
 	if out != "-" {
 		f, err := os.Create(out)
 		if err != nil {
+			wspan.End()
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
 	if err := ds.Write(w); err != nil {
+		wspan.End()
 		return err
 	}
 	if mrtOut != "" {
 		f, err := os.Create(mrtOut)
 		if err != nil {
+			wspan.End()
 			return err
 		}
 		defer f.Close()
 		if err := mrt.FromDataset(f, ds, uint32(gen.CollectionTime)); err != nil {
+			wspan.End()
 			return err
 		}
 	}
+	wspan.Set(obs.A("records", ds.Len()))
+	wspan.End()
+
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "generated %d ASes (%d tier-1), %d routers, %d sessions, %d vantage points\n",
 			len(in.ASNs()), len(in.Tier1), in.RS.Net.NumRouters(), in.RS.Net.NumSessions(), len(in.VantagePoints()))
 		fmt.Fprintf(os.Stderr, "dataset: %d records, %d prefixes; weird policies: %d applied, %d reverted\n",
 			ds.Len(), len(ds.Prefixes()), len(in.Weird), in.QuirksReverted)
+	}
+	if rep != nil {
+		if err := rec.Finish(); err != nil {
+			return err
+		}
+		rep.AddSection("generate", map[string]interface{}{
+			"ases": len(in.ASNs()), "tier1": len(in.Tier1),
+			"routers": in.RS.Net.NumRouters(), "sessions": in.RS.Net.NumSessions(),
+			"vantage_points": len(in.VantagePoints()),
+			"records":        ds.Len(), "prefixes": len(ds.Prefixes()),
+			"weird_applied": len(in.Weird), "weird_reverted": in.QuirksReverted,
+		})
+		rep.Finish(rec, obs.Default())
+		if err := rep.WriteFile(reportPath); err != nil {
+			return fmt.Errorf("writing run report %s: %w", reportPath, err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", reportPath)
+		}
 	}
 	return nil
 }

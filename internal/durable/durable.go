@@ -145,6 +145,16 @@ func (rw *RetryWriter) Sync() error {
 	return nil
 }
 
+// Close closes the underlying writer when it is an io.Closer, so sinks
+// stacked on a RetryWriter (obs.TraceSink.Close) can release the file
+// without holding a second reference to it.
+func (rw *RetryWriter) Close() error {
+	if c, ok := rw.w.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
 // --- Retry reader -------------------------------------------------------
 
 // RetryReader retries transient read errors so framed decoders above it

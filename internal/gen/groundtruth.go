@@ -9,6 +9,7 @@ import (
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
+	"asmodel/internal/obs"
 	"asmodel/internal/relation"
 	"asmodel/internal/routersim"
 	"asmodel/internal/sim"
@@ -228,15 +229,35 @@ func shuffled(rng *rand.Rand, s []bgp.ASN) []bgp.ASN {
 // QuirksReverted so the returned routing is always a stable one.
 // RunAllParallel produces a byte-identical dataset on a worker pool.
 func (in *Internet) RunAll() (*dataset.Dataset, error) {
+	return in.runAll(context.Background())
+}
+
+// runAll is the sequential generation body; ctx carries cancellation and
+// the current obs span (RunAllParallel's workers<=1 fallback routes here
+// so spans and cancellation survive the fallback).
+func (in *Internet) runAll(ctx context.Context) (*dataset.Dataset, error) {
 	defer obsGenRun()()
+	ctx, span := obs.StartSpan(ctx, "gen.run_all",
+		obs.A("prefixes", len(in.prefixOrigin)), obs.A("workers", 1))
+	defer span.End()
 	ds := &dataset.Dataset{}
 	for pi := range in.prefixOrigin {
 		prefix := bgp.PrefixID(pi)
-		if _, err := in.runPrefixRevertible(context.Background(), prefix); err != nil {
+		var ps *obs.Span
+		if span.SampledPrefix(pi) {
+			ps = span.StartChild("prefix", obs.A("prefix", in.PrefixName(prefix)))
+		}
+		reverted, err := in.runPrefixRevertible(ctx, prefix)
+		if err != nil {
+			ps.End()
 			return nil, err
 		}
+		before := len(ds.Records)
 		routersim.Observe(ds, in.PrefixName(prefix), CollectionTime-7200, in.vps)
+		ps.Set(obs.A("reverted", reverted), obs.A("records", len(ds.Records)-before))
+		ps.End()
 	}
+	span.Set(obs.A("records", len(ds.Records)))
 	return ds, nil
 }
 

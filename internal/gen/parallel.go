@@ -26,6 +26,10 @@ var (
 		obs.ExpBuckets(1e-2, 4, 12))
 	mGenPerWkr = obs.GetHistogram("gen_worker_prefixes", "prefixes simulated per worker per parallel RunAll",
 		obs.ExpBuckets(1, 4, 10))
+	mGenBusy = obs.GetHistogram("gen_worker_busy_seconds", "per-worker time spent simulating prefixes per parallel RunAll",
+		obs.ExpBuckets(1e-3, 4, 12))
+	mGenIdle = obs.GetHistogram("gen_worker_idle_seconds", "per-worker time spent waiting (clone build, cursor contention, tail straggling) per parallel RunAll",
+		obs.ExpBuckets(1e-3, 4, 12))
 )
 
 // obsGenRun stamps one generation run on the metrics above; call the
@@ -80,10 +84,13 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("gen: ground-truth generation not started: %w", err)
 		}
-		return in.RunAll()
+		return in.runAll(ctx)
 	}
 	defer obsGenRun()()
 	mGenWorkers.Set(int64(workers))
+	ctx, span := obs.StartSpan(ctx, "gen.run_all",
+		obs.A("prefixes", n), obs.A("workers", workers))
+	defer span.End()
 
 	results := make([]prefixShard, n)
 	wctx, cancel := context.WithCancel(ctx)
@@ -92,11 +99,27 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
+			// Busy is time inside the per-prefix body; idle is everything
+			// else (clone build, cursor contention, tail straggling). Both
+			// depend on scheduling, so the span attrs are Volatile.
+			wspan := span.StartChild("worker", obs.VolatileAttr("worker", wi))
+			wstart := time.Now()
+			var busy time.Duration
 			clone := in.Clone()
 			processed := 0
-			defer func() { mGenPerWkr.ObserveInt(processed) }()
+			defer func() {
+				mGenPerWkr.ObserveInt(processed)
+				total := time.Since(wstart)
+				mGenBusy.ObserveDuration(busy)
+				mGenIdle.ObserveDuration(total - busy)
+				wspan.Set(
+					obs.VolatileAttr("prefixes", processed),
+					obs.VolatileAttr("busy_seconds", busy.Seconds()),
+					obs.VolatileAttr("idle_seconds", (total-busy).Seconds()))
+				wspan.End()
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n || wctx.Err() != nil {
@@ -106,6 +129,7 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 				// One prefix per closure invocation so a recovered panic is
 				// attributed to the prefix that raised it and stops only
 				// this worker — wg.Wait never deadlocks.
+				t0 := time.Now()
 				stop := func() (stop bool) {
 					defer func() {
 						if p := recover(); p != nil {
@@ -115,6 +139,15 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 							stop = true
 						}
 					}()
+					// Sampled per-prefix spans attach to the stage span: the
+					// prefix→worker assignment is nondeterministic, so only a
+					// Volatile attr records it.
+					var ps *obs.Span
+					if span.SampledPrefix(i) {
+						ps = span.StartChild("prefix",
+							obs.A("prefix", in.prefixName[i]), obs.VolatileAttr("worker", wi))
+					}
+					defer ps.End()
 					reverted, err := clone.runPrefixRevertible(wctx, bgp.PrefixID(i))
 					if err != nil {
 						if wctx.Err() != nil {
@@ -128,14 +161,16 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 					routersim.Observe(&shard, clone.PrefixName(bgp.PrefixID(i)), CollectionTime-7200, clone.vps)
 					r.records = shard.Records
 					r.reverted = reverted
+					ps.Set(obs.A("reverted", reverted), obs.A("records", len(r.records)))
 					processed++
 					return false
 				}()
+				busy += time.Since(t0)
 				if stop {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 
@@ -173,5 +208,6 @@ func (in *Internet) RunAllParallel(ctx context.Context, workers int) (*dataset.D
 	if err := in.RS.RunPrefix(last, in.prefixOrigin[last]); err != nil {
 		return nil, fmt.Errorf("gen: prefix %s: %w", in.PrefixName(last), err)
 	}
+	span.Set(obs.A("records", len(ds.Records)))
 	return ds, nil
 }

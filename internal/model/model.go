@@ -21,6 +21,7 @@ import (
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
 	"asmodel/internal/metrics"
+	"asmodel/internal/obs"
 	"asmodel/internal/sim"
 	"asmodel/internal/topology"
 )
@@ -220,10 +221,18 @@ func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Eval
 	works, skipped := m.evalWorklist(ds)
 	ev.SkippedPrefixes = skipped
 
+	ctx, span := obs.StartSpan(ctx, "model.evaluate",
+		obs.A("prefixes", len(works)), obs.A("skipped", skipped), obs.A("workers", 1))
+	defer span.End()
+
 	done := 0
 	for _, w := range works {
 		if err := ctx.Err(); err != nil {
 			return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: err}
+		}
+		var ps *obs.Span
+		if span.SampledPrefix(int(w.id)) {
+			ps = span.StartChild("prefix", obs.A("prefix", m.Universe.Name(w.id)))
 		}
 		if err := m.RunPrefixContext(ctx, w.id); err != nil {
 			var derr *sim.DivergenceError
@@ -234,8 +243,11 @@ func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Eval
 					Messages: derr.Messages,
 					Budget:   derr.Budget,
 				})
+				ps.Set(obs.A("diverged", true))
+				ps.End()
 				continue
 			}
+			ps.End()
 			if ctx.Err() != nil {
 				return nil, &InterruptedError{Op: "evaluate", Prefixes: done, Err: ctx.Err()}
 			}
@@ -243,8 +255,11 @@ func (m *Model) EvaluateContext(ctx context.Context, ds *dataset.Dataset) (*Eval
 		}
 		matched, total := metrics.EvaluatePrefixSorted(cls, w.observed, ev.Summary)
 		ev.Coverage.RecordPrefix(matched, total)
+		ps.Set(obs.A("matched", matched), obs.A("total", total))
+		ps.End()
 		done++
 	}
+	span.Set(obs.A("diverged", ev.Diverged))
 	return ev, nil
 }
 

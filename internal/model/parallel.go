@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
@@ -26,6 +27,10 @@ var (
 	mParPerWkr  = obs.GetHistogram("eval_worker_prefixes", "prefixes processed per worker per parallel sweep",
 		obs.ExpBuckets(1, 4, 10))
 	mWorkerPanics = obs.GetCounter("worker_panics_recovered", "panics recovered in parallel worker goroutines")
+	mEvalBusy     = obs.GetHistogram("eval_worker_busy_seconds", "per-worker time spent simulating prefixes per parallel sweep",
+		obs.ExpBuckets(1e-3, 4, 12))
+	mEvalIdle = obs.GetHistogram("eval_worker_idle_seconds", "per-worker time spent waiting (clone build, cursor contention, tail straggling) per parallel sweep",
+		obs.ExpBuckets(1e-3, 4, 12))
 )
 
 // workerFaultHook, when non-nil, runs at the top of every worker's
@@ -101,21 +106,41 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 	}
 	mParEvals.Inc()
 	mParWorkers.Set(int64(workers))
+	ctx, span := obs.StartSpan(ctx, "model.evaluate",
+		obs.A("prefixes", len(works)), obs.A("skipped", skipped), obs.A("workers", workers))
+	defer span.End()
 
 	results := make([]prefixEval, len(works))
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
+			// Per-worker utilization: busy is time inside the per-prefix
+			// body; idle is everything else (clone build, cursor
+			// contention, straggling at the tail). Both are
+			// scheduling-dependent, so the span attrs are Volatile.
+			wspan := span.StartChild("worker", obs.VolatileAttr("worker", wi))
+			wstart := time.Now()
+			var busy time.Duration
 			clone := m.Clone()
 			mParClones.Inc()
 			cls := metrics.NewClassifier(clone.Net)
 			processed := 0
-			defer func() { mParPerWkr.ObserveInt(processed) }()
+			defer func() {
+				mParPerWkr.ObserveInt(processed)
+				total := time.Since(wstart)
+				mEvalBusy.ObserveDuration(busy)
+				mEvalIdle.ObserveDuration(total - busy)
+				wspan.Set(
+					obs.VolatileAttr("prefixes", processed),
+					obs.VolatileAttr("busy_seconds", busy.Seconds()),
+					obs.VolatileAttr("idle_seconds", (total-busy).Seconds()))
+				wspan.End()
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(works) || wctx.Err() != nil {
@@ -125,6 +150,7 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 				// One prefix per closure invocation, so a recovered panic
 				// is attributed to the prefix that raised it and stops
 				// only this worker — wg.Wait never deadlocks.
+				t0 := time.Now()
 				stop := func() (stop bool) {
 					defer func() {
 						if p := recover(); p != nil {
@@ -139,6 +165,15 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 							stop = true
 						}
 					}()
+					// Sampled per-prefix spans attach to the stage span, not
+					// the worker span: the prefix→worker assignment is
+					// nondeterministic, so only a Volatile attr records it.
+					var ps *obs.Span
+					if span.SampledPrefix(int(w.id)) {
+						ps = span.StartChild("prefix",
+							obs.A("prefix", m.Universe.Name(w.id)), obs.VolatileAttr("worker", wi))
+					}
+					defer ps.End()
 					if hook := workerFaultHook; hook != nil {
 						hook(w.id)
 					}
@@ -151,6 +186,7 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 								Messages: derr.Messages,
 								Budget:   derr.Budget,
 							}
+							ps.Set(obs.A("diverged", true))
 						case wctx.Err() != nil:
 							return true
 						default:
@@ -163,14 +199,16 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 					}
 					r.sum = metrics.NewSummary()
 					r.matched, r.total = metrics.EvaluatePrefixSorted(cls, w.observed, r.sum)
+					ps.Set(obs.A("matched", r.matched), obs.A("total", r.total))
 					processed++
 					return false
 				}()
+				busy += time.Since(t0)
 				if stop {
 					return
 				}
 			}
-		}()
+		}(wi)
 	}
 	wg.Wait()
 
@@ -201,6 +239,7 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 		ev.Summary.Merge(r.sum)
 		ev.Coverage.RecordPrefix(r.matched, r.total)
 	}
+	span.Set(obs.A("diverged", ev.Diverged))
 	return ev, nil
 }
 
@@ -218,26 +257,41 @@ type verifyOutcome struct {
 // match counts when observing). It performs no model mutation and no
 // worklist state changes — the caller applies outcomes in deterministic
 // worklist order — so any worker count yields the same refinement.
-func (rr *refineRun) verifyParallel(towork []*prefixWork, workers int) []verifyOutcome {
+// Worker spans attach under span (the verify-sweep span; nil is fine).
+func (rr *refineRun) verifyParallel(span *obs.Span, towork []*prefixWork, workers int) []verifyOutcome {
 	mParWorkers.Set(int64(workers))
 	results := make([]verifyOutcome, len(towork))
 	var next atomic.Int64
 	var abort atomic.Bool // one worker failed: stop claiming new prefixes
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for wi := 0; wi < workers; wi++ {
 		wg.Add(1)
-		go func() {
+		go func(wi int) {
 			defer wg.Done()
+			wspan := span.StartChild("worker", obs.VolatileAttr("worker", wi))
+			wstart := time.Now()
+			var busy time.Duration
 			clone := rr.m.Clone()
 			mParClones.Inc()
 			processed := 0
-			defer func() { mParPerWkr.ObserveInt(processed) }()
+			defer func() {
+				mParPerWkr.ObserveInt(processed)
+				total := time.Since(wstart)
+				mEvalBusy.ObserveDuration(busy)
+				mEvalIdle.ObserveDuration(total - busy)
+				wspan.Set(
+					obs.VolatileAttr("prefixes", processed),
+					obs.VolatileAttr("busy_seconds", busy.Seconds()),
+					obs.VolatileAttr("idle_seconds", (total-busy).Seconds()))
+				wspan.End()
+			}()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(towork) || abort.Load() {
 					return
 				}
 				w, r := towork[i], &results[i]
+				t0 := time.Now()
 				stop := func() (stop bool) {
 					defer func() {
 						if p := recover(); p != nil {
@@ -272,11 +326,12 @@ func (rr *refineRun) verifyParallel(towork []*prefixWork, workers int) []verifyO
 					processed++
 					return false
 				}()
+				busy += time.Since(t0)
 				if stop {
 					return
 				}
 			}
-		}()
+		}(wi)
 	}
 	wg.Wait()
 	return results

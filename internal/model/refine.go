@@ -324,6 +324,10 @@ type refineRun struct {
 	iter      int
 	cum       RefineActionCounts
 	observing bool
+	// span is the run's "model.refine" span (nil without a recorder);
+	// iteration and verify-sweep child spans hang off it. Not part of the
+	// checkpointable state.
+	span *obs.Span
 }
 
 func newRefineRun(m *Model, train *dataset.Dataset, cfg RefineConfig) *refineRun {
@@ -461,8 +465,9 @@ func (rr *refineRun) retryQuarantined() int {
 // out across per-worker model clones (the forceDiverge test seam forces
 // the sequential path: it decrements shared per-prefix counters).
 // Outcomes are applied in worklist order either way, so the sweep is
-// deterministic for any worker count.
-func (rr *refineRun) verifySweep() (int, error) {
+// deterministic for any worker count. Worker spans attach under span
+// (the caller's verify span; nil is fine).
+func (rr *refineRun) verifySweep(span *obs.Span) (int, error) {
 	var towork []*prefixWork
 	for _, w := range rr.works {
 		if w.done && !w.gaveUp && w.ok {
@@ -476,9 +481,10 @@ func (rr *refineRun) verifySweep() (int, error) {
 	if workers > len(towork) {
 		workers = len(towork)
 	}
+	span.Set(obs.A("prefixes", len(towork)), obs.A("workers", workers))
 	reopened := 0
 	if workers > 1 && rr.cfg.forceDiverge == nil {
-		for i, o := range rr.verifyParallel(towork, workers) {
+		for i, o := range rr.verifyParallel(span, towork, workers) {
 			w := towork[i]
 			if o.err != nil {
 				return 0, o.err
@@ -568,6 +574,11 @@ func (rr *refineRun) checkInterrupt(ctx context.Context) error {
 
 func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 	m, res, cfg := rr.m, rr.res, rr.cfg
+	_, span := obs.StartSpan(ctx, "model.refine",
+		obs.A("prefixes", len(rr.works)), obs.A("max_iterations", rr.maxIter),
+		obs.A("workers", cfg.Workers))
+	defer span.End()
+	rr.span = span
 	for rr.iter < rr.maxIter {
 		// Inner loop: settle every open prefix.
 		for rr.iter < rr.maxIter {
@@ -577,6 +588,7 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 			rr.iter++
 			res.Iterations = rr.iter
 			mIterations.Inc() // live, so /metrics shows mid-run progress
+			iterSpan := span.StartChild("iteration", obs.A("iteration", rr.iter))
 			before := actionSnapshot(res)
 			reservations := 0
 			changedAny := false
@@ -610,9 +622,19 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 				cfg.Logf("refine: iteration %d: %d prefixes changed, %d quasi-routers, %d filters",
 					rr.iter, pending, m.Net.NumRouters(), res.FiltersAdded-res.FiltersRemoved)
 			}
+			actions := actionSnapshot(res).diff(before)
+			actions.Reservations = reservations
+			iterSpan.Set(
+				obs.A("changed", pending),
+				obs.A("reservations", actions.Reservations),
+				obs.A("filters_added", actions.FiltersAdded),
+				obs.A("filters_removed", actions.FiltersRemoved),
+				obs.A("med_rules", actions.MEDRules),
+				obs.A("local_pref_rules", actions.LocalPrefRules),
+				obs.A("duplications", actions.Duplications),
+				obs.A("quasi_routers", m.Net.NumRouters()))
+			iterSpan.End()
 			if rr.observing {
-				actions := actionSnapshot(res).diff(before)
-				actions.Reservations = reservations
 				rr.cum.add(actions)
 				rr.emit(RefineEvent{Type: "iteration", Actions: actions})
 			}
@@ -629,10 +651,14 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 		// Verification sweep: re-open settled prefixes that later
 		// topology growth invalidated.
 		res.VerifyRounds++
-		reopened, err := rr.verifySweep()
+		vspan := span.StartChild("verify", obs.A("round", res.VerifyRounds))
+		reopened, err := rr.verifySweep(vspan)
 		if err != nil {
+			vspan.End()
 			return nil, err
 		}
+		vspan.Set(obs.A("reopened", reopened))
+		vspan.End()
 		if cfg.Logf != nil && reopened > 0 {
 			cfg.Logf("refine: verification reopened %d prefixes", reopened)
 		}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerMetricsEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total", "requests served").Add(7)
+	reg.Gauge("depth", "queue depth").Set(3)
+	h := reg.Histogram("latency_seconds", "request latency", LinearBuckets(0.1, 0.1, 3))
+	h.Observe(0.15)
+	h.Observe(0.25)
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b), resp.Header.Get("Content-Type")
+	}
+
+	// /metrics: Prometheus text exposition.
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE reqs_total counter", "reqs_total 7",
+		"# TYPE depth gauge", "depth 3",
+		"# TYPE latency_seconds histogram", "latency_seconds_count 2",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	// /metrics.json round-trips through the snapshot shape.
+	body, ctype = get("/metrics.json")
+	if ctype != "application/json" {
+		t.Fatalf("/metrics.json content-type = %q", ctype)
+	}
+	var snap map[string]interface{}
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if snap["reqs_total"] != float64(7) {
+		t.Fatalf("reqs_total = %v", snap["reqs_total"])
+	}
+	hist, ok := snap["latency_seconds"].(map[string]interface{})
+	if !ok {
+		t.Fatalf("latency_seconds = %v", snap["latency_seconds"])
+	}
+	if hist["count"] != float64(2) {
+		t.Fatalf("latency count = %v", hist["count"])
+	}
+	if math.Abs(hist["sum"].(float64)-0.4) > 1e-9 {
+		t.Fatalf("latency sum = %v", hist["sum"])
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	h := newHistogram(LinearBuckets(1, 1, 3))
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%g) = %v, want 0", q, got)
+		}
+	}
+
+	// Single observation in a single-bound histogram.
+	h = newHistogram([]float64{10})
+	h.Observe(5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 10 {
+			t.Fatalf("single-sample Quantile(%g) = %v, want bucket bound 10", q, got)
+		}
+	}
+
+	// Observation above every bound falls in the +Inf bucket, which
+	// reports the largest finite bound.
+	h = newHistogram([]float64{1, 2})
+	h.Observe(100)
+	if got := h.Quantile(1); got != 2 {
+		t.Fatalf("overflow Quantile(1) = %v, want 2", got)
+	}
+
+	// No bounds at all: any sample maps to +Inf.
+	h = newHistogram(nil)
+	h.Observe(1)
+	if got := h.Quantile(0.5); !math.IsInf(got, 1) {
+		t.Fatalf("boundless Quantile(0.5) = %v, want +Inf", got)
+	}
+
+	// q=0 and q=1 bracket a multi-bucket spread.
+	h = newHistogram(LinearBuckets(1, 1, 4)) // bounds 1,2,3,4
+	h.Observe(0.5)                           // bucket <=1
+	h.Observe(3.5)                           // bucket <=4
+	if got := h.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v, want 1", got)
+	}
+	if got := h.Quantile(1); got != 4 {
+		t.Fatalf("Quantile(1) = %v, want 4", got)
+	}
+}
+
+func TestTraceSinkClose(t *testing.T) {
+	w := &closeRecorder{}
+	s := NewTraceSink(w)
+	if err := s.Emit(map[string]int{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.closes != 1 {
+		t.Fatalf("underlying writer closed %d times, want 1", w.closes)
+	}
+	if !strings.Contains(w.buf.String(), `"a":1`) {
+		t.Fatalf("buffered event not flushed on close: %q", w.buf.String())
+	}
+	// Emit after close fails with the sentinel.
+	if err := s.Emit(map[string]int{"b": 2}); !errors.Is(err, ErrSinkClosed) {
+		t.Fatalf("emit after close = %v, want ErrSinkClosed", err)
+	}
+	// Second close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.closes != 1 {
+		t.Fatalf("second Close reached the writer (%d closes)", w.closes)
+	}
+}
+
+type closeRecorder struct {
+	buf    strings.Builder
+	closes int
+}
+
+func (c *closeRecorder) Write(p []byte) (int, error) { return c.buf.Write(p) }
+func (c *closeRecorder) Close() error                { c.closes++; return nil }

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+
+	rep := NewRunReport("testcmd", []string{"-flag", "v"})
+	rep.Seed = 42
+	rep.AddSection("ingest", map[string]interface{}{"records": 7})
+
+	rec := NewSpanRecorder(nil, "testcmd", SpanOptions{})
+	st := rec.Root().StartChild("stage-a", A("prefixes", 3))
+	time.Sleep(time.Millisecond)
+	st.End()
+	rec.Root().StartChild("stage-b").End()
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	reg.Counter("things_total", "").Add(5)
+	rep.Finish(rec, reg)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadRunReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != RunReportSchema || got.Command != "testcmd" || got.Seed != 42 {
+		t.Fatalf("header round-trip: %+v", got)
+	}
+	if got.GoVersion == "" || got.GoMaxProcs < 1 || got.NumCPU < 1 {
+		t.Fatalf("environment not captured: %+v", got)
+	}
+	if got.WallSeconds <= 0 {
+		t.Fatalf("wall_seconds = %v", got.WallSeconds)
+	}
+	if len(got.Stages) != 2 || got.Stages[0].Name != "stage-a" || got.Stages[1].Name != "stage-b" {
+		t.Fatalf("stages = %+v", got.Stages)
+	}
+	if got.Stages[0].Seconds <= 0 {
+		t.Fatalf("stage-a seconds = %v", got.Stages[0].Seconds)
+	}
+	if got.Stages[0].Attrs["prefixes"] != float64(3) {
+		t.Fatalf("stage-a attrs = %v", got.Stages[0].Attrs)
+	}
+	if _, ok := got.Metrics["things_total"]; !ok {
+		t.Fatalf("metric snapshot missing: %v", got.Metrics)
+	}
+	if _, ok := got.Sections["ingest"]; !ok {
+		t.Fatalf("section missing: %v", got.Sections)
+	}
+}
+
+func TestReadRunReportRejectsWrongSchema(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+	rep := NewRunReport("testcmd", nil)
+	rep.Schema = "something-else-v9"
+	rep.Finish(nil, nil)
+	if err := rep.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRunReport(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestRunReportExplicitStages(t *testing.T) {
+	rep := NewRunReport("testcmd", nil)
+	rep.AddStage("manual", 2*time.Second, map[string]interface{}{"n": 1})
+	rep.Finish(nil, nil)
+	if len(rep.Stages) != 1 || rep.Stages[0].Name != "manual" || rep.Stages[0].Seconds != 2 {
+		t.Fatalf("stages = %+v", rep.Stages)
+	}
+}

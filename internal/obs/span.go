@@ -1,0 +1,325 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Spans are the pipeline's hierarchical timing layer: every stage
+// (ingest, generate, refine, evaluate), every refinement iteration and
+// verify sweep, every pool worker and — when sampling is enabled —
+// individual per-prefix simulations open a Span, attach attributes, and
+// close it. The tree is held in memory by a SpanRecorder and emitted to
+// a TraceSink as one JSON line per span when the recorder finishes; the
+// same tree feeds RunReport's per-stage breakdown.
+//
+// The determinism contract extends the trace-event rule: span *structure
+// and attributes* are byte-identical across identical runs when timing
+// is redacted (SpanOptions.RedactTiming, the CLI's -trace-redact-timing).
+// Two mechanisms make that hold even for parallel sections:
+//
+//   - attributes whose values depend on scheduling (per-worker busy/idle
+//     time, which worker ran a prefix, prefixes stolen per worker) are
+//     declared Volatile and dropped from redacted output;
+//   - sibling spans, which parallel workers append in arrival order, are
+//     sorted by (name, attributes) before redacted emission, so the
+//     nondeterministic arrival order never reaches the file.
+//
+// Without redaction, spans keep arrival order and carry start/duration
+// nanoseconds — the profiling view, which makes no determinism claim.
+
+// Attr is one span attribute. Volatile marks values that depend on
+// timing or goroutine scheduling; they are omitted when the recorder
+// redacts timing so the redacted stream stays deterministic.
+type Attr struct {
+	Key      string
+	Value    interface{}
+	Volatile bool
+}
+
+// A builds a deterministic attribute: its value must depend only on the
+// run's inputs (dataset, seed, flags), never on wall-clock or scheduling.
+func A(key string, value interface{}) Attr { return Attr{Key: key, Value: value} }
+
+// VolatileAttr builds a timing-dependent attribute (worker utilization,
+// queue waits, prefix-to-worker assignment); redacted emission drops it.
+func VolatileAttr(key string, value interface{}) Attr {
+	return Attr{Key: key, Value: value, Volatile: true}
+}
+
+// SpanOptions configures a SpanRecorder.
+type SpanOptions struct {
+	// RedactTiming drops start/duration fields and Volatile attributes
+	// from the emitted span events and sorts sibling spans
+	// deterministically — the mode the determinism tests run under.
+	RedactTiming bool
+	// PrefixSample enables per-prefix spans for every Nth prefix
+	// (prefix-ID modulo, so the sampled set is deterministic and
+	// identical across worker counts). 0 disables per-prefix spans;
+	// 1 records every prefix.
+	PrefixSample int
+}
+
+// SpanRecorder owns one run's span tree. The sink may be nil: spans are
+// still collected (for RunReport stage accounting) but nothing is
+// emitted. Safe for concurrent StartChild/End on its spans.
+type SpanRecorder struct {
+	sink *TraceSink
+	opts SpanOptions
+
+	mu       sync.Mutex
+	root     *Span
+	finished bool
+}
+
+// NewSpanRecorder builds a recorder whose root span is named rootName
+// (conventionally the command, e.g. "asmodel refine"). The root starts
+// immediately; Finish ends it and emits the tree.
+func NewSpanRecorder(sink *TraceSink, rootName string, opts SpanOptions, attrs ...Attr) *SpanRecorder {
+	r := &SpanRecorder{sink: sink, opts: opts}
+	r.root = &Span{rec: r, name: rootName, attrs: attrs, start: time.Now()}
+	return r
+}
+
+// Root returns the recorder's root span; put it in a context with
+// ContextWithSpan so library layers can open children under it.
+func (r *SpanRecorder) Root() *Span { return r.root }
+
+// Finish ends the root span (if still open) and emits the whole tree to
+// the sink, one JSON line per span in depth-first order. Idempotent;
+// returns the first sink emission error.
+func (r *SpanRecorder) Finish() error {
+	r.mu.Lock()
+	if r.finished {
+		r.mu.Unlock()
+		return nil
+	}
+	r.finished = true
+	r.mu.Unlock()
+	r.root.End()
+	if r.sink == nil {
+		return nil
+	}
+	return r.emit(r.root, "", 0)
+}
+
+// emit writes one span and its children. Under redaction the children
+// are emitted in sorted (name, attributes) order; otherwise in arrival
+// order.
+func (r *SpanRecorder) emit(s *Span, parentPath string, depth int) error {
+	path := s.name
+	if parentPath != "" {
+		path = parentPath + "/" + s.name
+	}
+	ev := SpanEvent{Type: "span", Name: s.name, Path: path, Depth: depth, Attrs: s.attrMap(r.opts.RedactTiming)}
+	if !r.opts.RedactTiming {
+		ev.StartNs = s.start.Sub(r.root.start).Nanoseconds()
+		ev.DurNs = s.duration().Nanoseconds()
+	}
+	if err := r.sink.Emit(ev); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	children := make([]*Span, len(s.children))
+	copy(children, s.children)
+	s.mu.Unlock()
+	if r.opts.RedactTiming {
+		sort.SliceStable(children, func(i, j int) bool {
+			if children[i].name != children[j].name {
+				return children[i].name < children[j].name
+			}
+			return children[i].sortKey() < children[j].sortKey()
+		})
+	}
+	for _, c := range children {
+		if err := r.emit(c, path, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SpanEvent is the JSONL wire form of one span. Attrs marshal as a JSON
+// object (Go sorts map keys), so identical attribute sets yield
+// identical bytes. StartNs is the offset from the root span's start.
+type SpanEvent struct {
+	Type    string                 `json:"type"`
+	Name    string                 `json:"name"`
+	Path    string                 `json:"path"`
+	Depth   int                    `json:"depth"`
+	Attrs   map[string]interface{} `json:"attrs,omitempty"`
+	StartNs int64                  `json:"start_ns,omitempty"`
+	DurNs   int64                  `json:"dur_ns,omitempty"`
+}
+
+// Span is one timed node of the tree. The zero *Span (nil) is a valid
+// no-op span: every method is nil-safe, so instrumented code needs no
+// "is tracing on" branches.
+type Span struct {
+	rec   *SpanRecorder
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	attrs    []Attr
+	children []*Span
+	dur      time.Duration
+	ended    bool
+}
+
+// StartChild opens a child span. Safe to call from multiple goroutines
+// (pool workers attach their spans to the shared stage span).
+func (s *Span) StartChild(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{rec: s.rec, name: name, attrs: attrs, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Set appends attributes (typically results known only at the end: row
+// counts, reopened prefixes, worker utilization). A later attribute with
+// an existing key overrides the earlier one at emission.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// End records the span's duration; later Ends are ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// duration returns the recorded duration, or the live elapsed time for a
+// span that was never ended (e.g. aborted by an error return).
+func (s *Span) duration() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SampledPrefix reports whether per-prefix spans are enabled for this
+// prefix index under the recorder's PrefixSample knob. Keyed on the
+// dense prefix ID, the sampled set is identical across runs and worker
+// counts. Nil-safe: false without a recorder.
+func (s *Span) SampledPrefix(i int) bool {
+	if s == nil || s.rec == nil || s.rec.opts.PrefixSample <= 0 {
+		return false
+	}
+	return i%s.rec.opts.PrefixSample == 0
+}
+
+// Name returns the span's name ("" for the nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Seconds returns the span's duration in seconds (0 for the nil span).
+func (s *Span) Seconds() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.duration().Seconds()
+}
+
+// Children returns a snapshot of the span's direct children in arrival
+// order (RunReport turns the root's children into stage rows).
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// attrMap folds the attribute list into a map (later keys win),
+// dropping Volatile attributes when redacting.
+func (s *Span) attrMap(redact bool) map[string]interface{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.attrs) == 0 {
+		return nil
+	}
+	out := make(map[string]interface{}, len(s.attrs))
+	for _, a := range s.attrs {
+		if redact && a.Volatile {
+			continue
+		}
+		out[a.Key] = a.Value
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// sortKey is the deterministic sibling order under redaction: the JSON
+// of the non-volatile attribute map (map marshaling sorts keys).
+func (s *Span) sortKey() string {
+	m := s.attrMap(true)
+	if m == nil {
+		return ""
+	}
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Sprintf("%v", m)
+	}
+	return string(b)
+}
+
+// --- Context plumbing ---------------------------------------------------
+
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying s as the current span.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, s)
+}
+
+// SpanFromContext returns the current span, or nil (the no-op span) when
+// the context carries none.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartSpan opens a child of the context's current span and returns a
+// derived context carrying the child. Without a current span it returns
+// ctx unchanged and the nil no-op span, so instrumented library code
+// costs one context lookup when tracing is off.
+func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	c := parent.StartChild(name, attrs...)
+	return ContextWithSpan(ctx, c), c
+}

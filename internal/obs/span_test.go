@@ -1,0 +1,212 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// buildTree simulates a parallel stage: workers append sibling spans in
+// scheduling order, per-prefix spans land on the stage span with a
+// volatile worker attribute — the shape the model/gen pools produce.
+func buildTree(rec *SpanRecorder, order []int) {
+	root := rec.Root()
+	stage := root.StartChild("stage", A("prefixes", 4))
+	var wg sync.WaitGroup
+	for _, wi := range order {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			w := stage.StartChild("worker", VolatileAttr("worker", wi))
+			w.Set(VolatileAttr("busy_seconds", float64(wi)*0.1))
+			w.End()
+			if stage.SampledPrefix(wi) {
+				ps := stage.StartChild("prefix", A("prefix", "p"+string(rune('0'+wi))), VolatileAttr("worker", wi))
+				ps.End()
+			}
+		}(wi)
+	}
+	wg.Wait()
+	stage.Set(A("records", 42))
+	stage.End()
+}
+
+func redactedTrace(t *testing.T, order []int) string {
+	t.Helper()
+	var buf bytes.Buffer
+	sink := NewTraceSink(&buf)
+	rec := NewSpanRecorder(sink, "cmd", SpanOptions{RedactTiming: true, PrefixSample: 2})
+	buildTree(rec, order)
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestSpanRedactedDeterminism(t *testing.T) {
+	// Same logical run, two different worker arrival orders: the
+	// redacted traces must be byte-identical.
+	a := redactedTrace(t, []int{0, 1, 2, 3})
+	b := redactedTrace(t, []int{3, 1, 0, 2})
+	if a != b {
+		t.Fatalf("redacted traces differ:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	if strings.Contains(a, "busy_seconds") || strings.Contains(a, "worker\":") {
+		t.Fatalf("volatile attrs leaked into redacted trace:\n%s", a)
+	}
+	if strings.Contains(a, "start_ns") || strings.Contains(a, "dur_ns") {
+		t.Fatalf("timing fields leaked into redacted trace:\n%s", a)
+	}
+	// Sampled prefixes (PrefixSample=2 over ids 0..3) are 0 and 2.
+	if got := strings.Count(a, `"name":"prefix"`); got != 2 {
+		t.Fatalf("sampled prefix spans = %d, want 2\n%s", got, a)
+	}
+	if got := strings.Count(a, `"name":"worker"`); got != 4 {
+		t.Fatalf("worker spans = %d, want 4\n%s", got, a)
+	}
+}
+
+func TestSpanUnredactedKeepsTiming(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTraceSink(&buf)
+	rec := NewSpanRecorder(sink, "cmd", SpanOptions{})
+	s := rec.Root().StartChild("stage")
+	time.Sleep(time.Millisecond)
+	s.End()
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var saw bool
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var ev SpanEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad span line %q: %v", line, err)
+		}
+		if ev.Name == "stage" {
+			saw = true
+			if ev.DurNs <= 0 {
+				t.Fatalf("stage dur_ns = %d, want > 0", ev.DurNs)
+			}
+			if ev.Path != "cmd/stage" || ev.Depth != 1 {
+				t.Fatalf("stage path=%q depth=%d", ev.Path, ev.Depth)
+			}
+		}
+	}
+	if !saw {
+		t.Fatal("no stage span emitted")
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var s *Span
+	c := s.StartChild("x", A("k", 1))
+	if c != nil {
+		t.Fatal("nil span produced a real child")
+	}
+	s.Set(A("k", 2))
+	s.End()
+	if s.Name() != "" || s.Seconds() != 0 || s.Children() != nil || s.SampledPrefix(0) {
+		t.Fatal("nil span methods not inert")
+	}
+	// StartSpan without a span in context is a no-op passthrough.
+	ctx := context.Background()
+	ctx2, sp := StartSpan(ctx, "stage")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without parent span must return (ctx, nil)")
+	}
+}
+
+func TestSpanContextPlumbing(t *testing.T) {
+	rec := NewSpanRecorder(nil, "cmd", SpanOptions{})
+	ctx := ContextWithSpan(context.Background(), rec.Root())
+	ctx, s := StartSpan(ctx, "stage", A("k", "v"))
+	if s == nil {
+		t.Fatal("StartSpan with parent returned nil")
+	}
+	if got := SpanFromContext(ctx); got != s {
+		t.Fatal("derived context does not carry the child span")
+	}
+	_, c := StartSpan(ctx, "inner")
+	c.End()
+	s.End()
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	kids := rec.Root().Children()
+	if len(kids) != 1 || kids[0].Name() != "stage" {
+		t.Fatalf("root children = %v", kids)
+	}
+	inner := kids[0].Children()
+	if len(inner) != 1 || inner[0].Name() != "inner" {
+		t.Fatalf("stage children = %v", inner)
+	}
+}
+
+func TestSpanSampling(t *testing.T) {
+	rec := NewSpanRecorder(nil, "cmd", SpanOptions{PrefixSample: 3})
+	s := rec.Root()
+	var sampled []int
+	for i := 0; i < 10; i++ {
+		if s.SampledPrefix(i) {
+			sampled = append(sampled, i)
+		}
+	}
+	want := []int{0, 3, 6, 9}
+	if len(sampled) != len(want) {
+		t.Fatalf("sampled %v, want %v", sampled, want)
+	}
+	for i := range want {
+		if sampled[i] != want[i] {
+			t.Fatalf("sampled %v, want %v", sampled, want)
+		}
+	}
+	// PrefixSample 0 disables sampling entirely.
+	rec0 := NewSpanRecorder(nil, "cmd", SpanOptions{})
+	if rec0.Root().SampledPrefix(0) {
+		t.Fatal("sampling enabled with PrefixSample=0")
+	}
+}
+
+func TestSpanRecorderFinishIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewTraceSink(&buf)
+	rec := NewSpanRecorder(sink, "cmd", SpanOptions{})
+	rec.Root().StartChild("stage").End()
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n := len(buf.String())
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(buf.String()) != n {
+		t.Fatal("second Finish re-emitted the tree")
+	}
+}
+
+func TestSpanAttrOverride(t *testing.T) {
+	rec := NewSpanRecorder(nil, "cmd", SpanOptions{})
+	s := rec.Root().StartChild("stage", A("k", 1))
+	s.Set(A("k", 2))
+	s.End()
+	m := s.attrMap(false)
+	if m["k"] != 2 {
+		t.Fatalf("attr k = %v, want later value 2", m["k"])
+	}
+}

@@ -3,9 +3,13 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 )
+
+// ErrSinkClosed is returned by Emit after Close.
+var ErrSinkClosed = errors.New("obs: trace sink closed")
 
 // TraceSink writes structured trace events as JSON Lines: one
 // json.Marshal-ed event per line. Emission is deterministic for a
@@ -14,11 +18,12 @@ import (
 // numbers) — so two identical runs produce byte-identical trace files.
 // Safe for concurrent use.
 type TraceSink struct {
-	mu  sync.Mutex
-	out io.Writer
-	w   *bufio.Writer
-	n   int
-	err error
+	mu     sync.Mutex
+	out    io.Writer
+	w      *bufio.Writer
+	n      int
+	err    error
+	closed bool
 }
 
 // NewTraceSink wraps w in a buffered JSONL sink. Call Flush (or Close on
@@ -32,6 +37,9 @@ func NewTraceSink(w io.Writer) *TraceSink {
 func (s *TraceSink) Emit(event interface{}) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return ErrSinkClosed
+	}
 	if s.err != nil {
 		return s.err
 	}
@@ -82,6 +90,27 @@ func (s *TraceSink) flushLocked() error {
 		return err
 	}
 	return nil
+}
+
+// Close flushes buffered events and closes the underlying writer when it
+// is an io.Closer (a file, or a durable.RetryWriter forwarding to one).
+// Emits after Close return ErrSinkClosed. Idempotent: the second Close is
+// a no-op returning nil, so `defer sink.Close()` composes with an
+// explicit error-checked Close on the success path.
+func (s *TraceSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.flushLocked()
+	if c, ok := s.out.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // Sync flushes and, when the underlying writer supports it (an *os.File),
