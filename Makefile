@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-check fuzz-smoke
+.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-serve bench-check fuzz-smoke
 
 all: check
 
@@ -50,9 +50,16 @@ bench-go:
 bench-gen:
 	$(GO) run ./cmd/parbench -mode gen -reps 1 -gen-out BENCH_gen.json
 
+# Serving-stack benchmark: an in-process asmodeld on a loopback port
+# under a seeded client fleet with mid-run hot-swaps; writes
+# schema-versioned BENCH_serve.json (checked in, gated by bench-check).
+bench-serve:
+	$(GO) run ./cmd/asmodeld -loadgen -gen-seed 1 -requests 2000 -clients 8 -out BENCH_serve.json
+
 # Perf-regression gate: validate the BENCH reports against the
 # checked-in baselines (generous single-core tolerances — this catches
 # order-of-magnitude regressions and broken determinism flags).
 bench-check:
 	$(GO) run ./cmd/obsreport check BENCH_parallel.json baselines/BENCH_parallel.baseline.json
 	$(GO) run ./cmd/obsreport check BENCH_gen.json baselines/BENCH_gen.baseline.json
+	$(GO) run ./cmd/obsreport check BENCH_serve.json baselines/BENCH_serve.baseline.json

@@ -52,6 +52,7 @@ import (
 	"asmodel/internal/model"
 	"asmodel/internal/mrt"
 	"asmodel/internal/relation"
+	"asmodel/internal/serve"
 	"asmodel/internal/topology"
 )
 
@@ -234,4 +235,40 @@ func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
 func ParseLookingGlass(r io.Reader, obs ObsPointID, localAS ASN, ds *Dataset) error {
 	_, err := lg.Parse(r, lg.Options{Obs: obs, LocalAS: localAS}, ds)
 	return err
+}
+
+// Serving types: the cmd/asmodeld route-prediction daemon as a library —
+// an immutable model snapshot behind HTTP/JSON with validated hot-swap,
+// load shedding and graceful drain.
+type (
+	// ServeConfig parameterizes a prediction server (checkpoint/model
+	// source, listen address, probe count, in-flight bound, deadlines).
+	ServeConfig = serve.Config
+	// ServeServer is the daemon: Run serves until the context is
+	// canceled, Reload hot-swaps a validated snapshot, SetModel installs
+	// an in-memory model.
+	ServeServer = serve.Server
+	// ServeSnapshot is one immutable serving unit; Predict answers a
+	// (vantage, prefix) query against exactly this snapshot.
+	ServeSnapshot = serve.Snapshot
+	// ServePrediction is the service's answer: predicted path, route
+	// diversity, tie-break depth and top-k alternates.
+	ServePrediction = serve.Prediction
+	// ServeReloadError reports a failed hot-swap; RolledBack tells
+	// whether a previous snapshot kept serving.
+	ServeReloadError = serve.ReloadError
+	// ServeDrainError reports a shutdown drain that exceeded its
+	// deadline, cutting off accepted requests.
+	ServeDrainError = serve.DrainError
+)
+
+// NewServer builds a prediction daemon from the given configuration. No
+// I/O happens until Reload, SetModel or Run.
+func NewServer(cfg ServeConfig) *ServeServer { return serve.New(cfg) }
+
+// NewServingSnapshot wraps a quiescent refined model for concurrent
+// prediction serving without the daemon: poolSize bounds the clone
+// free-list used by concurrent propagations.
+func NewServingSnapshot(m *Model, poolSize int) *ServeSnapshot {
+	return serve.NewSnapshot(m, poolSize)
 }

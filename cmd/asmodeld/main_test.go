@@ -1,0 +1,145 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/model"
+	"asmodel/internal/serve"
+	"asmodel/internal/topology"
+)
+
+// writeTinyCheckpoint builds a minimal refined-model checkpoint the
+// daemon can serve.
+func writeTinyCheckpoint(t *testing.T, path string) {
+	t.Helper()
+	rec := func(obs string, prefix string, path ...bgp.ASN) dataset.Record {
+		return dataset.Record{Obs: dataset.ObsPointID(obs), ObsAS: path[0], Prefix: prefix, Path: bgp.Path(path)}
+	}
+	ds := &dataset.Dataset{Records: []dataset.Record{
+		rec("o1", "P1", 1, 2, 4),
+		rec("o2", "P1", 3, 1, 2, 4),
+		rec("o3", "P2", 1, 3),
+		rec("o4", "P3", 2, 5),
+	}}
+	m, err := model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := &model.Checkpoint{
+		Iteration: 4,
+		Works:     []model.CheckpointWork{{Prefix: "P1", State: "settled"}},
+		Model:     m,
+	}
+	var buf bytes.Buffer
+	if err := model.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	ctx := context.Background()
+	if got := run(ctx, nil); got != exitUsage {
+		t.Fatalf("no args: exit %d, want %d", got, exitUsage)
+	}
+	if got := run(ctx, []string{"-h"}); got != exitOK {
+		t.Fatalf("-h: exit %d, want %d", got, exitOK)
+	}
+	if got := run(ctx, []string{"-no-such-flag"}); got != exitUsage {
+		t.Fatalf("bad flag: exit %d, want %d", got, exitUsage)
+	}
+	if got := run(ctx, []string{"-checkpoint", "x", "stray"}); got != exitUsage {
+		t.Fatalf("stray arg: exit %d, want %d", got, exitUsage)
+	}
+	if got := run(ctx, []string{"-checkpoint", "/nonexistent/ckpt"}); got != exitRuntime {
+		t.Fatalf("missing checkpoint: exit %d, want %d", got, exitRuntime)
+	}
+}
+
+// TestServeSmoke boots the daemon on a loopback port, lets it serve,
+// then sends the drain signal (context cancel, as SIGTERM does) and
+// expects a clean exit with a run report.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.txt")
+	writeTinyCheckpoint(t, ckpt)
+	report := filepath.Join(dir, "report.json")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, []string{"-checkpoint", ckpt, "-addr", "127.0.0.1:0", "-report", report})
+	}()
+	time.Sleep(400 * time.Millisecond)
+	cancel()
+	select {
+	case got := <-done:
+		if got != exitOK {
+			t.Fatalf("drained daemon exited %d, want %d", got, exitOK)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not exit after cancel")
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatalf("run report missing: %v", err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	sections, ok := rep["sections"].(map[string]any)
+	if !ok || sections["serve"] == nil {
+		t.Fatalf("run report has no serve section: %s", data)
+	}
+}
+
+// TestLoadGenSmoke runs the full loadgen path — real daemon, real HTTP,
+// mid-run reloads from the checkpoint file — and checks the bench
+// report it writes.
+func TestLoadGenSmoke(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt.txt")
+	writeTinyCheckpoint(t, ckpt)
+	out := filepath.Join(dir, "bench.json")
+
+	got := run(context.Background(), []string{
+		"-loadgen", "-checkpoint", ckpt,
+		"-requests", "120", "-clients", "6", "-reloads", "3", "-seed", "2",
+		"-out", out,
+	})
+	if got != exitOK {
+		t.Fatalf("loadgen exited %d, want %d", got, exitOK)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep serve.BenchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "asmodel-bench-serve-v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.OK+rep.Shed+rep.Errors != 120 {
+		t.Fatalf("requests unaccounted for: ok=%d shed=%d errors=%d", rep.OK, rep.Shed, rep.Errors)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", rep.Errors)
+	}
+	if rep.SwapsApplied < 1 {
+		t.Fatalf("no swaps applied during loadgen: %+v", rep)
+	}
+}

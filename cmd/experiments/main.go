@@ -12,17 +12,29 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"asmodel/internal/experiments"
 	"asmodel/internal/metrics"
 	"asmodel/internal/model"
 	"asmodel/internal/obs"
 	"asmodel/internal/topology"
+)
+
+// Exit codes match cmd/asmodel's contract: 0 success, 1 runtime
+// failure, 2 usage error, 3 interrupted by SIGINT/SIGTERM.
+const (
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -37,45 +49,52 @@ func main() {
 
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "experiments: -workers must be >= 1")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 
+	// SIGINT/SIGTERM cancel the context so a long evaluation run dies
+	// cleanly at the next section boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			os.Exit(exitRuntime)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
-	if err := run(*seed, *scale, *workers, *only, *jsonPath, *reportPath); err != nil {
+	if err := run(ctx, *seed, *scale, *workers, *only, *jsonPath, *reportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(exitRuntime)
 	}
 }
 
 // report collects every experiment's headline numbers for -json. Sections
 // not selected via -only stay nil and are omitted from the output.
 type report struct {
-	Seed        int64                              `json:"seed"`
-	Scale       int                                `json:"scale"`
-	ASes        int                                `json:"ases"`
-	Records     int                                `json:"records"`
-	Prefixes    int                                `json:"prefixes"`
-	ObsPoints   int                                `json:"obs_points"`
-	Stats       *topology.Stats                    `json:"stats,omitempty"`
-	Figure2     *figure2Report                     `json:"figure2,omitempty"`
-	Table1      map[string]int                     `json:"table1,omitempty"`
-	Table2      *table2Report                      `json:"table2,omitempty"`
-	Pipeline    *experiments.RefineHeadline        `json:"pipeline,omitempty"`
-	Unseen      *experiments.RefineHeadline        `json:"unseen,omitempty"`
-	Combined    *experiments.RefineHeadline        `json:"combined,omitempty"`
-	Figure3     *experiments.Figure3Result         `json:"figure3,omitempty"`
-	MultiPrefix *experiments.MultiPrefixResult     `json:"multiprefix,omitempty"`
-	Iterations  []experiments.IterationsRow        `json:"iterations,omitempty"`
-	WhatIf      *experiments.WhatIfFidelityResult  `json:"whatif,omitempty"`
-	Ablations   []experiments.AblationRow          `json:"ablations,omitempty"`
+	Seed        int64                             `json:"seed"`
+	Scale       int                               `json:"scale"`
+	ASes        int                               `json:"ases"`
+	Records     int                               `json:"records"`
+	Prefixes    int                               `json:"prefixes"`
+	ObsPoints   int                               `json:"obs_points"`
+	Stats       *topology.Stats                   `json:"stats,omitempty"`
+	Figure2     *figure2Report                    `json:"figure2,omitempty"`
+	Table1      map[string]int                    `json:"table1,omitempty"`
+	Table2      *table2Report                     `json:"table2,omitempty"`
+	Pipeline    *experiments.RefineHeadline       `json:"pipeline,omitempty"`
+	Unseen      *experiments.RefineHeadline       `json:"unseen,omitempty"`
+	Combined    *experiments.RefineHeadline       `json:"combined,omitempty"`
+	Figure3     *experiments.Figure3Result        `json:"figure3,omitempty"`
+	MultiPrefix *experiments.MultiPrefixResult    `json:"multiprefix,omitempty"`
+	Iterations  []experiments.IterationsRow       `json:"iterations,omitempty"`
+	WhatIf      *experiments.WhatIfFidelityResult `json:"whatif,omitempty"`
+	Ablations   []experiments.AblationRow         `json:"ablations,omitempty"`
 }
 
 type figure2Report struct {
@@ -89,7 +108,7 @@ type table2Report struct {
 	Policies     *metrics.Summary `json:"policies"`
 }
 
-func run(seed int64, scale, workers int, only, jsonPath, reportPath string) error {
+func run(ctx context.Context, seed int64, scale, workers int, only, jsonPath, reportPath string) error {
 	want := func(name string) bool {
 		if only == "" {
 			return true
@@ -142,6 +161,11 @@ func run(seed int64, scale, workers int, only, jsonPath, reportPath string) erro
 	section := func(name string, f func() (string, error)) error {
 		if !want(name) {
 			return nil
+		}
+		// Interrupts land between sections: each experiment is all-or-
+		// nothing, so a canceled run never prints a half-computed table.
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		sp := root.StartChild(name)
 		out, err := f()

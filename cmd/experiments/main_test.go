@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -12,7 +13,7 @@ import (
 // numbers (others omitted).
 func TestRunJSONReport(t *testing.T) {
 	jsonPath := filepath.Join(t.TempDir(), "report.json")
-	if err := run(1, 1, 2, "figure2,figure3", jsonPath, ""); err != nil {
+	if err := run(context.Background(), 1, 1, 2, "figure2,figure3", jsonPath, ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(jsonPath)

@@ -12,16 +12,28 @@ package main
 
 import (
 	"compress/gzip"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"asmodel/internal/dataset"
 	"asmodel/internal/ingest"
 	"asmodel/internal/mrt"
 	"asmodel/internal/obs"
+)
+
+// Exit codes match cmd/asmodel's contract: 0 success, 1 runtime
+// failure, 2 usage error, 3 interrupted by SIGINT/SIGTERM.
+const (
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -38,25 +50,47 @@ func main() {
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mrt2paths [flags] <rib.mrt[.gz]>")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
+	// SIGINT/SIGTERM cancel the context so a long ingest dies cleanly
+	// between records instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mrt2paths:", err)
-			os.Exit(1)
+			os.Exit(exitRuntime)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
 	opts := ingest.Options{Strict: *strict, MaxRecordErrors: *maxErrs}
-	if err := run(flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates, opts, *report, os.Args[1:]); err != nil {
+	if err := run(ctx, flag.Arg(0), *out, *stableAt, *minAge, *normalize, *updates, opts, *report, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "mrt2paths:", err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(exitRuntime)
 	}
 }
 
-func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts ingest.Options, reportPath string, args []string) error {
+// ctxReader aborts a streaming ingest when the context is canceled: the
+// MRT readers have no context parameter, so cancellation is threaded
+// through the io.Reader they consume.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+func run(ctx context.Context, in, out string, stableAt, minAge int64, normalize, updates bool, opts ingest.Options, reportPath string, args []string) error {
 	var runRep *obs.RunReport
 	var rec *obs.SpanRecorder
 	root := (*obs.Span)(nil)
@@ -81,6 +115,7 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts i
 		defer gz.Close()
 		r = gz
 	}
+	r = ctxReader{ctx: ctx, r: r}
 	var ds *dataset.Dataset
 	var rep *ingest.Report
 	if updates {
@@ -119,6 +154,9 @@ func run(in, out string, stableAt, minAge int64, normalize, updates bool, opts i
 		}
 	}
 	ispan.End()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if normalize {
 		ds.Normalize()
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"net/netip"
 	"os"
 	"path/filepath"
@@ -58,7 +59,7 @@ func readOut(t *testing.T, path string) *dataset.Dataset {
 func TestRunRIBPlain(t *testing.T) {
 	in := writeMRTFile(t, false)
 	out := filepath.Join(t.TempDir(), "paths.txt")
-	if err := run(in, out, 0, 3600, true, false, ingest.Options{}, "", nil); err != nil {
+	if err := run(context.Background(), in, out, 0, 3600, true, false, ingest.Options{}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	ds := readOut(t, out)
@@ -76,7 +77,7 @@ func TestRunRIBPlain(t *testing.T) {
 func TestRunRIBGzip(t *testing.T) {
 	in := writeMRTFile(t, true)
 	out := filepath.Join(t.TempDir(), "paths.txt")
-	if err := run(in, out, 0, 3600, false, false, ingest.Options{}, "", nil); err != nil {
+	if err := run(context.Background(), in, out, 0, 3600, false, false, ingest.Options{}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	if readOut(t, out).Len() != 2 {
@@ -89,7 +90,7 @@ func TestRunStableFilter(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "paths.txt")
 	// Cutoff 4000 with one hour min-age drops the route learned at 5000
 	// AND keeps the one from 100.
-	if err := run(in, out, 4000, 3600, true, false, ingest.Options{}, "", nil); err != nil {
+	if err := run(context.Background(), in, out, 4000, 3600, true, false, ingest.Options{}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	ds := readOut(t, out)
@@ -118,7 +119,7 @@ func TestRunUpdatesMode(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(t.TempDir(), "paths.txt")
-	if err := run(in, out, 0, 0, true, true, ingest.Options{}, "", nil); err != nil {
+	if err := run(context.Background(), in, out, 0, 0, true, true, ingest.Options{}, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	ds := readOut(t, out)
@@ -131,11 +132,11 @@ func TestRunUpdatesMode(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent", "-", 0, 0, true, false, ingest.Options{}, "", nil); err == nil {
+	if err := run(context.Background(), "/nonexistent", "-", 0, 0, true, false, ingest.Options{}, "", nil); err == nil {
 		t.Error("missing input accepted")
 	}
 	in := writeMRTFile(t, false)
-	if err := run(in, "/nonexistent-dir/out.txt", 0, 0, true, false, ingest.Options{}, "", nil); err == nil {
+	if err := run(context.Background(), in, "/nonexistent-dir/out.txt", 0, 0, true, false, ingest.Options{}, "", nil); err == nil {
 		t.Error("bad output accepted")
 	}
 }

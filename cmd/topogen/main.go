@@ -12,14 +12,25 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"asmodel/internal/gen"
 	"asmodel/internal/mrt"
 	"asmodel/internal/obs"
+)
+
+// Exit codes match cmd/asmodel's contract: 0 success, 1 runtime
+// failure, 2 usage error, 3 interrupted by SIGINT/SIGTERM.
+const (
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 func main() {
@@ -43,25 +54,31 @@ func main() {
 
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "topogen: -workers must be >= 1")
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
+	// SIGINT/SIGTERM cancel the context so a long parallel generation
+	// dies cleanly between prefixes instead of mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *debugAddr != "" {
 		srv, err := obs.Serve(*debugAddr, obs.Default())
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "topogen:", err)
-			os.Exit(1)
+			os.Exit(exitRuntime)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/metrics (also /metrics.json, /debug/vars, /debug/pprof)\n", srv.Addr)
 	}
-	if err := run(cfg, *out, *mrtOut, *quiet, *workers, *report, flag.Args()); err != nil {
+	if err := run(ctx, cfg, *out, *mrtOut, *quiet, *workers, *report, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
-		os.Exit(1)
+		if errors.Is(err, context.Canceled) {
+			os.Exit(exitInterrupted)
+		}
+		os.Exit(exitRuntime)
 	}
 }
 
-func run(cfg gen.Config, out, mrtOut string, quiet bool, workers int, reportPath string, args []string) error {
-	ctx := context.Background()
+func run(ctx context.Context, cfg gen.Config, out, mrtOut string, quiet bool, workers int, reportPath string, args []string) error {
 	var rep *obs.RunReport
 	var rec *obs.SpanRecorder
 	if reportPath != "" {

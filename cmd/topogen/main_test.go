@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -22,7 +23,7 @@ func TestRunWritesDatasetAndMRT(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "paths.txt")
 	mrtOut := filepath.Join(dir, "rib.mrt")
-	if err := run(smallCfg(), out, mrtOut, true, 2, "", nil); err != nil {
+	if err := run(context.Background(), smallCfg(), out, mrtOut, true, 2, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -54,16 +55,16 @@ func TestRunWritesDatasetAndMRT(t *testing.T) {
 func TestRunInvalidConfig(t *testing.T) {
 	cfg := smallCfg()
 	cfg.NumTier1 = 0
-	if err := run(cfg, filepath.Join(t.TempDir(), "x"), "", true, 1, "", nil); err == nil {
+	if err := run(context.Background(), cfg, filepath.Join(t.TempDir(), "x"), "", true, 1, "", nil); err == nil {
 		t.Error("invalid config accepted")
 	}
 }
 
 func TestRunBadOutputPath(t *testing.T) {
-	if err := run(smallCfg(), "/nonexistent-dir/paths.txt", "", true, 1, "", nil); err == nil {
+	if err := run(context.Background(), smallCfg(), "/nonexistent-dir/paths.txt", "", true, 1, "", nil); err == nil {
 		t.Error("bad output path accepted")
 	}
-	if err := run(smallCfg(), filepath.Join(t.TempDir(), "ok.txt"), "/nonexistent-dir/rib.mrt", true, 1, "", nil); err == nil {
+	if err := run(context.Background(), smallCfg(), filepath.Join(t.TempDir(), "ok.txt"), "/nonexistent-dir/rib.mrt", true, 1, "", nil); err == nil {
 		t.Error("bad MRT path accepted")
 	}
 }
@@ -72,10 +73,10 @@ func TestRunWorkerCountsProduceIdenticalOutput(t *testing.T) {
 	dir := t.TempDir()
 	seq := filepath.Join(dir, "seq.txt")
 	par := filepath.Join(dir, "par.txt")
-	if err := run(smallCfg(), seq, "", true, 1, "", nil); err != nil {
+	if err := run(context.Background(), smallCfg(), seq, "", true, 1, "", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(smallCfg(), par, "", true, 4, "", nil); err != nil {
+	if err := run(context.Background(), smallCfg(), par, "", true, 4, "", nil); err != nil {
 		t.Fatal(err)
 	}
 	a, err := os.ReadFile(seq)

@@ -7,6 +7,7 @@
 package durable
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -49,6 +50,13 @@ type Policy struct {
 	// buffering — the seam fault-injection tests use to corrupt file
 	// writes beneath the retry layer.
 	WrapWriter func(io.Writer) io.Writer
+
+	// normed/customSleep are set by norm(): normed makes norm idempotent,
+	// customSleep records whether Sleep was caller-supplied (an injected
+	// Sleep is honored even under a context; cancellation is checked
+	// after it returns).
+	normed      bool
+	customSleep bool
 }
 
 // DefaultPolicy is applied for unset Policy fields: 4 retries starting
@@ -60,6 +68,11 @@ var DefaultPolicy = Policy{
 }
 
 func (p Policy) norm() Policy {
+	if p.normed {
+		return p
+	}
+	p.normed = true
+	p.customSleep = p.Sleep != nil
 	if p.MaxRetries == 0 {
 		p.MaxRetries = DefaultPolicy.MaxRetries
 	}
@@ -84,9 +97,20 @@ func (p Policy) norm() Policy {
 // retry runs f until it succeeds, fails permanently, or the retry
 // budget is exhausted. p must be normalized.
 func (p Policy) retry(f func() error) error {
+	return p.retryCtx(context.Background(), f)
+}
+
+// retryCtx is retry with cancellation: backoff sleeps abort as soon as
+// ctx is done, and a cancelled ctx is checked before each attempt, so a
+// shutdown drain is never spent inside a retry loop. p must be
+// normalized.
+func (p Policy) retryCtx(ctx context.Context, f func() error) error {
 	delay := p.Backoff
 	var err error
 	for attempt := 0; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return abortErr(cerr, err)
+		}
 		err = f()
 		if err == nil || !p.Transient(err) || attempt >= p.MaxRetries {
 			return err
@@ -94,11 +118,42 @@ func (p Policy) retry(f func() error) error {
 		if p.OnRetry != nil {
 			p.OnRetry(err)
 		}
-		p.Sleep(delay)
+		if cerr := p.sleep(ctx, delay); cerr != nil {
+			return abortErr(cerr, err)
+		}
 		if delay *= 2; delay > p.MaxBackoff {
 			delay = p.MaxBackoff
 		}
 	}
+}
+
+// sleep blocks for d or until ctx is done, whichever comes first. A
+// caller-injected Sleep (tests use a no-op) is always invoked in full;
+// cancellation is reported after it returns.
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.customSleep {
+		p.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// abortErr reports a retry loop cut short by cancellation. Both the
+// context error and the last transient I/O error (when one was seen)
+// are in the chain, so errors.Is(err, context.Canceled) and
+// IsTransient(err) both hold where applicable.
+func abortErr(cerr, last error) error {
+	if last == nil {
+		return fmt.Errorf("durable: retry aborted: %w", cerr)
+	}
+	return fmt.Errorf("durable: retry aborted (%w) after transient error: %w", cerr, last)
 }
 
 // --- Retry writer -------------------------------------------------------
@@ -109,21 +164,29 @@ func (p Policy) retry(f func() error) error {
 type RetryWriter struct {
 	w   io.Writer
 	pol Policy
+	ctx context.Context
 }
 
 // NewRetryWriter wraps w with pol's retry loop.
 func NewRetryWriter(w io.Writer, pol Policy) *RetryWriter {
-	return &RetryWriter{w: w, pol: pol.norm()}
+	return NewRetryWriterCtx(context.Background(), w, pol)
+}
+
+// NewRetryWriterCtx is NewRetryWriter with cancellation: backoff sleeps
+// between retries end early once ctx is done, and the cancellation
+// surfaces as a write error wrapping ctx.Err().
+func NewRetryWriterCtx(ctx context.Context, w io.Writer, pol Policy) *RetryWriter {
+	return &RetryWriter{w: w, pol: pol.norm(), ctx: ctx}
 }
 
 func (rw *RetryWriter) Write(p []byte) (int, error) {
 	written := 0
-	err := rw.pol.retry(func() error {
+	err := rw.pol.retryCtx(rw.ctx, func() error {
 		for written < len(p) {
 			n, err := rw.w.Write(p[written:])
 			written += n
 			if err != nil {
-				if n > 0 && rw.pol.Transient(err) {
+				if n > 0 && rw.pol.Transient(err) && rw.ctx.Err() == nil {
 					continue // partial progress: resume without burning a retry
 				}
 				return err
@@ -140,7 +203,7 @@ func (rw *RetryWriter) Write(p []byte) (int, error) {
 // Sync forwards to the underlying writer when it supports it.
 func (rw *RetryWriter) Sync() error {
 	if s, ok := rw.w.(interface{ Sync() error }); ok {
-		return rw.pol.retry(s.Sync)
+		return rw.pol.retryCtx(rw.ctx, s.Sync)
 	}
 	return nil
 }
@@ -163,16 +226,24 @@ func (rw *RetryWriter) Close() error {
 type RetryReader struct {
 	r   io.Reader
 	pol Policy
+	ctx context.Context
 }
 
 // NewRetryReader wraps r with pol's retry loop.
 func NewRetryReader(r io.Reader, pol Policy) *RetryReader {
-	return &RetryReader{r: r, pol: pol.norm()}
+	return NewRetryReaderCtx(context.Background(), r, pol)
+}
+
+// NewRetryReaderCtx is NewRetryReader with cancellation: backoff sleeps
+// between retries end early once ctx is done, and the cancellation
+// surfaces as a read error wrapping ctx.Err().
+func NewRetryReaderCtx(ctx context.Context, r io.Reader, pol Policy) *RetryReader {
+	return &RetryReader{r: r, pol: pol.norm(), ctx: ctx}
 }
 
 func (rr *RetryReader) Read(p []byte) (int, error) {
 	var n int
-	err := rr.pol.retry(func() error {
+	err := rr.pol.retryCtx(rr.ctx, func() error {
 		var err error
 		n, err = rr.r.Read(p)
 		if n > 0 && err != nil && rr.pol.Transient(err) {
@@ -194,9 +265,18 @@ func (rr *RetryReader) Read(p []byte) (int, error) {
 // is renamed into place. On permanent failure the previous path and
 // .bak files are left untouched.
 func WriteFileAtomic(path string, pol Policy, write func(io.Writer) error) error {
+	return WriteFileAtomicCtx(context.Background(), path, pol, write)
+}
+
+// WriteFileAtomicCtx is WriteFileAtomic with cancellation: retry
+// backoff aborts once ctx is done (the error wraps ctx.Err()), so a
+// checkpoint attempted during shutdown cannot eat the drain deadline
+// sleeping between retries. A cancelled attempt behaves like a
+// permanent failure — the previous path and .bak files stay untouched.
+func WriteFileAtomicCtx(ctx context.Context, path string, pol Policy, write func(io.Writer) error) error {
 	pol = pol.norm()
 	tmp := path + ".tmp"
-	err := pol.retry(func() error { return writeTmp(tmp, pol, write) })
+	err := pol.retryCtx(ctx, func() error { return writeTmp(ctx, tmp, pol, write) })
 	if err != nil {
 		os.Remove(tmp)
 		return err
@@ -215,7 +295,7 @@ func WriteFileAtomic(path string, pol Policy, write func(io.Writer) error) error
 	return nil
 }
 
-func writeTmp(tmp string, pol Policy, write func(io.Writer) error) error {
+func writeTmp(ctx context.Context, tmp string, pol Policy, write func(io.Writer) error) error {
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
@@ -224,7 +304,7 @@ func writeTmp(tmp string, pol Policy, write func(io.Writer) error) error {
 	if pol.WrapWriter != nil {
 		w = pol.WrapWriter(w)
 	}
-	rw := NewRetryWriter(w, pol)
+	rw := NewRetryWriterCtx(ctx, w, pol)
 	if err := write(rw); err != nil {
 		f.Close()
 		return err

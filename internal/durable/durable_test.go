@@ -2,6 +2,7 @@ package durable
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"io"
 	"os"
@@ -147,6 +148,66 @@ func TestWriteFileAtomicRetriesTransients(t *testing.T) {
 	got, _ := os.ReadFile(path)
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("file corrupted after retries: %d bytes", len(got))
+	}
+}
+
+func TestRetryWriterCtxAbortsBackoff(t *testing.T) {
+	var sink bytes.Buffer
+	// Every write fails transiently forever; without cancellation the
+	// long backoff below would stall the test.
+	fw := faultinject.NewWriter(&sink, faultinject.WriterConfig{TransientEvery: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := Policy{Backoff: time.Hour, MaxBackoff: time.Hour, MaxRetries: 100}
+	pol.OnRetry = func(error) { cancel() } // cancel mid-retry, before the sleep
+	rw := NewRetryWriterCtx(ctx, fw, pol)
+	start := time.Now()
+	_, err := rw.Write([]byte("data"))
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("backoff was not aborted by cancellation (%v elapsed)", elapsed)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
+	}
+	var te *faultinject.TransientError
+	if !errors.As(err, &te) {
+		t.Fatalf("want last transient error in chain, got %v", err)
+	}
+}
+
+func TestWriteFileAtomicCtxCanceledKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.dat")
+	if err := os.WriteFile(path, []byte("previous-good"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already canceled: the write must not start
+	err := WriteFileAtomicCtx(ctx, path, Policy{}, func(w io.Writer) error {
+		_, err := w.Write([]byte("new-data"))
+		return err
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "previous-good" {
+		t.Fatalf("previous file damaged: %q", got)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind: %v", err)
+	}
+}
+
+func TestRetryReaderCtxAborts(t *testing.T) {
+	fr := faultinject.NewReader(bytes.NewReader(bytes.Repeat([]byte("x"), 64)),
+		faultinject.ReaderConfig{TransientEvery: 1})
+	ctx, cancel := context.WithCancel(context.Background())
+	pol := Policy{Backoff: time.Hour, MaxBackoff: time.Hour}
+	pol.OnRetry = func(error) { cancel() }
+	rr := NewRetryReaderCtx(ctx, fr, pol)
+	_, err := io.ReadAll(rr)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled in chain, got %v", err)
 	}
 }
 

@@ -375,9 +375,9 @@ func (s *Suite) UnseenPrefixes(trainFrac float64, seed int64) (*RefineOutcome, e
 
 // Figure3Result carries the headline numbers of the diversity case study.
 type Figure3Result struct {
-	Prefix        string `json:"prefix"`
+	Prefix        string  `json:"prefix"`
 	AS            bgp.ASN `json:"as"`
-	DistinctPaths int    `json:"distinct_paths"`
+	DistinctPaths int     `json:"distinct_paths"`
 }
 
 // Figure3 locates the (prefix, AS) pair with the highest received route

@@ -159,11 +159,20 @@ var checkpointWriteWrap func(io.Writer) io.Writer
 // checkpoint is kept as path+".bak", which LoadCheckpointFile falls
 // back to when the primary is corrupt.
 func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	return WriteCheckpointFileCtx(context.Background(), path, cp)
+}
+
+// WriteCheckpointFileCtx is WriteCheckpointFile with cancellation:
+// retry backoff between transient write failures aborts once ctx is
+// done, so an interrupted refinement doesn't spend its shutdown
+// deadline sleeping. The final forced checkpoint on interrupt passes a
+// non-cancelable ctx (context.WithoutCancel) so it still retries.
+func WriteCheckpointFileCtx(ctx context.Context, path string, cp *Checkpoint) error {
 	pol := durable.Policy{
 		OnRetry:    func(error) { mCkptRetries.Inc() },
 		WrapWriter: checkpointWriteWrap,
 	}
-	return durable.WriteFileAtomic(path, pol, func(w io.Writer) error {
+	return durable.WriteFileAtomicCtx(ctx, path, pol, func(w io.Writer) error {
 		return WriteCheckpoint(w, cp)
 	})
 }

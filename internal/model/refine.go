@@ -526,7 +526,11 @@ func (rr *refineRun) verifySweep(span *obs.Span) (int, error) {
 
 // maybeCheckpoint writes a checkpoint if checkpointing is enabled and
 // either force is set (cancellation) or the iteration interval elapsed.
-func (rr *refineRun) maybeCheckpoint(force bool) error {
+// ctx bounds the retry backoff of the write itself: periodic calls pass
+// the live refine ctx (a cancel aborts the backoff and the interrupt
+// path takes over), the final forced checkpoint passes a
+// non-cancelable ctx so it still retries transients after cancel.
+func (rr *refineRun) maybeCheckpoint(ctx context.Context, force bool) error {
 	cc := rr.cfg.Checkpoint
 	if cc.Path == "" {
 		return nil
@@ -538,7 +542,7 @@ func (rr *refineRun) maybeCheckpoint(force bool) error {
 	if !force && rr.iter%every != 0 {
 		return nil
 	}
-	if err := WriteCheckpointFile(cc.Path, rr.snapshot()); err != nil {
+	if err := WriteCheckpointFileCtx(ctx, cc.Path, rr.snapshot()); err != nil {
 		return fmt.Errorf("model: writing checkpoint: %w", err)
 	}
 	rr.res.Checkpoints++
@@ -560,7 +564,7 @@ func (rr *refineRun) checkInterrupt(ctx context.Context) error {
 		return nil
 	}
 	mInterrupts.Inc()
-	if err := rr.maybeCheckpoint(true); err != nil {
+	if err := rr.maybeCheckpoint(context.WithoutCancel(ctx), true); err != nil {
 		cause = errors.Join(cause, err)
 	}
 	return &InterruptedError{
@@ -638,7 +642,15 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 				rr.cum.add(actions)
 				rr.emit(RefineEvent{Type: "iteration", Actions: actions})
 			}
-			if err := rr.maybeCheckpoint(false); err != nil {
+			if err := rr.maybeCheckpoint(ctx, false); err != nil {
+				// A cancel that lands mid-backoff aborts the periodic
+				// write; hand over to the interrupt path, which retries
+				// the final checkpoint under a non-cancelable ctx.
+				if ctx.Err() != nil {
+					if ierr := rr.checkInterrupt(ctx); ierr != nil {
+						return nil, ierr
+					}
+				}
 				return nil, err
 			}
 			if !changedAny {

@@ -1,21 +1,37 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
-// Handler returns an http.Handler exposing the registry and the standard
-// Go debug surfaces:
+// Handler returns an http.Handler exposing the registry, probe
+// endpoints, and the standard Go debug surfaces:
 //
 //	/metrics      Prometheus text exposition of the registry
 //	/metrics.json JSON snapshot of the registry
+//	/healthz      liveness probe (200 while the process serves HTTP)
+//	/readyz       readiness probe (see HandlerReady)
 //	/debug/vars   expvar (memstats, cmdline)
 //	/debug/pprof  net/http/pprof profiles
+//
+// Handler is HandlerReady with a nil readiness check: /readyz always
+// reports ready, which is right for pure debug endpoints.
 func Handler(r *Registry) http.Handler {
+	return HandlerReady(r, nil)
+}
+
+// HandlerReady is Handler with a readiness callback: /readyz returns
+// 200 "ok" while ready() is true and 503 "unready" otherwise (nil ready
+// means always ready). /healthz is pure liveness and stays 200 either
+// way — an orchestrator should restart on failed /healthz and only
+// unroute on failed /readyz.
+func HandlerReady(r *Registry, ready func() bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -27,6 +43,19 @@ func Handler(r *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil && !ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("unready\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -35,6 +64,11 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
 }
+
+// CloseTimeout bounds Server.Close's graceful drain before in-flight
+// requests are cut off. Package-level so CLI shutdown paths share one
+// knob.
+var CloseTimeout = 2 * time.Second
 
 // Server is a running debug HTTP server.
 type Server struct {
@@ -49,14 +83,29 @@ type Server struct {
 // "localhost:6060") and returns once the listener is bound. The server
 // runs until Close is called or the process exits.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeReady(addr, r, nil)
+}
+
+// ServeReady is Serve with a readiness callback for /readyz (see
+// HandlerReady).
+func ServeReady(addr string, r *Registry, ready func() bool) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: Handler(r)}}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: &http.Server{Handler: HandlerReady(r, ready)}}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close shuts the server down gracefully: the listener stops accepting
+// immediately, in-flight scrapes get up to CloseTimeout to finish, and
+// only then are remaining connections hard-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), CloseTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

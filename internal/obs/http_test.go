@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -75,6 +76,47 @@ func TestHandlerMetricsEndpoints(t *testing.T) {
 	}
 	if math.Abs(hist["sum"].(float64)-0.4) > 1e-9 {
 		t.Fatalf("latency sum = %v", hist["sum"])
+	}
+}
+
+func TestHandlerProbeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	var ready atomic.Bool
+	srv := httptest.NewServer(HandlerReady(reg, ready.Load))
+	defer srv.Close()
+
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Liveness is unconditional; readiness follows the callback.
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", got)
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while unready = %d, want 503", got)
+	}
+	ready.Store(true)
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz while ready = %d, want 200", got)
+	}
+
+	// The nil-callback Handler always reports ready.
+	srv2 := httptest.NewServer(Handler(reg))
+	defer srv2.Close()
+	resp, err := http.Get(srv2.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("nil-ready /readyz = %d, want 200", resp.StatusCode)
 	}
 }
 

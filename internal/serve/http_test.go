@@ -1,0 +1,351 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// getJSON fires a GET and decodes the JSON body into v.
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+func TestHTTPPredictAndErrors(t *testing.T) {
+	srv := New(Config{})
+	if err := srv.SetModel(context.Background(), testModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var pred Prediction
+	if code := getJSON(t, ts.URL+"/v1/predict?vantage=1&prefix=P1&k=2", &pred); code != 200 {
+		t.Fatalf("predict = %d, want 200", code)
+	}
+	if !pred.HasRoute || pred.Path == "" || pred.SnapshotSeq != 1 {
+		t.Fatalf("bad prediction: %+v", pred)
+	}
+
+	cases := []struct {
+		url  string
+		code int
+		kind string
+	}{
+		{"/v1/predict?vantage=1", 400, "bad_request"},
+		{"/v1/predict?prefix=P1", 400, "bad_request"},
+		{"/v1/predict?vantage=abc&prefix=P1", 400, "bad_request"},
+		{"/v1/predict?vantage=1&prefix=P1&k=x", 400, "bad_request"},
+		{"/v1/predict?vantage=1&prefix=NOPE", 404, "unknown_prefix"},
+		{"/v1/predict?vantage=999&prefix=P1", 404, "unknown_vantage"},
+	}
+	for _, c := range cases {
+		var ae apiError
+		if code := getJSON(t, ts.URL+c.url, &ae); code != c.code {
+			t.Errorf("%s: code %d, want %d", c.url, code, c.code)
+		}
+		if ae.Kind != c.kind {
+			t.Errorf("%s: kind %q, want %q", c.url, ae.Kind, c.kind)
+		}
+	}
+
+	var sr snapshotResponse
+	if code := getJSON(t, ts.URL+"/-/snapshot", &sr); code != 200 {
+		t.Fatalf("snapshot = %d, want 200", code)
+	}
+	if sr.Seq != 1 || sr.Prefixes != 3 || !sr.Ready {
+		t.Fatalf("bad snapshot info: %+v", sr)
+	}
+
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 200 {
+		t.Fatalf("readyz = %d, want 200", code)
+	}
+}
+
+func TestHTTPUnreadyBeforeSnapshot(t *testing.T) {
+	srv := New(Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var ae apiError
+	if code := getJSON(t, ts.URL+"/v1/predict?vantage=1&prefix=P1", &ae); code != 503 {
+		t.Fatalf("predict without snapshot = %d, want 503", code)
+	}
+	if ae.Kind != "unready" {
+		t.Fatalf("kind = %q, want unready", ae.Kind)
+	}
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("readyz without snapshot = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz must stay 200 while unready, got %d", code)
+	}
+}
+
+// TestHTTPTimeoutAndPanic injects a slow and a panicking propagation
+// through the predictFault seam: the slow one must become a typed 504,
+// the panic a typed 500, and the daemon must keep answering afterwards.
+func TestHTTPTimeoutAndPanic(t *testing.T) {
+	srv := New(Config{
+		Probes:         -1, // keep the cache cold so the fault seam fires
+		RequestTimeout: 30 * time.Millisecond,
+	})
+	if err := srv.SetModel(context.Background(), testModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	predictFault = func(prefix string) {
+		switch prefix {
+		case "P1":
+			time.Sleep(120 * time.Millisecond)
+		case "P2":
+			panic("injected prediction panic")
+		}
+	}
+	t.Cleanup(func() { predictFault = nil })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	timeouts := mTimeouts.Value()
+	var ae apiError
+	if code := getJSON(t, ts.URL+"/v1/predict?vantage=1&prefix=P1", &ae); code != 504 {
+		t.Fatalf("slow predict = %d, want 504", code)
+	}
+	if ae.Kind != "timeout" {
+		t.Fatalf("kind = %q, want timeout", ae.Kind)
+	}
+	if mTimeouts.Value() != timeouts+1 {
+		t.Fatal("timeout counter did not advance")
+	}
+
+	panics := mPanics.Value()
+	if code := getJSON(t, ts.URL+"/v1/predict?vantage=1&prefix=P2", &ae); code != 500 {
+		t.Fatalf("panicking predict = %d, want 500", code)
+	}
+	if ae.Kind != "panic" {
+		t.Fatalf("kind = %q, want panic", ae.Kind)
+	}
+	if mPanics.Value() != panics+1 {
+		t.Fatal("panic counter did not advance")
+	}
+
+	// The daemon survived both: an unaffected prefix still answers.
+	var pred Prediction
+	if code := getJSON(t, ts.URL+"/v1/predict?vantage=1&prefix=P3", &pred); code != 200 {
+		t.Fatalf("predict after faults = %d, want 200", code)
+	}
+	if !pred.HasRoute {
+		t.Fatalf("bad prediction after faults: %+v", pred)
+	}
+}
+
+// TestHTTPShed fills the single in-flight slot with a blocked
+// propagation and checks the next request is shed with 429 +
+// Retry-After instead of queueing.
+func TestHTTPShed(t *testing.T) {
+	srv := New(Config{Probes: -1, MaxInflight: 1})
+	if err := srv.SetModel(context.Background(), testModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	predictFault = func(prefix string) {
+		if prefix == "P1" {
+			close(started)
+			<-release
+		}
+	}
+	t.Cleanup(func() { predictFault = nil })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	firstDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/predict?vantage=1&prefix=P1")
+		if err != nil {
+			firstDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		firstDone <- resp.StatusCode
+	}()
+	<-started
+
+	shed := mShed.Value()
+	resp, err := http.Get(ts.URL + "/v1/predict?vantage=1&prefix=P2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	if ae.Kind != "shed" {
+		t.Fatalf("kind = %q, want shed", ae.Kind)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if mShed.Value() != shed+1 {
+		t.Fatal("shed counter did not advance")
+	}
+
+	close(release)
+	if code := <-firstDone; code != 200 {
+		t.Fatalf("blocked request finished with %d, want 200", code)
+	}
+}
+
+// TestDrainCompletesInflight: canceling the run context must let an
+// accepted (and deliberately stalled) request finish with 200 before
+// Run returns nil — never-drop-accepted-requests.
+func TestDrainCompletesInflight(t *testing.T) {
+	ready := make(chan string, 1)
+	srv := New(Config{
+		Addr:           "127.0.0.1:0",
+		Probes:         -1,
+		RequestTimeout: 5 * time.Second,
+		OnReady:        func(addr string) { ready <- addr },
+	})
+	if err := srv.SetModel(context.Background(), testModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	predictFault = func(prefix string) {
+		if prefix == "P1" {
+			close(started)
+			<-release
+		}
+	}
+	t.Cleanup(func() { predictFault = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+
+	reqDone := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/predict?vantage=1&prefix=P1", addr))
+		if err != nil {
+			reqDone <- -1
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		reqDone <- resp.StatusCode
+	}()
+	<-started
+
+	// Drain begins with the request still stalled inside the handler.
+	cancel()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Ready() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never flipped unready during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case err := <-done:
+		t.Fatalf("Run returned while a request was in flight: %v", err)
+	default:
+	}
+
+	close(release)
+	if code := <-reqDone; code != 200 {
+		t.Fatalf("in-flight request finished with %d during drain, want 200", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("drain returned %v, want nil", err)
+	}
+}
+
+// TestDrainDeadlineExceeded: a request stalled past DrainTimeout makes
+// Run return a typed *DrainError (the daemon's exit-code-3 path).
+func TestDrainDeadlineExceeded(t *testing.T) {
+	ready := make(chan string, 1)
+	srv := New(Config{
+		Addr:           "127.0.0.1:0",
+		Probes:         -1,
+		RequestTimeout: 5 * time.Second,
+		DrainTimeout:   50 * time.Millisecond,
+		OnReady:        func(addr string) { ready <- addr },
+	})
+	if err := srv.SetModel(context.Background(), testModel(t, 0)); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	predictFault = func(prefix string) {
+		if prefix == "P1" {
+			close(started)
+			<-release
+		}
+	}
+	t.Cleanup(func() { predictFault = nil })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+
+	reqDone := make(chan struct{})
+	go func() {
+		defer close(reqDone)
+		resp, err := http.Get(fmt.Sprintf("http://%s/v1/predict?vantage=1&prefix=P1", addr))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	<-started
+
+	cancel()
+	err := <-done
+	var derr *DrainError
+	if !errors.As(err, &derr) {
+		t.Fatalf("overrun drain returned %T (%v), want *DrainError", err, err)
+	}
+	close(release)
+	<-reqDone
+}

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/durable"
+	"asmodel/internal/model"
+	"asmodel/internal/obs"
+)
+
+// LoadGenConfig parameterizes the built-in load generator: a fleet of
+// HTTP clients firing seeded-random (vantage, prefix) queries at a real
+// in-process daemon, measuring client-side latency.
+type LoadGenConfig struct {
+	// Requests is the total query count across all clients.
+	Requests int
+	// Clients is the concurrent client count.
+	Clients int
+	// Seed drives target selection (same seed → same query stream).
+	Seed int64
+	// Reloads, when > 0, fires that many POST /-/reload hot-swaps spread
+	// through the run, so the benchmark exercises swap-under-load.
+	Reloads int
+	// K is the alternates parameter sent with every query.
+	K int
+}
+
+// BenchReport is the schema-versioned load-generator report checked in
+// as BENCH_serve.json and gated by make bench-check.
+type BenchReport struct {
+	Schema     string `json:"schema"`
+	Seed       int64  `json:"seed"`
+	Requests   int    `json:"requests"`
+	Clients    int    `json:"clients"`
+	Reloads    int    `json:"reloads"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	Hostname   string `json:"hostname,omitempty"`
+	Note       string `json:"note"`
+
+	Prefixes     int `json:"prefixes"`
+	QuasiRouters int `json:"quasi_routers"`
+
+	// Outcome counters: every request must be accounted for, and
+	// errors (non-2xx other than shed) must be zero.
+	OK     int `json:"ok"`
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+
+	// Client-side latency over successful requests, nanoseconds.
+	LatencyP50NS int64 `json:"latency_p50_ns"`
+	LatencyP90NS int64 `json:"latency_p90_ns"`
+	LatencyP99NS int64 `json:"latency_p99_ns"`
+	LatencyMaxNS int64 `json:"latency_max_ns"`
+
+	// Server-side counter deltas over the run.
+	CacheHits    int64 `json:"cache_hits"`
+	CacheMisses  int64 `json:"cache_misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Propagations int64 `json:"propagations"`
+	SwapsApplied int64 `json:"swaps_applied"`
+	Rollbacks    int64 `json:"rollbacks"`
+
+	ElapsedNS    int64   `json:"elapsed_ns"`
+	RequestsPerS float64 `json:"requests_per_s"`
+}
+
+const benchSchema = "asmodel-bench-serve-v1"
+
+// RunLoadGen stands up the server on a loopback port, runs the
+// configured query load over real HTTP, and returns the report. The
+// passed model becomes the serving snapshot (no file needed); when
+// cfg.Reloads > 0 the server's configured source path is re-POSTed that
+// many times mid-run.
+func RunLoadGen(ctx context.Context, srv *Server, m *model.Model, lg LoadGenConfig) (*BenchReport, error) {
+	if lg.Requests <= 0 {
+		lg.Requests = 500
+	}
+	if lg.Clients <= 0 {
+		lg.Clients = 8
+	}
+	if m != nil {
+		if err := srv.SetModel(ctx, m); err != nil {
+			return nil, err
+		}
+	}
+	snap := srv.Snapshot()
+	if snap == nil {
+		if _, err := srv.Reload(ctx); err != nil {
+			return nil, err
+		}
+		snap = srv.Snapshot()
+	}
+
+	// Run the daemon for real: loopback listener, full middleware chain.
+	runCtx, stop := context.WithCancel(ctx)
+	defer stop()
+	ready := make(chan string, 1)
+	prevOnReady := srv.cfg.OnReady
+	srv.cfg.OnReady = func(addr string) {
+		ready <- addr
+		if prevOnReady != nil {
+			prevOnReady(addr)
+		}
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(runCtx) }()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		return nil, fmt.Errorf("serve: loadgen server exited before ready: %w", err)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	base := "http://" + addr
+
+	// Seeded target streams: every client gets its own rng derived from
+	// the seed so the query mix is reproducible at any client count.
+	u := snap.base.Universe
+	var vantages []bgp.ASN
+	for asn := range snap.base.QuasiRouterHistogram() {
+		vantages = append(vantages, asn)
+	}
+	sort.Slice(vantages, func(i, j int) bool { return vantages[i] < vantages[j] })
+	if u.Len() == 0 || len(vantages) == 0 {
+		stop()
+		<-done
+		return nil, fmt.Errorf("serve: loadgen needs a non-empty model")
+	}
+
+	reg := obs.Default()
+	before := counterValues(reg)
+
+	var (
+		mu                           sync.Mutex
+		latencies                    []time.Duration
+		okCount, shedCount, errCount int
+	)
+	perClient := lg.Requests / lg.Clients
+	extra := lg.Requests % lg.Clients
+	reloadEvery := 0
+	if lg.Reloads > 0 {
+		reloadEvery = lg.Requests/lg.Reloads + 1
+	}
+	var fired int64
+	var firedMu sync.Mutex
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < lg.Clients; c++ {
+		n := perClient
+		if c < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(client, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(lg.Seed + int64(client)*7919))
+			httpc := &http.Client{}
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				prefix := u.Name(bgp.PrefixID(rng.Intn(u.Len())))
+				vantage := vantages[rng.Intn(len(vantages))]
+				url := fmt.Sprintf("%s/v1/predict?vantage=%d&prefix=%s&k=%d", base, vantage, prefix, lg.K)
+				t0 := time.Now()
+				resp, err := httpc.Get(url)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errCount++
+				} else {
+					switch resp.StatusCode {
+					case http.StatusOK:
+						okCount++
+						latencies = append(latencies, lat)
+					case http.StatusTooManyRequests:
+						shedCount++
+					default:
+						errCount++
+					}
+				}
+				mu.Unlock()
+				if err == nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if reloadEvery > 0 {
+					firedMu.Lock()
+					fired++
+					doReload := fired%int64(reloadEvery) == 0
+					firedMu.Unlock()
+					if doReload {
+						if resp, err := httpc.Post(base+"/-/reload", "", nil); err == nil {
+							io.Copy(io.Discard, resp.Body)
+							resp.Body.Close()
+						}
+					}
+				}
+			}
+		}(c, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop()
+	if err := <-done; err != nil {
+		return nil, fmt.Errorf("serve: loadgen server shutdown: %w", err)
+	}
+
+	after := counterValues(reg)
+	delta := func(name string) int64 { return after[name] - before[name] }
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(q float64) int64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(latencies)-1))
+		return int64(latencies[i])
+	}
+	var maxLat int64
+	if len(latencies) > 0 {
+		maxLat = int64(latencies[len(latencies)-1])
+	}
+
+	rep := &BenchReport{
+		Schema: benchSchema, Seed: lg.Seed,
+		Requests: lg.Requests, Clients: lg.Clients, Reloads: lg.Reloads,
+		GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+		GoVersion: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		Hostname: hostname(),
+		Note: "client-side latency over loopback HTTP against an in-process daemon; " +
+			"cache hits dominate once the prefix working set is propagated, so p99 tracks " +
+			"cold propagations and swap invalidations",
+		Prefixes:     snap.base.Universe.Len(),
+		QuasiRouters: snap.base.NumQuasiRouters(),
+		OK:           okCount,
+		Shed:         shedCount,
+		Errors:       errCount,
+		LatencyP50NS: pct(0.50), LatencyP90NS: pct(0.90), LatencyP99NS: pct(0.99), LatencyMaxNS: maxLat,
+		CacheHits:    delta("serve_cache_hits_total"),
+		CacheMisses:  delta("serve_cache_misses_total"),
+		Coalesced:    delta("serve_coalesced_total"),
+		Propagations: delta("serve_propagations_total"),
+		SwapsApplied: delta("serve_reloads_total"),
+		Rollbacks:    delta("serve_rollbacks_total"),
+		ElapsedNS:    int64(elapsed),
+		RequestsPerS: float64(okCount+shedCount+errCount) / elapsed.Seconds(),
+	}
+	return rep, nil
+}
+
+// counterValues snapshots the plain counters of a registry (histograms
+// excluded) for before/after deltas.
+func counterValues(reg *obs.Registry) map[string]int64 {
+	out := make(map[string]int64)
+	for name, v := range reg.Snapshot() {
+		if n, ok := v.(int64); ok {
+			out[name] = n
+		}
+	}
+	return out
+}
+
+func hostname() string {
+	h, err := os.Hostname()
+	if err != nil {
+		return ""
+	}
+	return h
+}
+
+// WriteBenchReport writes the report to path atomically (same
+// durability story as checkpoints: tmp + fsync + rename).
+func WriteBenchReport(path string, rep *BenchReport) error {
+	return durable.WriteFileAtomic(path, durable.Policy{}, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
+}

@@ -1,0 +1,601 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+	"asmodel/internal/faultinject"
+	"asmodel/internal/model"
+	"asmodel/internal/topology"
+)
+
+func rec(obs string, prefix string, path ...bgp.ASN) dataset.Record {
+	return dataset.Record{Obs: dataset.ObsPointID(obs), ObsAS: path[0], Prefix: prefix, Path: bgp.Path(path)}
+}
+
+// variantDataset builds a small dataset over ASes 1..5 and prefixes
+// P1..P3. The two variants route P1 through different transit ASes, so
+// their predictions differ — the property the hot-swap tests use to
+// detect a torn read or a stale cache.
+func variantDataset(variant int) *dataset.Dataset {
+	recs := []dataset.Record{
+		rec("o1", "P2", 1, 3),
+		rec("o2", "P2", 5, 1, 3),
+		rec("o3", "P3", 2, 5),
+	}
+	if variant == 0 {
+		recs = append(recs,
+			rec("o4", "P1", 1, 2, 4),
+			rec("o5", "P1", 3, 1, 2, 4),
+		)
+	} else {
+		recs = append(recs,
+			rec("o4", "P1", 1, 3, 4),
+			rec("o5", "P1", 2, 1, 3, 4),
+		)
+	}
+	return &dataset.Dataset{Records: recs}
+}
+
+func testModel(t testing.TB, variant int) *model.Model {
+	t.Helper()
+	ds := variantDataset(variant)
+	m, err := model.NewInitial(topology.FromDataset(ds), dataset.NewUniverse(ds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// predictionTable runs every (vantage, prefix) query against a fresh
+// snapshot of m and returns a reference table of the answers.
+func predictionTable(t testing.TB, m *model.Model) map[string]string {
+	t.Helper()
+	return liveTable(t, NewSnapshot(m, 2))
+}
+
+// liveTable captures what the serving snapshot itself answers for every
+// (vantage, prefix) pair.
+func liveTable(t testing.TB, snap *Snapshot) map[string]string {
+	t.Helper()
+	table := make(map[string]string)
+	u := snap.base.Universe
+	for id := 0; id < u.Len(); id++ {
+		// Validation only requires one probeable prefix, so a snapshot may
+		// legitimately carry prefixes it cannot propagate — skip those.
+		if !probeable(snap.base, bgp.PrefixID(id)) {
+			continue
+		}
+		for asn := range snap.base.QuasiRouterHistogram() {
+			p, err := snap.Predict(context.Background(), u.Name(bgp.PrefixID(id)), asn, 2)
+			if err != nil {
+				t.Fatalf("live predict %s from %d: %v", u.Name(bgp.PrefixID(id)), asn, err)
+			}
+			table[fmt.Sprintf("%d/%s", asn, u.Name(bgp.PrefixID(id)))] =
+				fmt.Sprintf("%v %s | %s", p.HasRoute, p.Path, strings.Join(p.Paths, ","))
+		}
+	}
+	return table
+}
+
+func tablesEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// writeFileAtomic installs content via tmp + rename so a concurrent
+// reader (the watcher) never sees a half-written file.
+func writeFileAtomic(t testing.TB, path string, data []byte) {
+	t.Helper()
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeTestCheckpoint(t testing.TB, path string, m *model.Model, iteration int) []byte {
+	t.Helper()
+	cp := &model.Checkpoint{
+		Iteration: iteration,
+		Works:     []model.CheckpointWork{{Prefix: "P1", State: "settled"}},
+		Model:     m,
+	}
+	var buf bytes.Buffer
+	if err := model.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestPredictBasics(t *testing.T) {
+	m := testModel(t, 0)
+	srv := New(Config{})
+	ctx := context.Background()
+	if srv.Ready() {
+		t.Fatal("ready before any snapshot")
+	}
+	if err := srv.SetModel(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Ready() {
+		t.Fatal("not ready after SetModel")
+	}
+	snap := srv.Snapshot()
+	if snap.Seq != 1 || snap.Origin != "memory" {
+		t.Fatalf("snapshot seq=%d origin=%q, want 1/memory", snap.Seq, snap.Origin)
+	}
+
+	p, err := snap.Predict(ctx, "P1", 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasRoute || p.Path == "" {
+		t.Fatalf("no route predicted: %+v", p)
+	}
+	if p.SnapshotSeq != 1 {
+		t.Fatalf("SnapshotSeq = %d, want 1", p.SnapshotSeq)
+	}
+
+	// Second query for the same prefix must come from the cache.
+	p2, err := snap.Predict(ctx, "P1", 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p2.Cached {
+		t.Fatal("second same-prefix query was not cached")
+	}
+
+	if _, err := snap.Predict(ctx, "NOPE", 1, 0); err == nil {
+		t.Fatal("unknown prefix accepted")
+	} else {
+		var up *ErrUnknownPrefix
+		if !errors.As(err, &up) {
+			t.Fatalf("want *ErrUnknownPrefix, got %T", err)
+		}
+	}
+	if _, err := snap.Predict(ctx, "P1", 999, 0); err == nil {
+		t.Fatal("unknown vantage accepted")
+	} else {
+		var uv *ErrUnknownVantage
+		if !errors.As(err, &uv) {
+			t.Fatalf("want *ErrUnknownVantage, got %T", err)
+		}
+	}
+
+	// k caps alternates; k <= 0 returns none.
+	p3, err := snap.Predict(ctx, "P1", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p3.Alternates) != 0 {
+		t.Fatalf("k=0 returned %d alternates", len(p3.Alternates))
+	}
+}
+
+// TestVariantsDiffer guards the premise of the swap tests: the two
+// variant models must disagree on at least one prediction.
+func TestVariantsDiffer(t *testing.T) {
+	a := predictionTable(t, testModel(t, 0))
+	b := predictionTable(t, testModel(t, 1))
+	differ := false
+	for k, v := range a {
+		if b[k] != v {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Fatal("variant models predict identically; swap tests cannot detect torn reads")
+	}
+}
+
+// TestValidationFailureRollsBack installs a snapshot whose universe has
+// no probeable prefix (every origin AS is absent from the graph) and
+// checks the swap is refused while the previous snapshot keeps serving.
+func TestValidationFailureRollsBack(t *testing.T) {
+	ctx := context.Background()
+	good := testModel(t, 0)
+	srv := New(Config{})
+	if err := srv.SetModel(ctx, good); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Snapshot()
+	rollbacks := mRollbacks.Value()
+	failures := mReloadFails.Value()
+
+	// A universe whose prefixes originate at AS 99 — which has no
+	// quasi-routers in the variant-0 graph.
+	badDS := &dataset.Dataset{Records: []dataset.Record{rec("ox", "PX", 99)}}
+	bad, err := model.NewInitial(topology.FromDataset(variantDataset(0)), dataset.NewUniverse(badDS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = srv.SetModel(ctx, bad)
+	if err == nil {
+		t.Fatal("validation accepted a model with no probeable prefix")
+	}
+	var rerr *ReloadError
+	if !errors.As(err, &rerr) || !rerr.RolledBack {
+		t.Fatalf("want *ReloadError with RolledBack, got %T: %v", err, err)
+	}
+	var verr *ValidationError
+	if !errors.As(err, &verr) {
+		t.Fatalf("want wrapped *ValidationError, got: %v", err)
+	}
+	if srv.Snapshot() != before {
+		t.Fatal("serving snapshot changed despite failed validation")
+	}
+	if mRollbacks.Value() != rollbacks+1 {
+		t.Fatalf("rollback counter did not advance: %d -> %d", rollbacks, mRollbacks.Value())
+	}
+	if mReloadFails.Value() != failures+1 {
+		t.Fatalf("failure counter did not advance: %d -> %d", failures, mReloadFails.Value())
+	}
+	// The survivor still answers.
+	if _, err := srv.Snapshot().Predict(ctx, "P1", 1, 0); err != nil {
+		t.Fatalf("survivor snapshot broken after rollback: %v", err)
+	}
+}
+
+// applySchedule pushes the clean bytes through a seeded fault-injection
+// reader, absorbing transient errors the way a retry layer would, and
+// returns whatever survives: a truncated, bit-flipped, torn or (for
+// transient-only schedules) identical copy.
+func applySchedule(clean []byte, cfg faultinject.ReaderConfig) []byte {
+	fr := faultinject.NewReader(bytes.NewReader(clean), cfg)
+	var out []byte
+	buf := make([]byte, 512)
+	for {
+		n, err := fr.Read(buf)
+		out = append(out, buf[:n]...)
+		if err != nil {
+			var te *faultinject.TransientError
+			if errors.As(err, &te) {
+				continue
+			}
+			return out
+		}
+	}
+}
+
+// TestReloadFaultMatrix sweeps seeded corruption schedules over the
+// checkpoint file and reloads after each one. The invariant under test:
+// a reload NEVER interrupts serving. Failed reloads roll back (counter
+// advances, snapshot pointer untouched), successful reloads swap
+// atomically, and a querier hammering the serving snapshot throughout
+// the sweep must see every request answered with the same predictions.
+func TestReloadFaultMatrix(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.txt")
+	m := testModel(t, 0)
+	clean := writeTestCheckpoint(t, path, m, 5)
+	want := predictionTable(t, m)
+
+	srv := New(Config{CheckpointPath: path})
+	if _, err := srv.Reload(ctx); err != nil {
+		t.Fatalf("clean boot load: %v", err)
+	}
+	// The clean file load must predict exactly what the in-memory model
+	// predicts.
+	if got := liveTable(t, srv.Snapshot()); !tablesEqual(got, want) {
+		t.Fatal("clean checkpoint load predicts differently from the in-memory model")
+	}
+
+	// Background querier: predictions must keep flowing — never an
+	// error, never a half-loaded snapshot — across every reload attempt.
+	stop := make(chan struct{})
+	querierErr := make(chan error, 1)
+	go func() {
+		defer close(querierErr)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := srv.Snapshot()
+			id := bgp.PrefixID(i % snap.base.Universe.Len())
+			if !probeable(snap.base, id) {
+				continue
+			}
+			name := snap.base.Universe.Name(id)
+			_, err := snap.Predict(ctx, name, 1, 1)
+			var uv *ErrUnknownVantage
+			if err != nil && !errors.As(err, &uv) {
+				querierErr <- fmt.Errorf("query during sweep: %w", err)
+				return
+			}
+		}
+	}()
+
+	// curTable tracks what the serving snapshot answers; a failed reload
+	// must leave it bit-for-bit intact. (A successful reload of benignly
+	// corrupted bytes may legitimately change predictions, so the table
+	// is re-captured after every swap.)
+	curTable := want
+	var failed, ok int
+	for seed := int64(0); seed < 120; seed++ {
+		cfg := faultinject.RandomReaderConfig(seed, int64(len(clean)))
+		corrupted := applySchedule(clean, cfg)
+		if err := os.WriteFile(path, corrupted, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cur := srv.Snapshot()
+		rollbacks := mRollbacks.Value()
+		_, err := srv.Reload(ctx)
+		if err != nil {
+			failed++
+			var rerr *ReloadError
+			if !errors.As(err, &rerr) || !rerr.RolledBack {
+				t.Fatalf("seed %d: want rolled-back *ReloadError, got %T: %v", seed, err, err)
+			}
+			if srv.Snapshot() != cur {
+				t.Fatalf("seed %d: snapshot changed despite failed reload", seed)
+			}
+			if mRollbacks.Value() != rollbacks+1 {
+				t.Fatalf("seed %d: rollback counter did not advance", seed)
+			}
+			if got := liveTable(t, srv.Snapshot()); !tablesEqual(got, curTable) {
+				t.Fatalf("seed %d: failed reload disturbed serving predictions", seed)
+			}
+		} else {
+			ok++
+			if !bytes.Equal(corrupted, clean) {
+				// A flip can land in bytes the loader tolerates — but the
+				// swap must still be a real, validated, newer snapshot.
+				t.Logf("seed %d: corrupted bytes still loaded (benign corruption)", seed)
+			}
+			if srv.Snapshot().Seq != cur.Seq+1 {
+				t.Fatalf("seed %d: successful reload did not advance seq", seed)
+			}
+			curTable = liveTable(t, srv.Snapshot())
+		}
+	}
+	close(stop)
+	if err := <-querierErr; err != nil {
+		t.Fatal(err)
+	}
+	if failed == 0 {
+		t.Fatal("no schedule corrupted the checkpoint; the sweep proved nothing")
+	}
+	if ok == 0 {
+		t.Fatal("no schedule left the checkpoint loadable; transient-only schedules should")
+	}
+	t.Logf("fault matrix: %d rolled back, %d reloaded", failed, ok)
+
+	// Restore the clean file: the next reload must succeed again.
+	if err := os.WriteFile(path, clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Reload(ctx); err != nil {
+		t.Fatalf("reload after restoring clean file: %v", err)
+	}
+}
+
+// TestReloadBakFallback corrupts the primary checkpoint while a valid
+// ".bak" sits beside it: the reload must succeed from the fallback and
+// predict exactly what a clean load predicts.
+func TestReloadBakFallback(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.txt")
+	m := testModel(t, 1)
+	clean := writeTestCheckpoint(t, path, m, 7)
+	if err := os.WriteFile(path+".bak", clean, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the primary mid-file: the load must detect it and fall
+	// back rather than serve half a model.
+	if err := os.WriteFile(path, clean[:len(clean)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(Config{CheckpointPath: path})
+	snap, err := srv.Reload(ctx)
+	if err != nil {
+		t.Fatalf("reload with valid .bak: %v", err)
+	}
+	if snap.Source != path+".bak" {
+		t.Fatalf("Source = %q, want %q", snap.Source, path+".bak")
+	}
+	if snap.Iteration != 7 {
+		t.Fatalf("Iteration = %d, want 7", snap.Iteration)
+	}
+
+	want := predictionTable(t, m)
+	for key, w := range want {
+		var asn bgp.ASN
+		var name string
+		if _, err := fmt.Sscanf(key, "%d/%s", &asn, &name); err != nil {
+			t.Fatal(err)
+		}
+		p, err := snap.Predict(ctx, name, asn, 2)
+		if err != nil {
+			t.Fatalf("predict %s: %v", key, err)
+		}
+		got := fmt.Sprintf("%v %s | %s", p.HasRoute, p.Path, strings.Join(p.Paths, ","))
+		if got != w {
+			t.Fatalf(".bak predictions differ from clean load at %s:\n got %s\nwant %s", key, got, w)
+		}
+	}
+}
+
+// TestHammerHotSwap: 8+ goroutines hammer the snapshot while another
+// repeatedly hot-swaps between two models with different predictions.
+// Every answer carries its SnapshotSeq; the swap schedule makes the
+// model deterministic per seq (odd = variant 0, even = variant 1), so
+// any torn read or stale cache entry shows up as a table mismatch.
+func TestHammerHotSwap(t *testing.T) {
+	ctx := context.Background()
+	ma, mb := testModel(t, 0), testModel(t, 1)
+	tables := map[int64]map[string]string{
+		1: predictionTable(t, ma), // odd seqs
+		0: predictionTable(t, mb), // even seqs
+	}
+	srv := New(Config{})
+	if err := srv.SetModel(ctx, ma); err != nil { // seq 1
+		t.Fatal(err)
+	}
+
+	const (
+		workers  = 8
+		requests = 250
+		swaps    = 40
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, workers+1)
+
+	// Swapper: alternate B, A, B, A... so seq parity identifies the model.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			m := mb
+			if i%2 == 1 {
+				m = ma
+			}
+			if err := srv.SetModel(ctx, m); err != nil {
+				errc <- fmt.Errorf("swap %d: %w", i, err)
+				return
+			}
+		}
+	}()
+
+	u := ma.Universe
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				name := u.Name(bgp.PrefixID((w + i) % u.Len()))
+				vantage := bgp.ASN(1 + (w+i)%5)
+				snap := srv.Snapshot()
+				p, err := snap.Predict(ctx, name, vantage, 2)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d: predict %s from %d: %w", w, name, vantage, err)
+					return
+				}
+				if p.SnapshotSeq != snap.Seq {
+					errc <- fmt.Errorf("worker %d: answer seq %d from snapshot seq %d", w, p.SnapshotSeq, snap.Seq)
+					return
+				}
+				want := tables[p.SnapshotSeq%2][fmt.Sprintf("%d/%s", vantage, name)]
+				got := fmt.Sprintf("%v %s | %s", p.HasRoute, p.Path, strings.Join(p.Paths, ","))
+				if got != want {
+					errc <- fmt.Errorf("worker %d: torn/stale read at seq %d %d/%s:\n got %s\nwant %s",
+						w, p.SnapshotSeq, vantage, name, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	if got := srv.Snapshot().Seq; got != int64(swaps)+1 {
+		t.Fatalf("final seq = %d, want %d", got, swaps+1)
+	}
+}
+
+// TestWatchReload runs the daemon with a file watcher: rewriting the
+// checkpoint hot-swaps automatically, and corrupting it rolls back
+// without disturbing the serving snapshot.
+func TestWatchReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.txt")
+	ma := testModel(t, 0)
+	writeTestCheckpoint(t, path, ma, 1)
+
+	ready := make(chan string, 1)
+	cfg := Config{
+		CheckpointPath: path,
+		Addr:           "127.0.0.1:0",
+		WatchInterval:  10 * time.Millisecond,
+		OnReady:        func(addr string) { ready <- addr },
+	}
+	srv := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	if got := srv.Snapshot().Iteration; got != 1 {
+		t.Fatalf("boot iteration = %d, want 1", got)
+	}
+
+	// Rewrite with a new iteration (different size via extra work rows):
+	// the watcher must swap it in.
+	cp := &model.Checkpoint{
+		Iteration: 2,
+		Works: []model.CheckpointWork{
+			{Prefix: "P1", State: "settled"},
+			{Prefix: "P2", State: "settled"},
+		},
+		Model: testModel(t, 1),
+	}
+	var buf bytes.Buffer
+	if err := model.WriteCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	// Install atomically (tmp + rename, as real checkpoint writes do):
+	// the watcher stats and reads concurrently, and a plain WriteFile
+	// would let it read a half-written file whose final stamp it has
+	// already recorded — parking the watcher until the next change.
+	writeFileAtomic(t, path, buf.Bytes())
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().Iteration != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never swapped in the rewritten checkpoint")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Corrupt the file: the watcher's reload must roll back, keeping the
+	// iteration-2 snapshot serving.
+	rollbacks := mRollbacks.Value()
+	writeFileAtomic(t, path, buf.Bytes()[:100])
+	for mRollbacks.Value() == rollbacks {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never attempted the corrupt reload")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Snapshot().Iteration; got != 2 {
+		t.Fatalf("corrupt watch reload disturbed serving: iteration %d", got)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,389 @@
+// Package serve turns a refined quasi-router model into a long-lived
+// route-prediction service: an immutable model snapshot answering
+// (vantage, prefix) → predicted AS-path queries over HTTP/JSON, with
+// validated atomic hot-swap of new checkpoints, per-prefix result
+// caching invalidated on swap, single-flight coalescing of concurrent
+// same-prefix propagations, bounded in-flight load shedding, and a
+// drain-on-signal lifecycle. The package is engineered for failure
+// first: a corrupt or torn checkpoint, a diverging propagation, a
+// panicking prediction or a slow client never take down the serving
+// snapshot.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/model"
+	"asmodel/internal/obs"
+)
+
+var (
+	mCacheHits  = obs.GetCounter("serve_cache_hits_total", "predictions answered from the per-prefix cache")
+	mCacheMiss  = obs.GetCounter("serve_cache_misses_total", "predictions that required a propagation")
+	mCoalesced  = obs.GetCounter("serve_coalesced_total", "requests coalesced onto an in-flight same-prefix propagation")
+	mClones     = obs.GetCounter("serve_clones_total", "model clones created for concurrent propagation")
+	mPropagates = obs.GetCounter("serve_propagations_total", "per-prefix propagations run by the serving layer")
+)
+
+// Alternate is one route a vantage AS considered and eliminated: the
+// path, the decision step that killed it, and how deep in the decision
+// process it survived (higher = closer call).
+type Alternate struct {
+	Path         string `json:"path"`
+	EliminatedAt string `json:"eliminated_at"`
+	Depth        int    `json:"depth"`
+}
+
+// Prediction is the service's answer for one (vantage, prefix) query.
+type Prediction struct {
+	Prefix  string  `json:"prefix"`
+	Vantage bgp.ASN `json:"vantage"`
+	// HasRoute reports whether any quasi-router of the vantage AS
+	// selected a route; Path is empty otherwise.
+	HasRoute bool   `json:"has_route"`
+	Path     string `json:"path,omitempty"`
+	// Paths is every distinct best path across the vantage's
+	// quasi-routers (the paper's route diversity), vantage-prepended and
+	// sorted; Path is the one the AS-level decision process picks.
+	Paths []string `json:"paths,omitempty"`
+	// TieBreakStep/TieBreakDepth report the deepest decision step that
+	// eliminated a candidate at the vantage (how contested the choice
+	// was); "best"/0 when there was no contest.
+	TieBreakStep  string `json:"tie_break_step"`
+	TieBreakDepth int    `json:"tie_break_depth"`
+	// Alternates are eliminated candidates, deepest-surviving first,
+	// truncated to the requested k.
+	Alternates []Alternate `json:"alternates,omitempty"`
+	// SnapshotSeq identifies the snapshot that answered; it changes on
+	// every hot-swap.
+	SnapshotSeq int64 `json:"snapshot_seq"`
+	// Cached reports whether the per-prefix cache answered without a
+	// propagation.
+	Cached bool `json:"cached"`
+}
+
+// vantageResult is one AS's converged decision state for one prefix.
+type vantageResult struct {
+	hasRoute   bool
+	path       string
+	paths      []string
+	tieStep    bgp.Step
+	alternates []Alternate
+}
+
+// prefixResult is the extracted outcome of one propagation: the
+// decision state of every AS in the model, so one propagation serves
+// every vantage.
+type prefixResult struct {
+	name string
+	byAS map[bgp.ASN]*vantageResult
+}
+
+// flight is an in-progress propagation other requests for the same
+// prefix coalesce onto.
+type flight struct {
+	done chan struct{}
+	res  *prefixResult
+	err  error
+}
+
+// Snapshot is an immutable serving unit: a quiescent refined model plus
+// the mutable serving state scoped to it (clone pool, per-prefix result
+// cache, in-flight propagation table). Scoping cache and coalescing
+// state to the snapshot makes hot-swap invalidation free: swapping the
+// snapshot pointer abandons the old cache wholesale.
+type Snapshot struct {
+	// Seq is the swap sequence number (1 for the boot snapshot).
+	Seq int64
+	// Source is the file the model loaded from ("" when handed an
+	// in-memory model); for checkpoints it is the primary path or its
+	// ".bak" fallback, exactly as LoadCheckpointFile reports.
+	Source string
+	// Origin is "checkpoint", "model" or "memory".
+	Origin string
+	// Iteration is the refinement iteration of the checkpoint (0 for
+	// plain models).
+	Iteration int
+	// LoadedAt is when the snapshot was built.
+	LoadedAt time.Time
+
+	base *model.Model
+	pool chan *model.Model
+
+	mu      sync.Mutex
+	cache   map[bgp.PrefixID]*prefixResult
+	flights map[bgp.PrefixID]*flight
+}
+
+// NewSnapshot wraps a quiescent model for serving. poolSize bounds the
+// clone free-list (clones beyond it are dropped for GC, not leaked).
+func NewSnapshot(m *model.Model, poolSize int) *Snapshot {
+	if poolSize < 1 {
+		poolSize = 1
+	}
+	return &Snapshot{
+		base:     m,
+		pool:     make(chan *model.Model, poolSize),
+		cache:    make(map[bgp.PrefixID]*prefixResult),
+		flights:  make(map[bgp.PrefixID]*flight),
+		LoadedAt: time.Now(),
+		Origin:   "memory",
+	}
+}
+
+// Model returns the snapshot's canonical model. It must be treated as
+// read-only: propagations run on clones.
+func (s *Snapshot) Model() *model.Model { return s.base }
+
+// CachedPrefixes returns how many prefixes have cached results.
+func (s *Snapshot) CachedPrefixes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.cache)
+}
+
+// acquire pops a clone from the pool or cuts a fresh one from the
+// quiescent base (Model.Clone is safe concurrently on a quiescent
+// model).
+func (s *Snapshot) acquire() *model.Model {
+	select {
+	case m := <-s.pool:
+		return m
+	default:
+		mClones.Inc()
+		return s.base.Clone()
+	}
+}
+
+// release returns a clone to the pool, dropping it when full. Clones
+// are reusable even after an aborted propagation: RunBudget resets all
+// per-prefix state on entry.
+func (s *Snapshot) release(m *model.Model) {
+	select {
+	case s.pool <- m:
+	default:
+	}
+}
+
+// PanicError is a panic recovered inside a prediction propagation,
+// attributed to the prefix that raised it — the serving-layer analogue
+// of model.WorkerPanicError. The request that hit it gets a 500; the
+// snapshot and every other request are unaffected.
+type PanicError struct {
+	Prefix string
+	Value  any
+	Stack  []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("serve: panic predicting prefix %s: %v", e.Prefix, e.Value)
+}
+
+// predictFault, when non-nil, runs at the head of every leader
+// propagation — the seam fault-injection tests use for slow or
+// panicking predictions. It must only be set while no server is
+// serving.
+var predictFault func(prefix string)
+
+// prefix returns the cached or freshly propagated result for id,
+// coalescing concurrent same-prefix requests onto one propagation.
+func (s *Snapshot) prefix(ctx context.Context, id bgp.PrefixID) (*prefixResult, bool, error) {
+	for {
+		s.mu.Lock()
+		if res, ok := s.cache[id]; ok {
+			s.mu.Unlock()
+			mCacheHits.Inc()
+			return res, true, nil
+		}
+		if f, ok := s.flights[id]; ok {
+			s.mu.Unlock()
+			mCoalesced.Inc()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, fmt.Errorf("serve: waiting for prefix %d propagation: %w", id, ctx.Err())
+			}
+			if f.err == nil {
+				return f.res, true, nil
+			}
+			// The leader failed. If its failure was a cancellation (its
+			// client hung up) and we are still live, loop and retry as
+			// the new leader rather than inheriting its error.
+			if ctx.Err() == nil && isCtxError(f.err) {
+				continue
+			}
+			return nil, false, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[id] = f
+		s.mu.Unlock()
+
+		mCacheMiss.Inc()
+		f.res, f.err = s.propagate(ctx, id)
+		s.mu.Lock()
+		if f.err == nil {
+			s.cache[id] = f.res
+		}
+		delete(s.flights, id)
+		s.mu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
+	}
+}
+
+func isCtxError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// propagate runs the prefix on a pooled clone and extracts every AS's
+// decision state. Panics are recovered into *PanicError so a bad
+// propagation poisons one request, not the process.
+func (s *Snapshot) propagate(ctx context.Context, id bgp.PrefixID) (res *prefixResult, err error) {
+	name := s.base.Universe.Name(id)
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Prefix: name, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	if predictFault != nil {
+		predictFault(name)
+	}
+	m := s.acquire()
+	if err := m.RunPrefixContext(ctx, id); err != nil {
+		s.release(m)
+		return nil, err
+	}
+	mPropagates.Inc()
+	res = extract(m, name)
+	s.release(m)
+	return res, nil
+}
+
+// extract reads the converged decision state of every AS off a model
+// that just ran one prefix. One extraction serves every vantage of that
+// prefix.
+func extract(m *model.Model, name string) *prefixResult {
+	res := &prefixResult{name: name, byAS: make(map[bgp.ASN]*vantageResult)}
+	for asn := range m.QuasiRouterHistogram() {
+		res.byAS[asn] = extractAS(m, asn)
+	}
+	return res
+}
+
+func extractAS(m *model.Model, asn bgp.ASN) *vantageResult {
+	vr := &vantageResult{}
+	var bests []*bgp.Route
+	bestSet := make(map[string]bool)
+	type altCand struct {
+		path string
+		step bgp.Step
+	}
+	altBest := make(map[string]bgp.Step)
+	for _, q := range m.QuasiRouters(asn) {
+		if b := q.Best(); b != nil {
+			bests = append(bests, b)
+			p := b.Path.Prepend(asn).String()
+			if !bestSet[p] {
+				bestSet[p] = true
+				vr.paths = append(vr.paths, p)
+			}
+		}
+		cands, elim := q.DecideRIB()
+		for i, c := range cands {
+			if elim[i] > vr.tieStep {
+				vr.tieStep = elim[i]
+			}
+			if elim[i] == bgp.StepNone {
+				continue
+			}
+			p := c.Path.Prepend(asn).String()
+			// Keep the deepest elimination per distinct path: it survived
+			// the most decision steps somewhere in the AS.
+			if prev, ok := altBest[p]; !ok || elim[i] > prev {
+				altBest[p] = elim[i]
+			}
+		}
+	}
+	sort.Strings(vr.paths)
+	if len(bests) > 0 {
+		vr.hasRoute = true
+		// The AS-level primary is what the decision process would pick
+		// given the quasi-routers' bests as candidates.
+		best, _ := bgp.Decide(bgp.QuasiRouterConfig, bests, nil)
+		vr.path = bests[best].Path.Prepend(asn).String()
+	}
+	alts := make([]altCand, 0, len(altBest))
+	for p, st := range altBest {
+		if bestSet[p] {
+			continue // selected by some quasi-router: already in paths
+		}
+		alts = append(alts, altCand{path: p, step: st})
+	}
+	sort.Slice(alts, func(i, j int) bool {
+		if alts[i].step != alts[j].step {
+			return alts[i].step > alts[j].step
+		}
+		return alts[i].path < alts[j].path
+	})
+	for _, a := range alts {
+		vr.alternates = append(vr.alternates, Alternate{
+			Path:         a.path,
+			EliminatedAt: a.step.String(),
+			Depth:        int(a.step),
+		})
+	}
+	return vr
+}
+
+// ErrUnknownVantage reports a vantage AS absent from the model.
+type ErrUnknownVantage struct{ AS bgp.ASN }
+
+func (e *ErrUnknownVantage) Error() string { return fmt.Sprintf("serve: unknown vantage AS %d", e.AS) }
+
+// ErrUnknownPrefix reports a prefix absent from the model's universe.
+type ErrUnknownPrefix struct{ Prefix string }
+
+func (e *ErrUnknownPrefix) Error() string { return "serve: unknown prefix " + e.Prefix }
+
+// Predict answers one (vantage, prefix) query against this snapshot. k
+// caps the number of alternates returned (k <= 0 means none, capped at
+// what the decision records contain).
+func (s *Snapshot) Predict(ctx context.Context, prefixName string, vantage bgp.ASN, k int) (*Prediction, error) {
+	id, ok := s.base.Universe.ID(prefixName)
+	if !ok {
+		return nil, &ErrUnknownPrefix{Prefix: prefixName}
+	}
+	res, cached, err := s.prefix(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	vr, ok := res.byAS[vantage]
+	if !ok {
+		return nil, &ErrUnknownVantage{AS: vantage}
+	}
+	p := &Prediction{
+		Prefix:        prefixName,
+		Vantage:       vantage,
+		HasRoute:      vr.hasRoute,
+		Path:          vr.path,
+		Paths:         vr.paths,
+		TieBreakStep:  vr.tieStep.String(),
+		TieBreakDepth: int(vr.tieStep),
+		SnapshotSeq:   s.Seq,
+		Cached:        cached,
+	}
+	if k > len(vr.alternates) {
+		k = len(vr.alternates)
+	}
+	if k > 0 {
+		p.Alternates = vr.alternates[:k]
+	}
+	return p, nil
+}
