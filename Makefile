@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-serve bench-check fuzz-smoke
+.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-refine bench-serve bench-check fuzz-smoke
 
 all: check
 
@@ -49,6 +49,13 @@ bench-go:
 # if any worker count produces a dataset that differs from sequential.
 bench-gen:
 	$(GO) run ./cmd/parbench -mode gen -reps 1 -gen-out BENCH_gen.json
+
+# Fast smoke of speculative refinement: one repetition per worker count,
+# exits non-zero unless every count's model bytes, result counts and
+# redacted trace match the sequential refinement. Writes to a scratch
+# path so the checked-in BENCH_parallel.json keeps its full-reps numbers.
+bench-refine:
+	$(GO) run ./cmd/parbench -mode refine -reps 1 -out /tmp/BENCH_refine_smoke.json
 
 # Serving-stack benchmark: an in-process asmodeld on a loopback port
 # under a seeded client fleet with mid-run hot-swaps; writes

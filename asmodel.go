@@ -24,8 +24,10 @@
 // fans prefixes across a worker pool of deep model clones and merges
 // results deterministically, so it returns exactly what Evaluate would for
 // any worker count (DefaultWorkers sizes the pool to the CPU count).
-// RefineConfig.Workers parallelizes the refinement verify sweep the same
-// way:
+// RefineConfig.Workers parallelizes the whole refinement — the mutating
+// iterations run speculatively on pooled clones with a sequential
+// worklist-order merge, and the verify sweep fans out over the same pool —
+// with the identical byte-for-byte guarantee:
 //
 //	ev, err := m.EvaluateParallel(ctx, valid, asmodel.DefaultWorkers())
 //
@@ -124,7 +126,9 @@ type (
 
 // DefaultWorkers is the worker-pool size Model.EvaluateParallel and
 // RefineConfig.Workers use for "one worker per available CPU": it returns
-// runtime.GOMAXPROCS(0).
+// runtime.GOMAXPROCS(0). For refinement the pool drives both the
+// speculative refine iterations and the parallel verify sweep; outputs
+// are byte-identical at any worker count.
 func DefaultWorkers() int { return model.DefaultWorkers() }
 
 // LoadCheckpointFile reads a refinement checkpoint written during a

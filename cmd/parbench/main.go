@@ -4,22 +4,24 @@
 //
 // The eval section times Model.EvaluateParallel over a refined model for
 // every worker count and checks the result is identical
-// (reflect.DeepEqual) to the sequential evaluation; it then times a full
-// refinement with the parallel verify sweep and checks the serialized
-// model is byte-identical to the sequentially refined one. The gen
-// section times gen.Internet.RunAllParallel — the ground-truth
-// generation that dominates suite setup — on a freshly generated
-// Internet per repetition and checks the dataset bytes and the
-// Weird/QuirksReverted bookkeeping match the sequential RunAll. Both
-// reports record GOMAXPROCS and NumCPU alongside every timing:
-// per-prefix simulation shares nothing, so the speedup tracks the CPU
-// count — on a single-CPU host it stays near 1x and the run only
-// demonstrates determinism plus pool overhead.
+// (reflect.DeepEqual) to the sequential evaluation; the refine section
+// times a full speculative refinement per worker count and checks the
+// serialized model bytes, the RefineResult and the redacted trace stream
+// (events + spans) are byte-identical to the sequential refinement,
+// recording each count's speculation conflict rate. The gen section
+// times gen.Internet.RunAllParallel — the ground-truth generation that
+// dominates suite setup — on a freshly generated Internet per repetition
+// and checks the dataset bytes and the Weird/QuirksReverted bookkeeping
+// match the sequential RunAll. All reports record GOMAXPROCS and NumCPU
+// alongside every timing: per-prefix simulation shares nothing, so the
+// speedup tracks the CPU count — on a single-CPU host it stays near 1x
+// and the run only demonstrates determinism plus pool overhead.
 //
 // Usage:
 //
 //	parbench -out BENCH_parallel.json -gen-out BENCH_gen.json -seed 1 -reps 3 -workers 1,2,4,8
 //	parbench -mode gen -reps 1            # generation smoke only (make bench-gen)
+//	parbench -mode refine -reps 1         # refinement smoke only (make bench-refine)
 package main
 
 import (
@@ -61,6 +63,10 @@ type workerRow struct {
 	// worker ever waited on the clone build or the shared cursor.
 	BusySeconds float64 `json:"busy_seconds"`
 	Utilization float64 `json:"utilization"`
+	// ConflictRate (refine rows only) is the fraction of speculations the
+	// merger discarded and re-ran on the canonical model: 0 means every
+	// prefix merged clean, 1 means speculation bought nothing.
+	ConflictRate float64 `json:"conflict_rate"`
 }
 
 type report struct {
@@ -94,12 +100,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator and split seed")
 	reps := flag.Int("reps", 3, "timed repetitions per configuration (minimum is reported)")
 	workersList := flag.String("workers", "1,2,4,8", "comma-separated worker counts to measure")
-	mode := flag.String("mode", "all", "which sections to run: all, eval (evaluate+refine), or gen (ground-truth generation)")
+	mode := flag.String("mode", "all", "which sections to run: all, eval (evaluate+refine), refine (refinement only), or gen (ground-truth generation)")
 	reportPath := flag.String("report", "", "write a schema-versioned JSON run report to this file")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :8080)")
 	flag.Parse()
-	if *mode != "all" && *mode != "eval" && *mode != "gen" {
-		fmt.Fprintln(os.Stderr, "parbench: -mode must be all, eval or gen")
+	if *mode != "all" && *mode != "eval" && *mode != "refine" && *mode != "gen" {
+		fmt.Fprintln(os.Stderr, "parbench: -mode must be all, eval, refine or gen")
 		os.Exit(2)
 	}
 	if *debugAddr != "" {
@@ -172,9 +178,9 @@ func run(out, genOut, mode string, seed int64, reps int, workersList, reportPath
 			runRep.AddSection("gen", grep)
 		}
 	}
-	if mode == "all" || mode == "eval" {
+	if mode == "all" || mode == "eval" || mode == "refine" {
 		sp := root.StartChild("eval")
-		erep, err := runEval(out, seed, reps, counts)
+		erep, err := runEval(out, seed, reps, counts, mode)
 		sp.End()
 		if err != nil {
 			return err
@@ -324,10 +330,22 @@ func writeJSON(path string, v any) error {
 	return enc.Encode(v)
 }
 
-func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
+// refinedRun is one fully observed refinement: the model, the result and
+// the redacted trace stream (events then spans) — the three outputs the
+// speculative-refinement determinism contract covers.
+type refinedRun struct {
+	m     *model.Model
+	res   *model.RefineResult
+	trace []byte
+}
+
+func runEval(out string, seed int64, reps int, counts []int, mode string) (*report, error) {
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = seed
 	busyHist := obs.GetHistogram("eval_worker_busy_seconds", "", nil)
+	refBusyHist := obs.GetHistogram("refine_worker_busy_seconds", "", nil)
+	specCtr := obs.GetCounter("refine_speculations_total", "")
+	conflictCtr := obs.GetCounter("refine_conflicts_total", "")
 	fmt.Fprintf(os.Stderr, "parbench: generating suite (seed=%d)...\n", seed)
 	s, err := experiments.NewSuite(cfg)
 	if err != nil {
@@ -337,22 +355,40 @@ func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
 	g := topology.FromDataset(s.Data)
 	u := dataset.NewUniverse(s.Data)
 
-	buildRefined := func(workers int) (*model.Model, error) {
+	// Every refinement — the sequential reference included — runs with a
+	// redacted span recorder and a trace-event observer attached, so the
+	// timings are uniform and the identity check can cover the trace
+	// stream, not just the model bytes.
+	buildRefined := func(workers int) (*refinedRun, error) {
 		m, err := model.NewInitial(g, u)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := m.Refine(train, model.RefineConfig{Workers: workers}); err != nil {
+		var trace bytes.Buffer
+		sink := obs.NewTraceSink(&trace)
+		rec := obs.NewSpanRecorder(sink, "parbench refine", obs.SpanOptions{RedactTiming: true})
+		rcfg := model.RefineConfig{Workers: workers, Observer: func(ev model.RefineEvent) {
+			_ = sink.Emit(ev)
+		}}
+		res, err := m.RefineContext(obs.ContextWithSpan(context.Background(), rec.Root()), train, rcfg)
+		if err != nil {
 			return nil, err
 		}
-		return m, nil
+		if err := rec.Finish(); err != nil {
+			return nil, err
+		}
+		if err := sink.Flush(); err != nil {
+			return nil, err
+		}
+		return &refinedRun{m: m, res: res, trace: trace.Bytes()}, nil
 	}
 
 	fmt.Fprintf(os.Stderr, "parbench: refining baseline model...\n")
-	m, err := buildRefined(0)
+	ref, err := buildRefined(0)
 	if err != nil {
 		return nil, err
 	}
+	m := ref.m
 	rep := &report{
 		Schema: evalSchema,
 		Seed:   seed, Reps: reps,
@@ -367,46 +403,52 @@ func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
 		QuasiRouters: m.NumQuasiRouters(),
 	}
 
-	// Evaluation: sequential baseline, then each worker count.
-	want, err := m.Evaluate(valid)
-	if err != nil {
-		return nil, err
-	}
-	rep.Paths = want.Summary.Total
-	rep.EvalSeqNsOp, _, err = minNs(reps, func() error {
-		_, err := m.Evaluate(valid)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, w := range counts {
-		var got *model.Evaluation
-		busy0 := busyHist.Sum()
-		ns, totalNs, err := minNs(reps, func() error {
-			var err error
-			got, err = m.EvaluateParallel(context.Background(), valid, w)
+	// Evaluation: sequential baseline, then each worker count (skipped in
+	// refine-only mode).
+	if mode != "refine" {
+		want, err := m.Evaluate(valid)
+		if err != nil {
+			return nil, err
+		}
+		rep.Paths = want.Summary.Total
+		rep.EvalSeqNsOp, _, err = minNs(reps, func() error {
+			_, err := m.Evaluate(valid)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		busy := busyHist.Sum() - busy0
-		rep.Evaluate = append(rep.Evaluate, workerRow{
-			Workers: w, NsOp: ns,
-			Speedup:     float64(rep.EvalSeqNsOp) / float64(ns),
-			Identical:   reflect.DeepEqual(got, want),
-			BusySeconds: busy,
-			Utilization: utilization(busy, totalNs, w),
-		})
-		fmt.Fprintf(os.Stderr, "parbench: evaluate workers=%d %.2fms (%.2fx, util %.2f)\n",
-			w, float64(ns)/1e6, float64(rep.EvalSeqNsOp)/float64(ns), utilization(busy, totalNs, w))
+		for _, w := range counts {
+			var got *model.Evaluation
+			busy0 := busyHist.Sum()
+			ns, totalNs, err := minNs(reps, func() error {
+				var err error
+				got, err = m.EvaluateParallel(context.Background(), valid, w)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			busy := busyHist.Sum() - busy0
+			rep.Evaluate = append(rep.Evaluate, workerRow{
+				Workers: w, NsOp: ns,
+				Speedup:     float64(rep.EvalSeqNsOp) / float64(ns),
+				Identical:   reflect.DeepEqual(got, want),
+				BusySeconds: busy,
+				Utilization: utilization(busy, totalNs, w),
+			})
+			fmt.Fprintf(os.Stderr, "parbench: evaluate workers=%d %.2fms (%.2fx, util %.2f)\n",
+				w, float64(ns)/1e6, float64(rep.EvalSeqNsOp)/float64(ns), utilization(busy, totalNs, w))
+		}
 	}
 
-	// Refinement: sequential verify sweep vs worker pools, compared by
-	// serialized model bytes. The busy histogram only fills during the
-	// parallel verify sweeps, so utilization here covers the sweep
-	// fraction of the refinement, not the whole wall time.
+	// Refinement: the sequential run vs speculative worker pools,
+	// compared by model bytes, RefineResult and the redacted trace
+	// stream. Busy time sums the speculation workers
+	// (refine_worker_busy_seconds) and the verify-sweep workers
+	// (eval_worker_busy_seconds), so utilization covers both parallel
+	// sections of the refinement — iteration barriers and the sequential
+	// merger are the idle remainder.
 	var wantBytes bytes.Buffer
 	if err := m.Save(&wantBytes); err != nil {
 		return nil, err
@@ -419,11 +461,9 @@ func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
 		return nil, err
 	}
 	for _, w := range counts {
-		if w == 1 {
-			continue // Workers:1 is the sequential path already timed
-		}
-		var got *model.Model
-		busy0 := busyHist.Sum()
+		var got *refinedRun
+		busy0 := busyHist.Sum() + refBusyHist.Sum()
+		specs0, conflicts0 := specCtr.Value(), conflictCtr.Value()
 		ns, totalNs, err := minNs(reps, func() error {
 			var err error
 			got, err = buildRefined(w)
@@ -432,20 +472,28 @@ func runEval(out string, seed int64, reps int, counts []int) (*report, error) {
 		if err != nil {
 			return nil, err
 		}
-		busy := busyHist.Sum() - busy0
+		busy := busyHist.Sum() + refBusyHist.Sum() - busy0
+		conflictRate := 0.0
+		if specs := specCtr.Value() - specs0; specs > 0 {
+			conflictRate = float64(conflictCtr.Value()-conflicts0) / float64(specs)
+		}
 		var gotBytes bytes.Buffer
-		if err := got.Save(&gotBytes); err != nil {
+		if err := got.m.Save(&gotBytes); err != nil {
 			return nil, err
 		}
+		identical := bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()) &&
+			reflect.DeepEqual(got.res, ref.res) &&
+			bytes.Equal(got.trace, ref.trace)
 		rep.Refine = append(rep.Refine, workerRow{
 			Workers: w, NsOp: ns,
-			Speedup:     float64(rep.RefSeqNsOp) / float64(ns),
-			Identical:   bytes.Equal(gotBytes.Bytes(), wantBytes.Bytes()),
-			BusySeconds: busy,
-			Utilization: utilization(busy, totalNs, w),
+			Speedup:      float64(rep.RefSeqNsOp) / float64(ns),
+			Identical:    identical,
+			BusySeconds:  busy,
+			Utilization:  utilization(busy, totalNs, w),
+			ConflictRate: conflictRate,
 		})
-		fmt.Fprintf(os.Stderr, "parbench: refine workers=%d %.2fms (%.2fx)\n",
-			w, float64(ns)/1e6, float64(rep.RefSeqNsOp)/float64(ns))
+		fmt.Fprintf(os.Stderr, "parbench: refine workers=%d %.2fms (%.2fx, util %.2f, conflicts %.2f)\n",
+			w, float64(ns)/1e6, float64(rep.RefSeqNsOp)/float64(ns), utilization(busy, totalNs, w), conflictRate)
 	}
 
 	for _, r := range append(append([]workerRow{}, rep.Evaluate...), rep.Refine...) {

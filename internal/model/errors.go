@@ -48,7 +48,8 @@ func (e *InterruptedError) Unwrap() error { return e.Err }
 // fault) in one prefix's simulation fails the call instead of killing
 // the process.
 type WorkerPanicError struct {
-	// Op is the sweep that panicked: "evaluate" or "verify".
+	// Op is the sweep that panicked: "evaluate", "verify", or
+	// "refine" (a speculative refinement worker).
 	Op string
 	// Prefix names the prefix being processed when the panic fired.
 	Prefix string

@@ -122,8 +122,10 @@ func (m *Model) EvaluateParallel(ctx context.Context, ds *dataset.Dataset, worke
 			// Per-worker utilization: busy is time inside the per-prefix
 			// body; idle is everything else (clone build, cursor
 			// contention, straggling at the tail). Both are
-			// scheduling-dependent, so the span attrs are Volatile.
-			wspan := span.StartChild("worker", obs.VolatileAttr("worker", wi))
+			// scheduling-dependent, so the span attrs are Volatile — and
+			// the span itself is volatile, because its count follows the
+			// worker count.
+			wspan := span.StartVolatileChild("worker", obs.VolatileAttr("worker", wi))
 			wstart := time.Now()
 			var busy time.Duration
 			clone := m.Clone()
@@ -257,8 +259,11 @@ type verifyOutcome struct {
 // match counts when observing). It performs no model mutation and no
 // worklist state changes — the caller applies outcomes in deterministic
 // worklist order — so any worker count yields the same refinement.
-// Worker spans attach under span (the verify-sweep span; nil is fine).
-func (rr *refineRun) verifyParallel(span *obs.Span, towork []*prefixWork, workers int) []verifyOutcome {
+// Clones come from the run's shared pool (rr.clonePool), already synced
+// to the canonical model, so the sweep never re-clones mid-run. Worker
+// spans attach under span (the verify-sweep span; nil is fine).
+func (rr *refineRun) verifyParallel(span *obs.Span, towork []*prefixWork, clones []*specClone) []verifyOutcome {
+	workers := len(clones)
 	mParWorkers.Set(int64(workers))
 	results := make([]verifyOutcome, len(towork))
 	var next atomic.Int64
@@ -268,11 +273,10 @@ func (rr *refineRun) verifyParallel(span *obs.Span, towork []*prefixWork, worker
 		wg.Add(1)
 		go func(wi int) {
 			defer wg.Done()
-			wspan := span.StartChild("worker", obs.VolatileAttr("worker", wi))
+			wspan := span.StartVolatileChild("worker", obs.VolatileAttr("worker", wi))
 			wstart := time.Now()
 			var busy time.Duration
-			clone := rr.m.Clone()
-			mParClones.Inc()
+			clone := clones[wi].m
 			processed := 0
 			defer func() {
 				mParPerWkr.ObserveInt(processed)

@@ -60,14 +60,18 @@ type RefineConfig struct {
 	// E10c). The paper reports this approach caused divergence; the
 	// engine's message budget detects it.
 	UseLocalPref bool
-	// Workers sets the worker-pool size for the read-only
-	// verify-and-reopen sweep: each worker re-simulates settled prefixes
-	// on its own model clone (Model.Clone), and outcomes are applied in
-	// worklist order, so any worker count produces the same refinement
-	// (model, result counts and trace stream). 0 or 1 keeps the sweep
-	// sequential; a negative value selects DefaultWorkers(). The
-	// mutating refine iterations always stay sequential — they edit the
-	// shared topology.
+	// Workers sets the worker-pool size for the whole refinement: the
+	// mutating refine iterations run speculatively — each worker
+	// propagates and refines open prefixes on a pooled model clone,
+	// recording its edits as replayable action records, and a sequential
+	// merger applies clean speculations (and re-runs conflicted ones on
+	// the canonical model) in worklist order — and the read-only
+	// verify-and-reopen sweep fans settled prefixes out across the same
+	// clone pool. Outcomes are defined purely by worklist order, so any
+	// worker count produces byte-identical results: model serialization,
+	// result counts, checkpoints, trace events and redacted spans
+	// (DESIGN.md §5 "Speculative refinement"). 0 or 1 keeps refinement
+	// sequential; a negative value selects DefaultWorkers().
 	Workers int
 	// Logf, when set, receives progress lines.
 	Logf func(format string, args ...interface{})
@@ -84,8 +88,16 @@ type RefineConfig struct {
 
 	// forceDiverge, when non-nil, makes the next n simulation runs of
 	// each listed prefix report a synthetic divergence (test seam for the
-	// quarantine path; counts are decremented per run).
+	// quarantine path; counts are decremented per run). Speculative
+	// workers bypass the seam — it is consumed only on the canonical
+	// pass, in worklist order, so it stays deterministic at any worker
+	// count.
 	forceDiverge map[bgp.PrefixID]int
+
+	// disableSpeculation keeps the mutating iterations sequential even
+	// with Workers > 1 (test seam: lets fault tests target the parallel
+	// verify sweep in isolation). The verify sweep still parallelizes.
+	disableSpeculation bool
 }
 
 // RefineActionCounts tallies refinement actions by type (§4.6 / Figure
@@ -268,11 +280,15 @@ type requirement struct {
 }
 
 type prefixWork struct {
-	id     bgp.PrefixID
-	reqs   []requirement
-	done   bool // no further processing (satisfied, stuck, or diverged)
-	ok     bool // fully RIB-Out matched
-	gaveUp bool // propagation diverged even after the escalated retry
+	id   bgp.PrefixID
+	reqs []requirement
+	// reqASes is the deduplicated, sorted set of requirement ASes — the
+	// part of a speculation's read-set the heuristic inspects even when
+	// propagation never touches it.
+	reqASes []bgp.ASN
+	done    bool // no further processing (satisfied, stuck, or diverged)
+	ok      bool // fully RIB-Out matched
+	gaveUp  bool // propagation diverged even after the escalated retry
 
 	quarantined bool                 // diverged once; parked awaiting the retry phase
 	retried     bool                 // the one escalated retry has been spent
@@ -328,6 +344,16 @@ type refineRun struct {
 	// iteration and verify-sweep child spans hang off it. Not part of the
 	// checkpointable state.
 	span *obs.Span
+
+	// Speculative-refinement state (workers > 1 only; none of it is
+	// checkpointed — clones and the action log are rebuilt on resume):
+	// log is the canonical model's mutation history since the run (or
+	// resume) started, recording kept on so pooled clones can be synced
+	// by replay; pool holds the worker clones shared by the speculative
+	// iterations and the parallel verify sweep.
+	recording bool
+	log       []refineAction
+	pool      []*specClone
 }
 
 func newRefineRun(m *Model, train *dataset.Dataset, cfg RefineConfig) *refineRun {
@@ -338,7 +364,9 @@ func newRefineRun(m *Model, train *dataset.Dataset, cfg RefineConfig) *refineRun
 	if maxIter == 0 {
 		maxIter = 4*maxLen + 8
 	}
-	return &refineRun{m: m, cfg: cfg, res: res, works: works, maxIter: maxIter, observing: cfg.Observer != nil}
+	rr := &refineRun{m: m, cfg: cfg, res: res, works: works, maxIter: maxIter, observing: cfg.Observer != nil}
+	rr.recording = rr.workerCount() > 1
+	return rr
 }
 
 func (rr *refineRun) name(w *prefixWork) string { return rr.m.Universe.Name(w.id) }
@@ -474,17 +502,14 @@ func (rr *refineRun) verifySweep(span *obs.Span) (int, error) {
 			towork = append(towork, w)
 		}
 	}
-	workers := rr.cfg.Workers
-	if workers < 0 {
-		workers = DefaultWorkers()
-	}
+	workers := rr.workerCount()
 	if workers > len(towork) {
 		workers = len(towork)
 	}
-	span.Set(obs.A("prefixes", len(towork)), obs.A("workers", workers))
+	span.Set(obs.A("prefixes", len(towork)), obs.VolatileAttr("workers", workers))
 	reopened := 0
 	if workers > 1 && rr.cfg.forceDiverge == nil {
-		for i, o := range rr.verifyParallel(span, towork, workers) {
+		for i, o := range rr.verifyParallel(span, towork, rr.clonePool(workers)) {
 			w := towork[i]
 			if o.err != nil {
 				return 0, o.err
@@ -580,7 +605,7 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 	m, res, cfg := rr.m, rr.res, rr.cfg
 	_, span := obs.StartSpan(ctx, "model.refine",
 		obs.A("prefixes", len(rr.works)), obs.A("max_iterations", rr.maxIter),
-		obs.A("workers", cfg.Workers))
+		obs.VolatileAttr("workers", cfg.Workers))
 	defer span.End()
 	rr.span = span
 	for rr.iter < rr.maxIter {
@@ -597,30 +622,49 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 			reservations := 0
 			changedAny := false
 			pending := 0
+			conflicts := 0
+			usedWorkers := 1
+			var open []*prefixWork
 			for _, w := range rr.works {
-				if w.done {
-					continue
+				if !w.done {
+					open = append(open, w)
 				}
-				if err := rr.runPrefix(w); err != nil {
-					var derr *sim.DivergenceError
-					if errors.As(err, &derr) {
-						rr.quarantine(w, derr)
+			}
+			if rr.recording && !cfg.disableSpeculation && len(open) > 1 {
+				usedWorkers = rr.workerCount()
+				if usedWorkers > len(open) {
+					usedWorkers = len(open)
+				}
+				var serr error
+				changedAny, pending, reservations, conflicts, serr = rr.iterateSpeculative(open, iterSpan)
+				if serr != nil {
+					return nil, serr
+				}
+			} else {
+				for _, w := range open {
+					if err := rr.runPrefix(w); err != nil {
+						var derr *sim.DivergenceError
+						if errors.As(err, &derr) {
+							rr.quarantine(w, derr)
+							continue
+						}
+						return nil, err
+					}
+					if rr.observing {
+						w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
+					}
+					al := &actionLog{m: m, res: res, record: rr.recording}
+					changed, satisfied, resv := m.refinePrefix(w, cfg, al)
+					rr.log = append(rr.log, al.recs...)
+					reservations += resv
+					if changed {
+						changedAny = true
+						pending++
 						continue
 					}
-					return nil, err
+					w.done = true
+					w.ok = satisfied
 				}
-				if rr.observing {
-					w.ribOut, w.potential, w.ribIn = m.matchCounts(w)
-				}
-				changed, satisfied, resv := m.refinePrefix(w, cfg, res)
-				reservations += resv
-				if changed {
-					changedAny = true
-					pending++
-					continue
-				}
-				w.done = true
-				w.ok = satisfied
 			}
 			if cfg.Logf != nil {
 				cfg.Logf("refine: iteration %d: %d prefixes changed, %d quasi-routers, %d filters",
@@ -636,7 +680,12 @@ func (rr *refineRun) run(ctx context.Context) (*RefineResult, error) {
 				obs.A("med_rules", actions.MEDRules),
 				obs.A("local_pref_rules", actions.LocalPrefRules),
 				obs.A("duplications", actions.Duplications),
-				obs.A("quasi_routers", m.Net.NumRouters()))
+				obs.A("quasi_routers", m.Net.NumRouters()),
+				// Worker count is configuration, conflict count follows it
+				// (sequential iterations have no speculations to conflict),
+				// so both stay out of the redacted trace.
+				obs.VolatileAttr("workers", usedWorkers),
+				obs.VolatileAttr("conflicts", conflicts))
 			iterSpan.End()
 			if rr.observing {
 				rr.cum.add(actions)
@@ -865,6 +914,10 @@ func (m *Model) buildWork(train *dataset.Dataset, res *RefineResult) ([]*prefixW
 			}
 			return ri.key < rj.key
 		})
+		for as := range seen {
+			w.reqASes = append(w.reqASes, as)
+		}
+		sort.Slice(w.reqASes, func(i, j int) bool { return w.reqASes[i] < w.reqASes[j] })
 		works = append(works, w)
 	}
 	return works, maxLen
@@ -901,8 +954,11 @@ func (m *Model) countUnsatisfied(w *prefixWork) int {
 // refinePrefix performs one heuristic iteration (Figure 6) for one prefix
 // against the network's converged state. It returns whether the model was
 // changed, whether every requirement was already RIB-Out matched, and how
-// many quasi-router reservations pass 1 made (trace bookkeeping).
-func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult) (changed, satisfied bool, reservations int) {
+// many quasi-router reservations pass 1 made (trace bookkeeping). Every
+// model mutation goes through al (al.m == m), which bumps the result
+// counters and — for speculative refinement — records replayable action
+// records and undo state.
+func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, al *actionLog) (changed, satisfied bool, reservations int) {
 	prefix := w.id
 	type reqKey struct {
 		as  bgp.ASN
@@ -964,7 +1020,7 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 			// RIB-In match at an unreserved quasi-router: adjust its
 			// policies so the wanted route wins (§4.6).
 			im := free[0]
-			m.steerSelection(im.q, im.from, rq, prefix, cfg, res)
+			m.steerSelection(im.q, im.from, rq, prefix, cfg, al)
 			resvByQR[im.q.ID] = rq.key
 			resvReq[reqKey{rq.as, rq.key}] = true
 			changed = true
@@ -976,15 +1032,14 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 				continue
 			}
 			src := all[0]
-			nq, err := m.DuplicateQR(src.q)
+			nq, err := al.duplicateQR(src.q)
 			if err != nil {
 				continue
 			}
-			res.QuasiRoutersAdded++
 			// The copy's RIB-In materializes next run; use the source's
 			// RIB-In as the proxy for policy synthesis.
 			from := nq.PeerTo(src.from.Remote.ID)
-			m.steerSelectionProxy(nq, src.q, from, rq, prefix, cfg, res)
+			m.steerSelectionProxy(nq, src.q, from, rq, prefix, cfg, al)
 			resvByQR[nq.ID] = rq.key
 			resvReq[reqKey{rq.as, rq.key}] = true
 			changed = true
@@ -993,7 +1048,7 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 			// No RIB-In anywhere: either the upstream AS is not ready yet
 			// (fixed in a later iteration) or one of our own filters
 			// blocks the observed path (Figure 7 — delete it).
-			if m.unblockPath(rq, prefix, cfg, res, resvByQR) {
+			if m.unblockPath(rq, prefix, cfg, al, resvByQR) {
 				changed = true
 			}
 		}
@@ -1006,13 +1061,10 @@ func (m *Model) refinePrefix(w *prefixWork, cfg RefineConfig, res *RefineResult)
 // filters at the announcing neighbors of strictly shorter contenders,
 // plus a MED preference for the desired session (§4.6). With UseLocalPref
 // the mechanism is a local-pref raise instead.
-func (m *Model) steerSelection(q *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult) {
-	for _, p := range q.Peers() {
-		p.ClearImport(prefix)
-	}
+func (m *Model) steerSelection(q *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, al *actionLog) {
+	al.clearImports(q, prefix)
 	if cfg.UseLocalPref {
-		from.SetImportLocalPref(prefix, 200)
-		res.LocalPrefRules++
+		al.setImportLocalPref(from, prefix, 200)
 		return
 	}
 	routes, fromPeers := q.RIBIn()
@@ -1023,27 +1075,22 @@ func (m *Model) steerSelection(q *sim.Router, from *sim.Peer, rq requirement, pr
 		// Filter at the announcing neighbor: deny its export toward q.
 		ann := fromPeers[i].Remote.PeerTo(q.ID)
 		if ann != nil && !ann.ExportDenied(prefix) {
-			ann.DenyExport(prefix)
-			res.FiltersAdded++
+			al.denyExport(ann, prefix)
 		}
 	}
 	if !cfg.DisableMED {
-		from.SetImportMED(prefix, 0)
-		res.MEDRules++
+		al.setImportMED(from, prefix, 0)
 	}
 }
 
 // steerSelectionProxy is steerSelection for a freshly duplicated
 // quasi-router nq whose RIB-In is still empty: the source's RIB-In stands
 // in for the contenders nq will receive after the next run.
-func (m *Model) steerSelectionProxy(nq, src *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult) {
-	for _, p := range nq.Peers() {
-		p.ClearImport(prefix)
-	}
+func (m *Model) steerSelectionProxy(nq, src *sim.Router, from *sim.Peer, rq requirement, prefix bgp.PrefixID, cfg RefineConfig, al *actionLog) {
+	al.clearImports(nq, prefix)
 	if cfg.UseLocalPref {
 		if from != nil {
-			from.SetImportLocalPref(prefix, 200)
-			res.LocalPrefRules++
+			al.setImportLocalPref(from, prefix, 200)
 		}
 		return
 	}
@@ -1054,13 +1101,11 @@ func (m *Model) steerSelectionProxy(nq, src *sim.Router, from *sim.Peer, rq requ
 		}
 		ann := fromPeers[i].Remote.PeerTo(nq.ID)
 		if ann != nil && !ann.ExportDenied(prefix) {
-			ann.DenyExport(prefix)
-			res.FiltersAdded++
+			al.denyExport(ann, prefix)
 		}
 	}
 	if !cfg.DisableMED && from != nil {
-		from.SetImportMED(prefix, 0)
-		res.MEDRules++
+		al.setImportMED(from, prefix, 0)
 	}
 }
 
@@ -1071,7 +1116,7 @@ func (m *Model) steerSelectionProxy(nq, src *sim.Router, from *sim.Peer, rq requ
 // route (admitted path not shorter than the receiver's desired path);
 // otherwise a quasi-router of the receiving AS is duplicated so an
 // unfiltered session exists next iteration.
-func (m *Model) unblockPath(rq requirement, prefix bgp.PrefixID, cfg RefineConfig, res *RefineResult, resvByQR map[bgp.RouterID]bgp.PathKey) bool {
+func (m *Model) unblockPath(rq requirement, prefix bgp.PrefixID, cfg RefineConfig, al *actionLog, resvByQR map[bgp.RouterID]bgp.PathKey) bool {
 	neighbor := rq.suffix[0]
 	nSuffix := rq.suffix[1:]
 	var nq *sim.Router
@@ -1094,8 +1139,7 @@ func (m *Model) unblockPath(rq requirement, prefix bgp.PrefixID, cfg RefineConfi
 		if key, taken := resvByQR[p.Remote.ID]; taken && len(rq.suffix) < key.Len() {
 			continue // unsafe: the admitted route would evict the reserved one
 		}
-		p.AllowExport(prefix)
-		res.FiltersRemoved++
+		al.allowExport(p, prefix)
 		return true
 	}
 	if len(blocked) == 0 || cfg.DisableDuplication {
@@ -1103,13 +1147,10 @@ func (m *Model) unblockPath(rq requirement, prefix bgp.PrefixID, cfg RefineConfi
 	}
 	// Every filtered session points at a reserved quasi-router that the
 	// admitted route would evict: grow the AS instead.
-	nqr, err := m.DuplicateQR(blocked[0].Remote)
+	nqr, err := al.duplicateQR(blocked[0].Remote)
 	if err != nil {
 		return false
 	}
-	for _, p := range nqr.Peers() {
-		p.ClearImport(prefix)
-	}
-	res.QuasiRoutersAdded++
+	al.clearImports(nqr, prefix)
 	return true
 }

@@ -27,7 +27,12 @@ import (
 //     declared Volatile and dropped from redacted output;
 //   - sibling spans, which parallel workers append in arrival order, are
 //     sorted by (name, attributes) before redacted emission, so the
-//     nondeterministic arrival order never reaches the file.
+//     nondeterministic arrival order never reaches the file;
+//   - whole spans whose *existence* depends on scheduling — pool worker
+//     spans, whose count follows the worker count — are opened with
+//     StartVolatileChild and dropped (with their subtree) from redacted
+//     output, so the redacted trace is identical across worker counts,
+//     not just across repeated runs at one count.
 //
 // Without redaction, spans keep arrival order and carry start/duration
 // nanoseconds — the profiling view, which makes no determinism claim.
@@ -124,8 +129,13 @@ func (r *SpanRecorder) emit(s *Span, parentPath string, depth int) error {
 		return err
 	}
 	s.mu.Lock()
-	children := make([]*Span, len(s.children))
-	copy(children, s.children)
+	children := make([]*Span, 0, len(s.children))
+	for _, c := range s.children {
+		if r.opts.RedactTiming && c.volatile {
+			continue
+		}
+		children = append(children, c)
+	}
 	s.mu.Unlock()
 	if r.opts.RedactTiming {
 		sort.SliceStable(children, func(i, j int) bool {
@@ -164,6 +174,11 @@ type Span struct {
 	name  string
 	start time.Time
 
+	// volatile marks a span whose existence depends on goroutine
+	// scheduling (e.g. one pool worker span per worker): redacted
+	// emission drops it together with its subtree.
+	volatile bool
+
 	mu       sync.Mutex
 	attrs    []Attr
 	children []*Span
@@ -181,6 +196,20 @@ func (s *Span) StartChild(name string, attrs ...Attr) *Span {
 	s.mu.Lock()
 	s.children = append(s.children, c)
 	s.mu.Unlock()
+	return c
+}
+
+// StartVolatileChild opens a child span that is the span-level analogue
+// of VolatileAttr: its presence (typically its count — one per pool
+// worker) depends on scheduling or configuration rather than on the
+// run's inputs, so redacted emission skips it and everything beneath
+// it. Use it for per-worker spans so the redacted trace stays identical
+// across worker counts.
+func (s *Span) StartVolatileChild(name string, attrs ...Attr) *Span {
+	c := s.StartChild(name, attrs...)
+	if c != nil {
+		c.volatile = true
+	}
 	return c
 }
 

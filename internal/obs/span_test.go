@@ -210,3 +210,48 @@ func TestSpanAttrOverride(t *testing.T) {
 		t.Fatalf("attr k = %v, want later value 2", m["k"])
 	}
 }
+
+// TestVolatileChildDroppedUnderRedaction: a StartVolatileChild span — and
+// its whole subtree — is dropped from redacted emission but kept (with
+// timing) in the profiling view, so worker-span counts can follow the
+// worker count without breaking cross-worker-count trace identity.
+func TestVolatileChildDroppedUnderRedaction(t *testing.T) {
+	emit := func(redact bool, workers int) string {
+		var buf bytes.Buffer
+		sink := NewTraceSink(&buf)
+		rec := NewSpanRecorder(sink, "cmd", SpanOptions{RedactTiming: redact})
+		stage := rec.Root().StartChild("stage", A("prefixes", 3))
+		for wi := 0; wi < workers; wi++ {
+			w := stage.StartVolatileChild("worker", VolatileAttr("worker", wi))
+			w.StartChild("inner", A("step", 1)).End()
+			w.End()
+		}
+		stage.End()
+		if err := rec.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		if err := sink.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	red2, red8 := emit(true, 2), emit(true, 8)
+	if red2 != red8 {
+		t.Fatalf("redacted traces differ across worker counts:\n--- 2 ---\n%s--- 8 ---\n%s", red2, red8)
+	}
+	if strings.Contains(red2, `"name":"worker"`) || strings.Contains(red2, `"name":"inner"`) {
+		t.Fatalf("volatile span (or its subtree) leaked into redacted trace:\n%s", red2)
+	}
+	if !strings.Contains(red2, `"name":"stage"`) {
+		t.Fatalf("non-volatile sibling missing from redacted trace:\n%s", red2)
+	}
+
+	full := emit(false, 3)
+	if got := strings.Count(full, `"name":"worker"`); got != 3 {
+		t.Fatalf("profiling view has %d worker spans, want 3\n%s", got, full)
+	}
+	if got := strings.Count(full, `"name":"inner"`); got != 3 {
+		t.Fatalf("profiling view has %d inner spans, want 3\n%s", got, full)
+	}
+}
