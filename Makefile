@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-refine bench-serve bench-check fuzz-smoke
+.PHONY: all build test vet race check bench bench-go bench-json bench-gen bench-refine bench-serve bench-stream bench-check fuzz-smoke
 
 all: check
 
@@ -63,6 +63,14 @@ bench-refine:
 bench-serve:
 	$(GO) run ./cmd/asmodeld -loadgen -gen-seed 1 -requests 2000 -clients 8 -out BENCH_serve.json
 
+# Streaming-refinement benchmark: a seeded synthetic update stream
+# through the incremental batch loop, clean run vs crash-at-half +
+# resume; writes schema-versioned BENCH_stream.json (checked in, gated
+# by bench-check) and fails outright if the resumed run's state file is
+# not byte-identical to the clean run's.
+bench-stream:
+	$(GO) run ./cmd/streambench -out BENCH_stream.json
+
 # Perf-regression gate: validate the BENCH reports against the
 # checked-in baselines (generous single-core tolerances — this catches
 # order-of-magnitude regressions and broken determinism flags).
@@ -70,3 +78,4 @@ bench-check:
 	$(GO) run ./cmd/obsreport check BENCH_parallel.json baselines/BENCH_parallel.baseline.json
 	$(GO) run ./cmd/obsreport check BENCH_gen.json baselines/BENCH_gen.baseline.json
 	$(GO) run ./cmd/obsreport check BENCH_serve.json baselines/BENCH_serve.baseline.json
+	$(GO) run ./cmd/obsreport check BENCH_stream.json baselines/BENCH_stream.baseline.json

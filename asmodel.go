@@ -45,6 +45,7 @@ package asmodel
 import (
 	"context"
 	"io"
+	"time"
 
 	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
@@ -55,6 +56,7 @@ import (
 	"asmodel/internal/mrt"
 	"asmodel/internal/relation"
 	"asmodel/internal/serve"
+	"asmodel/internal/stream"
 	"asmodel/internal/topology"
 )
 
@@ -275,4 +277,42 @@ func NewServer(cfg ServeConfig) *ServeServer { return serve.New(cfg) }
 // free-list used by concurrent propagations.
 func NewServingSnapshot(m *Model, poolSize int) *ServeSnapshot {
 	return serve.NewSnapshot(m, poolSize)
+}
+
+// Streaming types: the `asmodel stream` incremental refinement loop as
+// a library — tail an MRT update source, cut deterministic record-count
+// batches, delta-refine only changed prefixes, and commit cursor +
+// checkpoint atomically after every batch (exactly-once; crash recovery
+// byte-identical to an uninterrupted run, see DESIGN.md §9).
+type (
+	// StreamConfig parameterizes a streaming run (source, state file,
+	// batch size, stability filter, worker pool, bootstrap dataset).
+	StreamConfig = stream.Config
+	// StreamSource feeds MRT records (NewStreamFileSource /
+	// NewStreamDirSource build the file and directory tailers).
+	StreamSource = stream.Source
+	// StreamResult reports a completed or cleanly stopped run: committed
+	// cursor position plus cumulative replay/refinement totals.
+	StreamResult = stream.Result
+	// StreamEvent is one structured trace event ("batch" events are
+	// deterministic and post-commit; "recovery"/"stall" are volatile).
+	StreamEvent = stream.Event
+)
+
+// NewStreamer builds a streaming refinement loop; Run drives it until
+// the source ends (oneshot), MaxBatches commits, or the context is
+// canceled. A state file left by a previous run resumes it.
+func NewStreamer(cfg StreamConfig) *stream.Streamer { return stream.New(cfg) }
+
+// NewStreamFileSource tails one MRT update file; in follow mode it
+// polls for appended records instead of stopping at EOF.
+func NewStreamFileSource(path string, follow bool, poll time.Duration) StreamSource {
+	return stream.NewFileSource(path, follow, poll)
+}
+
+// NewStreamDirSource streams a directory of MRT update files in
+// lexical filename order; in follow mode it waits for new files (and
+// appends to the newest) instead of stopping.
+func NewStreamDirSource(dir, pattern string, follow bool, poll time.Duration) StreamSource {
+	return stream.NewDirSource(dir, pattern, follow, poll)
 }

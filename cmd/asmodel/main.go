@@ -117,6 +117,8 @@ func run(ctx context.Context, args []string) int {
 		err = cmdExplain(ctx, args[1:])
 	case "evaluate":
 		err = cmdEvaluate(ctx, args[1:])
+	case "stream":
+		err = cmdStream(ctx, args[1:])
 	default:
 		usage()
 		return exitUsage
@@ -130,7 +132,11 @@ func run(ctx context.Context, args []string) int {
 	if errors.As(err, &ierr) {
 		fmt.Fprintln(os.Stderr, "asmodel:", err)
 		if ierr.Checkpoint != "" {
-			fmt.Fprintf(os.Stderr, "asmodel: resume with: asmodel refine -resume -checkpoint %s <original flags>\n", ierr.Checkpoint)
+			if ierr.Op == "stream" {
+				fmt.Fprintf(os.Stderr, "asmodel: resume by re-running the same asmodel stream command; the committed cursor in %s picks up where this run stopped\n", ierr.Checkpoint)
+			} else {
+				fmt.Fprintf(os.Stderr, "asmodel: resume with: asmodel refine -resume -checkpoint %s <original flags>\n", ierr.Checkpoint)
+			}
 		}
 		return exitInterrupted
 	}
@@ -152,7 +158,8 @@ func usage() {
   predict -in paths.txt -prefix P40 -as 10      predict an AS's paths
   whatif  -in paths.txt -prefix P40 -a 10 -b 20 -watch 30,40  de-peering impact
   explain -in paths.txt -prefix P40 -as 10      decision process breakdown
-  evaluate -model model.txt -in paths.txt       score a saved model on a dataset`)
+  evaluate -model model.txt -in paths.txt       score a saved model on a dataset
+  stream  -in updates.mrt -state s.state        incremental refinement over a BGP update stream`)
 }
 
 // ingestFlags registers the shared -strict / -max-record-errors flags

@@ -6,7 +6,13 @@
 //
 //	asmodeld -checkpoint ckpt.txt -addr :8480            # serve
 //	asmodeld -model model.txt -addr :8480 -watch 5s      # auto-reload
+//	asmodeld -checkpoint stream.state -watch 2s          # follow asmodel stream
 //	asmodeld -loadgen -gen-seed 1 -out BENCH_serve.json  # benchmark
+//
+// -checkpoint also accepts an `asmodel stream` state file
+// (asmodel-stream-cursor-v1): the embedded checkpoint is served, and
+// with -watch the daemon hot-swaps after each committed batch,
+// debounced by -watch-debounce so rapid batches coalesce.
 //
 // Exit codes: 0 clean shutdown (SIGINT/SIGTERM drained), 1 runtime
 // failure, 2 usage error, 3 drain deadline exceeded (accepted requests
@@ -91,6 +97,7 @@ func realMain(ctx context.Context, args []string) error {
 		modelPath    = fs.String("model", "", "saved model to serve instead of a checkpoint (asmodel save format)")
 		addr         = fs.String("addr", ":8480", "HTTP listen address (\":0\" picks a free port)")
 		watch        = fs.Duration("watch", 0, "poll the source file and hot-swap on change (0 disables)")
+		watchDeb     = fs.Duration("watch-debounce", time.Second, "hold a detected change until the file is quiet this long, coalescing rapid commits into one swap (0 swaps immediately)")
 		probes       = fs.Int("probes", serve.DefaultProbes, "validation probes per candidate snapshot (-1 disables)")
 		maxInflight  = fs.Int("max-inflight", serve.DefaultMaxInflight, "in-flight request bound before shedding with 429")
 		timeout      = fs.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline (504 on overrun)")
@@ -149,6 +156,7 @@ func realMain(ctx context.Context, args []string) error {
 		RequestTimeout: *timeout,
 		DrainTimeout:   *drainTimeout,
 		WatchInterval:  *watch,
+		WatchDebounce:  *watchDeb,
 		MaxAlternates:  *k,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "asmodeld: "+format+"\n", a...)

@@ -25,6 +25,16 @@ import (
 // anywhere in the file is detected on load.
 const checkpointMagic = "asmodel-checkpoint-v1"
 
+// StreamCursorMagic heads a streaming-refinement state file
+// (internal/stream): a source-position cursor followed by an embedded
+// asmodel-checkpoint-v1 stream, committed in one atomic write so a
+// batch's model and cursor can never be observed apart. The constant
+// lives here because LoadCheckpoint understands the envelope: pointing
+// asmodeld (or any checkpoint consumer) at a stream state file serves
+// the embedded model directly — the hot-swap handoff from `asmodel
+// stream` to a running `asmodeld -watch`.
+const StreamCursorMagic = "asmodel-stream-cursor-v1"
+
 // DefaultCheckpointEvery is the checkpoint interval (in refinement
 // iterations) used when CheckpointConfig.Every is zero.
 const DefaultCheckpointEvery = 10
@@ -182,11 +192,30 @@ func WriteCheckpointFileCtx(ctx context.Context, path string, cp *Checkpoint) er
 // "end" trailer is the integrity marker), never a short checkpoint.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	sc := newModelScanner(r)
-	if !sc.Scan() || sc.Text() != checkpointMagic {
+	if !sc.Scan() {
+		return nil, fmt.Errorf("model: not a refinement checkpoint (missing %q header)", checkpointMagic)
+	}
+	lineNo := 1
+	if sc.Text() == StreamCursorMagic {
+		// A stream state file: skip the cursor directives (the stream
+		// layer parses them; here they are opaque) down to the embedded
+		// checkpoint, then read it as usual.
+		for {
+			if !sc.Scan() {
+				if err := sc.Err(); err != nil {
+					return nil, err
+				}
+				return nil, fmt.Errorf("model: stream state truncated after line %d (missing embedded %q)", lineNo, checkpointMagic)
+			}
+			lineNo++
+			if sc.Text() == checkpointMagic {
+				break
+			}
+		}
+	} else if sc.Text() != checkpointMagic {
 		return nil, fmt.Errorf("model: not a refinement checkpoint (missing %q header)", checkpointMagic)
 	}
 	cp := &Checkpoint{}
-	lineNo := 1
 	intField := func(s string) (int, bool) {
 		v, err := strconv.Atoi(s)
 		return v, err == nil

@@ -8,13 +8,14 @@ import "fmt"
 // (context.Canceled or context.DeadlineExceeded), so callers can both
 // errors.Is the cause and recover partial work.
 type InterruptedError struct {
-	// Op is the interrupted operation: "refine" or "evaluate".
+	// Op is the interrupted operation: "refine", "evaluate" or "stream".
 	Op string
-	// Iterations is the refinement iteration reached ("refine" only).
+	// Iterations is the refinement iteration reached ("refine"), or the
+	// committed batch count ("stream").
 	Iterations int
-	// Prefixes counts prefixes fully processed before the interrupt:
+	// Prefixes counts units fully processed before the interrupt:
 	// settled training prefixes for "refine", evaluated prefixes for
-	// "evaluate".
+	// "evaluate", committed source records for "stream".
 	Prefixes int
 	// Checkpoint is the path of the last checkpoint written before the
 	// interrupt, when checkpointing was enabled ("" otherwise). Resume
@@ -26,10 +27,15 @@ type InterruptedError struct {
 
 func (e *InterruptedError) Error() string {
 	s := fmt.Sprintf("model: %s interrupted", e.Op)
-	if e.Op == "refine" {
+	unit := "prefixes"
+	switch e.Op {
+	case "refine":
 		s += fmt.Sprintf(" at iteration %d", e.Iterations)
+	case "stream":
+		s += fmt.Sprintf(" at batch %d", e.Iterations)
+		unit = "records"
 	}
-	s += fmt.Sprintf(" (%d prefixes done", e.Prefixes)
+	s += fmt.Sprintf(" (%d %s done", e.Prefixes, unit)
 	if e.Checkpoint != "" {
 		s += fmt.Sprintf("; checkpoint %s", e.Checkpoint)
 	}

@@ -11,7 +11,7 @@ import (
 	"asmodel/internal/ingest"
 )
 
-// ReplayStats reports what UpdatesToDataset processed.
+// ReplayStats reports what a Replayer (or UpdatesToDataset) processed.
 type ReplayStats struct {
 	Records     int // MRT records read
 	Updates     int // BGP UPDATE messages applied
@@ -20,6 +20,10 @@ type ReplayStats struct {
 	AfterCutoff int // records ignored because they follow the cutoff
 	SkippedASet int // announcements dropped for AS_SET aggregation
 	Unstable    int // routes dropped by the stable-route filter
+	// LastTimestamp is the timestamp of the most recent record consumed
+	// before the cutoff — the reference time for the stability filter and
+	// the value a stream cursor validates against on resume.
+	LastTimestamp int64
 }
 
 type peerKey struct {
@@ -32,8 +36,194 @@ type replayRoute struct {
 	learned uint32
 }
 
-// UpdatesToDataset replays a BGP4MP update stream (BGP4MP_MESSAGE and
-// BGP4MP_MESSAGE_AS4, plain or extended-timestamp) and reconstructs each
+// Replayer incrementally reconstructs per-peer routing tables from a
+// BGP4MP update stream (BGP4MP_MESSAGE and BGP4MP_MESSAGE_AS4, plain or
+// extended-timestamp), one record at a time. It is the batch-cursor
+// engine beneath UpdatesToDataset and the streaming refinement loop:
+// records are applied with Apply, the prefixes whose observations
+// changed since the last snapshot are drained with TakeChanged, and
+// Dataset/DatasetFor snapshot the current tables as a dataset.
+//
+// A Replayer fed the same record sequence always reaches the same state,
+// and snapshots emit records in a canonical sorted order, so replaying a
+// stream from the start reproduces any intermediate state byte for byte
+// — the property mid-stream crash recovery rests on.
+type Replayer struct {
+	cutoff int64
+	minAge int64
+	st     ReplayStats
+	tables map[peerKey]map[netip.Prefix]replayRoute
+	// changed accumulates prefixes whose table entries were touched
+	// (announced, replaced or withdrawn) since the last TakeChanged.
+	changed map[netip.Prefix]struct{}
+}
+
+// NewReplayer builds a Replayer applying the paper's stable-route
+// criterion: when snapshotting, only routes unchanged for at least
+// minAge seconds before the cutoff are emitted (§3.1 uses one hour). A
+// cutoff of zero means "end of stream": stability is measured against
+// the last update timestamp seen.
+func NewReplayer(cutoff, minAge int64) *Replayer {
+	return &Replayer{
+		cutoff:  cutoff,
+		minAge:  minAge,
+		tables:  make(map[peerKey]map[netip.Prefix]replayRoute),
+		changed: make(map[netip.Prefix]struct{}),
+	}
+}
+
+// Stats returns the cumulative replay statistics.
+func (rp *Replayer) Stats() ReplayStats { return rp.st }
+
+// Apply consumes one MRT record. Non-BGP4MP records and records past
+// the cutoff are counted and ignored. An unparsable BGP4MP message
+// returns its parse error without touching the tables — the caller
+// decides whether to skip it (lenient ingestion) or abort.
+func (rp *Replayer) Apply(rec *Record) error {
+	rp.st.Records++
+	if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
+		return nil
+	}
+	if rec.Subtype != SubtypeBGP4MPMessage && rec.Subtype != SubtypeBGP4MPMessageAS4 {
+		return nil
+	}
+	if rp.cutoff != 0 && int64(rec.Timestamp) > rp.cutoff {
+		rp.st.AfterCutoff++
+		return nil
+	}
+	if int64(rec.Timestamp) > rp.st.LastTimestamp {
+		rp.st.LastTimestamp = int64(rec.Timestamp)
+	}
+	m, err := ParseBGP4MP(rec)
+	if err != nil {
+		return err
+	}
+	if m.Update == nil {
+		return nil
+	}
+	rp.st.Updates++
+	key := peerKey{m.PeerAddr, m.PeerAS}
+	table := rp.tables[key]
+	if table == nil {
+		table = make(map[netip.Prefix]replayRoute)
+		rp.tables[key] = table
+	}
+	for _, p := range m.Update.Withdrawn {
+		if _, ok := table[p]; ok {
+			delete(table, p)
+			rp.st.Withdraws++
+			rp.changed[p] = struct{}{}
+		}
+	}
+	if m.Update.Attrs != nil && len(m.Update.NLRI) > 0 {
+		path, hasSet := m.Update.Attrs.Path()
+		if hasSet {
+			rp.st.SkippedASet += len(m.Update.NLRI)
+		} else if len(path) > 0 {
+			for _, p := range m.Update.NLRI {
+				table[p] = replayRoute{path: path, learned: rec.Timestamp}
+				rp.st.Announces++
+				rp.changed[p] = struct{}{}
+			}
+		}
+	}
+	return nil
+}
+
+// TakeChanged drains and returns the set of prefixes whose table
+// entries changed since the previous call, in canonical sorted order.
+func (rp *Replayer) TakeChanged() []netip.Prefix {
+	if len(rp.changed) == 0 {
+		return nil
+	}
+	out := make([]netip.Prefix, 0, len(rp.changed))
+	for p := range rp.changed {
+		out = append(out, p)
+	}
+	rp.changed = make(map[netip.Prefix]struct{})
+	sortPrefixes(out)
+	return out
+}
+
+// Dataset snapshots the full current tables as a dataset (sorted by
+// peer, then prefix), applying the stable-route filter.
+func (rp *Replayer) Dataset() *dataset.Dataset { return rp.DatasetFor(nil) }
+
+// DatasetFor snapshots the current routes of the given prefixes only
+// (nil means all prefixes) — the delta dataset incremental refinement
+// re-evaluates after a batch. The snapshot carries every peer's current
+// route for each requested prefix, not just the peers whose updates
+// changed it, so refinement always sees the complete observed state of
+// a changed prefix. Unstable routes are filtered (and counted) against
+// the cutoff, or against the last timestamp seen when the cutoff is
+// zero.
+func (rp *Replayer) DatasetFor(prefixes []netip.Prefix) *dataset.Dataset {
+	var filter map[netip.Prefix]struct{}
+	if prefixes != nil {
+		filter = make(map[netip.Prefix]struct{}, len(prefixes))
+		for _, p := range prefixes {
+			filter[p] = struct{}{}
+		}
+	}
+	ref := rp.cutoff
+	if ref == 0 {
+		ref = rp.st.LastTimestamp
+	}
+	ds := &dataset.Dataset{}
+	keys := make([]peerKey, 0, len(rp.tables))
+	for k := range rp.tables {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].as != keys[j].as {
+			return keys[i].as < keys[j].as
+		}
+		return keys[i].addr.Less(keys[j].addr)
+	})
+	for _, k := range keys {
+		table := rp.tables[k]
+		sel := make([]netip.Prefix, 0, len(table))
+		for p := range table {
+			if filter != nil {
+				if _, ok := filter[p]; !ok {
+					continue
+				}
+			}
+			sel = append(sel, p)
+		}
+		sortPrefixes(sel)
+		for _, p := range sel {
+			rt := table[p]
+			if rp.minAge > 0 && int64(rt.learned) > ref-rp.minAge {
+				rp.st.Unstable++
+				continue
+			}
+			path := rt.path
+			if path[0] != k.as {
+				path = path.Prepend(k.as)
+			}
+			ds.Records = append(ds.Records, dataset.Record{
+				Obs:     dataset.ObsPointID(fmt.Sprintf("%s|%s", k.addr, k.as)),
+				ObsAS:   k.as,
+				Prefix:  p.String(),
+				Path:    path,
+				Learned: int64(rt.learned),
+			})
+		}
+	}
+	return ds
+}
+
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Addr() != ps[j].Addr() {
+			return ps[i].Addr().Less(ps[j].Addr())
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
+}
+
+// UpdatesToDataset replays a BGP4MP update stream and reconstructs each
 // peer's routing table as of the cutoff time, applying the paper's
 // stable-route criterion: only routes unchanged for at least minAge
 // seconds before the cutoff are emitted (§3.1 uses one hour). A cutoff of
@@ -56,118 +246,29 @@ func UpdatesToDataset(r io.Reader, cutoff int64, minAge int64) (*dataset.Dataset
 // discarding the replay so far.
 func UpdatesToDatasetOpts(r io.Reader, cutoff int64, minAge int64, opts ingest.Options) (*dataset.Dataset, *ReplayStats, *ingest.Report, error) {
 	rd := NewReader(lenientReader(r, opts))
-	st := &ReplayStats{}
+	rp := NewReplayer(cutoff, minAge)
 	rep := ingest.NewReport("mrt", opts)
-	tables := make(map[peerKey]map[netip.Prefix]replayRoute)
-	var lastTS uint32
-
 	for {
 		rec, err := rd.Next()
 		if err == io.EOF {
 			break
 		}
+		st := rp.Stats()
 		if err != nil {
 			if serr := rep.Skip(st.Records+1, err); serr != nil {
-				return nil, st, rep, serr
+				return nil, &st, rep, serr
 			}
 			break
 		}
-		st.Records++
 		rep.Record()
-		if rec.Type != TypeBGP4MP && rec.Type != TypeBGP4MPET {
-			continue
-		}
-		if rec.Subtype != SubtypeBGP4MPMessage && rec.Subtype != SubtypeBGP4MPMessageAS4 {
-			continue
-		}
-		if cutoff != 0 && int64(rec.Timestamp) > cutoff {
-			st.AfterCutoff++
-			continue
-		}
-		if rec.Timestamp > lastTS {
-			lastTS = rec.Timestamp
-		}
-		m, err := ParseBGP4MP(rec)
-		if err != nil {
+		if err := rp.Apply(rec); err != nil {
+			st = rp.Stats()
 			if serr := rep.Skip(st.Records, err); serr != nil {
-				return nil, st, rep, serr
-			}
-			continue
-		}
-		if m.Update == nil {
-			continue
-		}
-		st.Updates++
-		key := peerKey{m.PeerAddr, m.PeerAS}
-		table := tables[key]
-		if table == nil {
-			table = make(map[netip.Prefix]replayRoute)
-			tables[key] = table
-		}
-		for _, p := range m.Update.Withdrawn {
-			if _, ok := table[p]; ok {
-				delete(table, p)
-				st.Withdraws++
-			}
-		}
-		if m.Update.Attrs != nil && len(m.Update.NLRI) > 0 {
-			path, hasSet := m.Update.Attrs.Path()
-			if hasSet {
-				st.SkippedASet += len(m.Update.NLRI)
-			} else if len(path) > 0 {
-				for _, p := range m.Update.NLRI {
-					table[p] = replayRoute{path: path, learned: rec.Timestamp}
-					st.Announces++
-				}
+				return nil, &st, rep, serr
 			}
 		}
 	}
-
-	ref := cutoff
-	if ref == 0 {
-		ref = int64(lastTS)
-	}
-	ds := &dataset.Dataset{}
-	keys := make([]peerKey, 0, len(tables))
-	for k := range tables {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].as != keys[j].as {
-			return keys[i].as < keys[j].as
-		}
-		return keys[i].addr.Less(keys[j].addr)
-	})
-	for _, k := range keys {
-		table := tables[k]
-		prefixes := make([]netip.Prefix, 0, len(table))
-		for p := range table {
-			prefixes = append(prefixes, p)
-		}
-		sort.Slice(prefixes, func(i, j int) bool {
-			if prefixes[i].Addr() != prefixes[j].Addr() {
-				return prefixes[i].Addr().Less(prefixes[j].Addr())
-			}
-			return prefixes[i].Bits() < prefixes[j].Bits()
-		})
-		for _, p := range prefixes {
-			rt := table[p]
-			if minAge > 0 && int64(rt.learned) > ref-minAge {
-				st.Unstable++
-				continue
-			}
-			path := rt.path
-			if path[0] != k.as {
-				path = path.Prepend(k.as)
-			}
-			ds.Records = append(ds.Records, dataset.Record{
-				Obs:     dataset.ObsPointID(fmt.Sprintf("%s|%s", k.addr, k.as)),
-				ObsAS:   k.as,
-				Prefix:  p.String(),
-				Path:    path,
-				Learned: int64(rt.learned),
-			})
-		}
-	}
-	return ds, st, rep, nil
+	ds := rp.Dataset()
+	st := rp.Stats()
+	return ds, &st, rep, nil
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"asmodel/internal/bgp"
+	"asmodel/internal/ingest"
 )
 
 func writeUpdate(t *testing.T, w *Writer, ts uint32, peerAS bgp.ASN, path bgp.Path, announce []string, withdraw []string) {
@@ -101,6 +102,119 @@ func TestUpdatesReplayWithdrawAll(t *testing.T) {
 	}
 	if ds.Len() != 0 {
 		t.Fatalf("withdrawn route survived: %+v", ds.Records)
+	}
+}
+
+// TestReplayCutoffOnBoundary pins the inclusive-cutoff contract: a
+// record stamped exactly at the cutoff is applied (and advances
+// LastTimestamp); the first record past it is ignored and counted.
+func TestReplayCutoffOnBoundary(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 1000, 10, bgp.Path{10, 20, 40}, []string{"192.0.2.0/24"}, nil) // ts == cutoff
+	writeUpdate(t, w, 1001, 10, bgp.Path{10, 30, 40}, []string{"192.0.2.0/24"}, nil) // ts == cutoff+1
+
+	ds, st, err := UpdatesToDataset(bytes.NewReader(buf.Bytes()), 1000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AfterCutoff != 1 {
+		t.Errorf("after-cutoff=%d, want 1 (boundary record must be included)", st.AfterCutoff)
+	}
+	if st.LastTimestamp != 1000 {
+		t.Errorf("last-ts=%d, want 1000 (boundary record advances it, post-cutoff does not)", st.LastTimestamp)
+	}
+	if ds.Len() != 1 || !ds.Records[0].Path.Equal(bgp.Path{10, 20, 40}) {
+		t.Fatalf("boundary record not applied: %+v", ds.Records)
+	}
+}
+
+// TestReplayMinAgeAcrossBatchBoundary exercises the stability filter the
+// way the streaming loop uses it: the same Replayer snapshots after
+// each batch, and a route too fresh for one batch's snapshot must
+// appear in a later snapshot once the stream clock has moved past its
+// minAge — without being re-announced.
+func TestReplayMinAgeAcrossBatchBoundary(t *testing.T) {
+	rp := NewReplayer(0, 500)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 300, 11, bgp.Path{11, 40}, []string{"198.51.100.0/24"}, nil)
+	// Batch 2: only an unrelated announcement, far in the future.
+	writeUpdate(t, w, 900, 12, bgp.Path{12, 40}, []string{"203.0.113.0/24"}, nil)
+	rd := NewReader(bytes.NewReader(buf.Bytes()))
+
+	apply := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			rec, err := rd.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rp.Apply(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Batch 1 ends at ts=300: the ts=300 route (age 0) is unstable, the
+	// ts=100 route (age 200 < 500) is too.
+	apply(2)
+	rp.TakeChanged()
+	if ds := rp.Dataset(); ds.Len() != 0 {
+		t.Fatalf("fresh routes leaked through the stability filter: %+v", ds.Records)
+	}
+	if got := rp.Stats().Unstable; got != 2 {
+		t.Fatalf("unstable=%d, want 2", got)
+	}
+
+	// Batch 2 ends at ts=900: the ts=100 route (age 800) is now stable
+	// even though batch 2 never touched it; ts=300 (age 600) likewise;
+	// ts=900 (age 0) is not.
+	apply(1)
+	ds := rp.Dataset()
+	if ds.Len() != 2 {
+		t.Fatalf("records=%d, want 2 (aged-in routes): %+v", ds.Len(), ds.Records)
+	}
+	for _, r := range ds.Records {
+		if r.ObsAS == 12 {
+			t.Fatalf("fresh batch-2 route leaked: %+v", r)
+		}
+	}
+	if st := rp.Stats(); st.LastTimestamp != 900 {
+		t.Fatalf("last-ts=%d, want 900", st.LastTimestamp)
+	}
+}
+
+// TestReplayLenientFramingMidBatch: garbage after a valid prefix of the
+// stream desyncs the length-prefixed framing. Lenient ingestion must
+// keep the replay so far, count exactly one skip at the failing record
+// number, and report stats for the consumed prefix only.
+func TestReplayLenientFramingMidBatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	writeUpdate(t, w, 100, 10, bgp.Path{10, 40}, []string{"192.0.2.0/24"}, nil)
+	writeUpdate(t, w, 200, 11, bgp.Path{11, 40}, []string{"198.51.100.0/24"}, nil)
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0xff, 0xff, 0xff, 0xff, 0x01, 0x02, 0x03})
+
+	ds, st, rep, err := UpdatesToDatasetOpts(bytes.NewReader(buf.Bytes()), 0, 0, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("replay prefix lost: %d records", ds.Len())
+	}
+	if st.Records != 2 || st.Updates != 2 {
+		t.Fatalf("stats=%+v", st)
+	}
+	if rep.Skipped != 1 {
+		t.Fatalf("skipped=%d, want 1", rep.Skipped)
+	}
+	// Strict mode surfaces the same failure instead.
+	_, _, _, err = UpdatesToDatasetOpts(bytes.NewReader(buf.Bytes()), 0, 0, ingest.Options{Strict: true})
+	if err == nil {
+		t.Fatal("strict mode swallowed the framing failure")
 	}
 }
 

@@ -1,0 +1,48 @@
+package mrt
+
+import (
+	"io"
+	"net/netip"
+
+	"asmodel/internal/bgp"
+	"asmodel/internal/dataset"
+)
+
+// WriteUpdates emits a dataset as a BGP4MP_MESSAGE_AS4 update stream:
+// one announcement per record, in dataset order, with timestamps spaced
+// step seconds apart starting at startTS. Peer addresses are derived
+// from the observation-point index exactly as FromDataset derives them,
+// and prefix names that are not parseable CIDRs are mapped through
+// SyntheticCIDR — so a replay of the stream (UpdatesToDataset, or the
+// streaming refinement loop) reconstructs the dataset up to prefix
+// naming. It returns the number of update records written; the inverse
+// of UpdatesToDataset for synthetic inputs, and the generator behind
+// the stream benchmarks and crash smokes.
+func WriteUpdates(w io.Writer, ds *dataset.Dataset, startTS, step uint32) (int, error) {
+	points := ds.ObsPoints()
+	peerIdx := make(map[dataset.ObsPointID]uint16, len(points))
+	for i, p := range points {
+		peerIdx[p] = uint16(i)
+	}
+	mw := NewWriter(w)
+	local := netip.AddrFrom4([4]byte{10, 253, 0, 1})
+	n := 0
+	for _, rec := range ds.Records {
+		i := peerIdx[rec.Obs]
+		peerAddr := netip.AddrFrom4([4]byte{10, 254, byte(i >> 8), byte(i)})
+		u := &Update{
+			Attrs: &PathAttrs{
+				Origin:   bgp.OriginIGP,
+				Segments: SequencePath(rec.Path),
+				NextHop:  peerAddr,
+			},
+			NLRI: []netip.Prefix{SyntheticCIDR(rec.Prefix)},
+		}
+		ts := startTS + uint32(n)*step
+		if err := mw.WriteBGP4MPUpdate(ts, rec.ObsAS, 65000, peerAddr, local, u); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

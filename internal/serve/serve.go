@@ -37,9 +37,12 @@ const (
 // snapshot installed directly via SetModel).
 type Config struct {
 	// CheckpointPath loads the model out of a refinement checkpoint
-	// (asmodel-checkpoint-v1), falling back to its ".bak" when the
+	// (asmodel-checkpoint-v1) or a stream state file
+	// (asmodel-stream-cursor-v1, whose embedded checkpoint is read
+	// through the cursor header), falling back to its ".bak" when the
 	// primary is corrupt — the same recovery LoadCheckpointFile gives
-	// the resume path.
+	// the resume path. Pointing this at an `asmodel stream` -state file
+	// hot-swaps the served model after every committed batch.
 	CheckpointPath string
 	// ModelPath loads a plain SaveModel stream instead; ignored when
 	// CheckpointPath is set.
@@ -65,6 +68,12 @@ type Config struct {
 	// hot-swaps automatically (0 disables the watcher; POST /-/reload
 	// always works).
 	WatchInterval time.Duration
+	// WatchDebounce makes the watcher wait until the source file's
+	// stamp has been stable for this long before reloading, so a
+	// producer committing rapid successive checkpoints (asmodel stream
+	// under a fast batch cadence) triggers one swap per quiet period
+	// instead of one per write (0 reloads immediately on change).
+	WatchDebounce time.Duration
 	// MaxAlternates is the default top-k alternates per response when
 	// the query does not pass ?k= (0 = DefaultAlternates, negative =
 	// none).
@@ -369,11 +378,17 @@ func stampOf(path string) fileStamp {
 // load: a file rewritten between that load and the watcher's first tick
 // still differs from the baseline and is picked up, instead of being
 // silently adopted as the baseline and ignored until the next change.
-// Reload failures roll back and are retried on the next change.
+// With WatchDebounce set, a detected change is held until the stamp has
+// stayed unchanged for the debounce window, so a burst of commits
+// (a streaming producer) costs one validated hot-swap, not one per
+// write. Reload failures roll back and are retried on the next change.
 func (s *Server) watch(ctx context.Context, last fileStamp) {
 	path := s.cfg.sourcePath()
 	t := time.NewTicker(s.cfg.WatchInterval)
 	defer t.Stop()
+	pending := false
+	var pendingStamp fileStamp
+	var stableSince time.Time
 	for {
 		select {
 		case <-ctx.Done():
@@ -381,10 +396,26 @@ func (s *Server) watch(ctx context.Context, last fileStamp) {
 		case <-t.C:
 		}
 		cur := stampOf(path)
-		if cur == (fileStamp{}) || cur == last {
+		if cur == (fileStamp{}) {
+			continue
+		}
+		if !pending {
+			if cur == last {
+				continue
+			}
+			pending = true
+			pendingStamp = cur
+			stableSince = time.Now()
+		} else if cur != pendingStamp {
+			// Still being rewritten: restart the quiet-period clock.
+			pendingStamp = cur
+			stableSince = time.Now()
+		}
+		if s.cfg.WatchDebounce > 0 && time.Since(stableSince) < s.cfg.WatchDebounce {
 			continue
 		}
 		last = cur
+		pending = false
 		s.cfg.Logf("serve: %s changed, reloading", path)
 		if _, err := s.Reload(ctx); err != nil {
 			s.cfg.Logf("serve: watcher reload: %v", err)

@@ -599,3 +599,64 @@ func TestWatchReload(t *testing.T) {
 		t.Fatalf("drain: %v", err)
 	}
 }
+
+// TestWatchDebounce: a burst of rapid checkpoint commits (a streaming
+// producer) must coalesce into a single hot-swap of the final state,
+// taken only after the file has gone quiet for the debounce window.
+func TestWatchDebounce(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.txt")
+	ma := testModel(t, 0)
+	writeTestCheckpoint(t, path, ma, 1)
+
+	ready := make(chan string, 1)
+	cfg := Config{
+		CheckpointPath: path,
+		Addr:           "127.0.0.1:0",
+		WatchInterval:  5 * time.Millisecond,
+		WatchDebounce:  150 * time.Millisecond,
+		OnReady:        func(addr string) { ready <- addr },
+	}
+	srv := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(ctx) }()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v", err)
+	}
+	reloadsAfterBoot := mReloads.Value()
+
+	// Burst: five commits spaced well inside the debounce window.
+	for iter := 2; iter <= 6; iter++ {
+		cp := &model.Checkpoint{Iteration: iter, Model: ma}
+		var buf bytes.Buffer
+		if err := model.WriteCheckpoint(&buf, cp); err != nil {
+			t.Fatal(err)
+		}
+		writeFileAtomic(t, path, buf.Bytes())
+		time.Sleep(20 * time.Millisecond)
+	}
+	// The file went quiet just now: no swap may have happened yet.
+	if got := srv.Snapshot().Iteration; got != 1 {
+		t.Fatalf("swap happened mid-burst: iteration %d", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Snapshot().Iteration != 6 {
+		if time.Now().After(deadline) {
+			t.Fatalf("debounced swap never landed (iteration %d)", srv.Snapshot().Iteration)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := mReloads.Value() - reloadsAfterBoot; got != 1 {
+		t.Fatalf("burst of 5 commits caused %d reloads, want 1", got)
+	}
+
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}

@@ -1,0 +1,422 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"asmodel/internal/dataset"
+	"asmodel/internal/mrt"
+)
+
+// readAll drains a non-follow source and returns the record count.
+func readAll(t *testing.T, src Source) int {
+	t.Helper()
+	n := 0
+	for {
+		_, err := src.Next(context.Background())
+		if err == io.EOF {
+			return n
+		}
+		if err != nil {
+			t.Fatalf("record %d: %v", n, err)
+		}
+		n++
+	}
+}
+
+func TestFileSourceOneshot(t *testing.T) {
+	dir := t.TempDir()
+	path, n := writeUpdatesFile(t, dir)
+	src := NewFileSource(path, false, 0)
+	defer src.Close()
+	if got := readAll(t, src); got != n {
+		t.Fatalf("read %d records, want %d", got, n)
+	}
+	// Reset must replay the identical sequence.
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, src); got != n {
+		t.Fatalf("after Reset: read %d records, want %d", got, n)
+	}
+}
+
+// TestFileSourceTruncatedTail: a final partial record surfaces as
+// mrt.ErrTruncated in oneshot mode.
+func TestFileSourceTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := writeUpdatesFile(t, dir)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := NewFileSource(path, false, 0)
+	defer src.Close()
+	var lastErr error
+	for {
+		_, err := src.Next(context.Background())
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, mrt.ErrTruncated) {
+		t.Fatalf("got %v, want ErrTruncated", lastErr)
+	}
+}
+
+// TestFileSourceFollow tails a growing file: records appended after the
+// reader hits EOF — including one landing in two torn halves — must all
+// arrive, in order.
+func TestFileSourceFollow(t *testing.T) {
+	dir := t.TempDir()
+	full, total := writeUpdatesFile(t, dir)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start the tailed file with roughly the first third of the stream,
+	// cut at a record boundary (records are self-framing; find the
+	// boundary by re-reading).
+	boundary := recordBoundary(t, raw, total/3)
+	path := filepath.Join(dir, "tail.mrt")
+	if err := os.WriteFile(path, raw[:boundary], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	src := NewFileSource(path, true, 5*time.Millisecond)
+	defer src.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	type rec struct {
+		n   int
+		err error
+	}
+	done := make(chan rec, 1)
+	go func() {
+		n := 0
+		for n < total {
+			_, err := src.Next(ctx)
+			if err != nil {
+				done <- rec{n, err}
+				return
+			}
+			n++
+		}
+		done <- rec{n, nil}
+	}()
+
+	// Append the rest in three writes: a torn half-record, its
+	// completion, then the remainder.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := recordBoundary(t, raw, total/3+1)
+	mid := boundary + (next-boundary)/2
+	for _, chunk := range [][]byte{raw[boundary:mid], raw[mid:next], raw[next:]} {
+		time.Sleep(20 * time.Millisecond)
+		if _, err := f.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("tail read failed after %d records: %v", r.n, r.err)
+	}
+	if r.n != total {
+		t.Fatalf("tailed %d records, want %d", r.n, total)
+	}
+}
+
+// recordBoundary returns the byte offset just after the nth record.
+func recordBoundary(t *testing.T, raw []byte, n int) int {
+	t.Helper()
+	cr := &countingReader{r: &sliceReader{b: raw}}
+	rd := mrt.NewReader(cr)
+	for i := 0; i < n; i++ {
+		if _, err := rd.Next(); err != nil {
+			t.Fatalf("boundary scan at record %d: %v", i, err)
+		}
+	}
+	return int(cr.n)
+}
+
+// sliceReader is a bytes.Reader without ReadAt/Seek, so countingReader
+// sees plain sequential reads.
+type sliceReader struct {
+	b   []byte
+	off int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.b[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// splitUpdates splits the fixture stream across parts files in dir at
+// record boundaries and returns the total record count.
+func splitUpdates(t *testing.T, dir string, parts int) int {
+	t.Helper()
+	tmp := t.TempDir()
+	full, total := writeUpdatesFile(t, tmp)
+	raw, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := total / parts
+	start := 0
+	for i := 0; i < parts; i++ {
+		endRec := (i + 1) * per
+		if i == parts-1 {
+			endRec = total
+		}
+		end := recordBoundary(t, raw, endRec)
+		name := filepath.Join(dir, "updates."+string(rune('a'+i))+".mrt")
+		if err := os.WriteFile(name, raw[start:end], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		start = end
+	}
+	return total
+}
+
+func TestDirSourceOneshot(t *testing.T) {
+	dir := t.TempDir()
+	total := splitUpdates(t, dir, 3)
+	src := NewDirSource(dir, "", false, 0)
+	defer src.Close()
+	if got := readAll(t, src); got != total {
+		t.Fatalf("read %d records, want %d", got, total)
+	}
+	if src.Describe() != "dir:"+filepath.Join(dir, "*.mrt") {
+		t.Fatalf("descriptor %q", src.Describe())
+	}
+	if err := src.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, src); got != total {
+		t.Fatalf("after Reset: read %d records, want %d", got, total)
+	}
+}
+
+// TestDirSourceFollow: new files appearing after the current last file
+// is drained are picked up in lexical order.
+func TestDirSourceFollow(t *testing.T) {
+	staging := t.TempDir()
+	total := splitUpdates(t, staging, 3)
+	dir := t.TempDir()
+	cp := func(name string) {
+		b, err := os.ReadFile(filepath.Join(staging, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Write-then-rename, the archive drop convention.
+		tmp := filepath.Join(dir, name+".part")
+		if err := os.WriteFile(tmp, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cp("updates.a.mrt")
+
+	src := NewDirSource(dir, "", true, 5*time.Millisecond)
+	defer src.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	var got int
+	go func() {
+		for got < total {
+			_, err := src.Next(ctx)
+			if err != nil {
+				done <- err
+				return
+			}
+			got++
+		}
+		done <- nil
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cp("updates.b.mrt")
+	time.Sleep(20 * time.Millisecond)
+	cp("updates.c.mrt")
+	if err := <-done; err != nil {
+		t.Fatalf("after %d records: %v", got, err)
+	}
+	if got != total {
+		t.Fatalf("read %d records, want %d", got, total)
+	}
+}
+
+// TestDirSourceMidFileTruncation: a torn non-last file is corruption
+// (later files prove the writer moved on), not an append in progress.
+func TestDirSourceMidFileTruncation(t *testing.T) {
+	dir := t.TempDir()
+	splitUpdates(t, dir, 3)
+	first := filepath.Join(dir, "updates.a.mrt")
+	raw, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(first, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := NewDirSource(dir, "", false, 0)
+	defer src.Close()
+	var lastErr error
+	for {
+		_, err := src.Next(context.Background())
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if !errors.Is(lastErr, mrt.ErrTruncated) || lastErr == mrt.ErrTruncated {
+		t.Fatalf("got %v, want wrapped ErrTruncated", lastErr)
+	}
+}
+
+// TestDirSourceChangedUnderCursor: removing an already-consumed file
+// breaks replayability and must be reported, not ignored.
+func TestDirSourceChangedUnderCursor(t *testing.T) {
+	dir := t.TempDir()
+	splitUpdates(t, dir, 3)
+	src := NewDirSource(dir, "", false, 0)
+	defer src.Close()
+	// Drain past the first file.
+	firstLen := func() int {
+		f, err := os.Open(filepath.Join(dir, "updates.a.mrt"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		rd := mrt.NewReader(f)
+		n := 0
+		for {
+			if _, err := rd.Next(); err != nil {
+				return n
+			}
+			n++
+		}
+	}()
+	for i := 0; i < firstLen+1; i++ {
+		if _, err := src.Next(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, "updates.a.mrt")); err != nil {
+		t.Fatal(err)
+	}
+	// The removal is noticed at the next directory rescan (the next
+	// file-boundary crossing).
+	var lastErr error
+	for {
+		_, err := src.Next(context.Background())
+		if err != nil {
+			lastErr = err
+			break
+		}
+	}
+	if lastErr == nil || lastErr == io.EOF ||
+		!strings.Contains(lastErr.Error(), "changed under the cursor") {
+		t.Fatalf("got %v, want changed-under-cursor error", lastErr)
+	}
+}
+
+// TestStreamFromDirSource runs the full streaming loop over a directory
+// source with a crash, asserting the same recovery contract as the
+// file-source matrix.
+func TestStreamFromDirSource(t *testing.T) {
+	mk := func(dir, stateDir string) Config {
+		return Config{
+			Source:       NewDirSource(dir, "", false, 0),
+			StatePath:    filepath.Join(stateDir, "stream.state"),
+			BatchRecords: 25,
+			Workers:      2,
+			Bootstrap:    testDataset(t),
+			Logf:         t.Logf,
+		}
+	}
+	cleanDir, cleanState := t.TempDir(), t.TempDir()
+	splitUpdates(t, cleanDir, 3)
+	cfgClean := mk(cleanDir, cleanState)
+	cfgClean.Bootstrap = bootstrapDirDataset(t, cleanDir)
+	resClean, err := New(cfgClean).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := os.ReadFile(cfgClean.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	crashDir, crashState := t.TempDir(), t.TempDir()
+	splitUpdates(t, crashDir, 3)
+	cfg := mk(crashDir, crashState)
+	cfg.Bootstrap = bootstrapDirDataset(t, crashDir)
+	s := New(cfg)
+	s.crashHook = func(point string, seq int64) {
+		if point == "pre-commit" && seq == 2 {
+			panic(crashSentinel{point: point, seq: seq})
+		}
+	}
+	if _, _, crashed := runMaybeCrash(context.Background(), s); !crashed {
+		t.Fatal("crash did not fire")
+	}
+	cfg2 := mk(crashDir, crashState)
+	cfg2.Bootstrap = cfg.Bootstrap
+	res, err := New(cfg2).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(cfg2.StatePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(normState(gotBytes)) != string(normState(wantBytes)) {
+		t.Fatal("dir-source state differs from clean run after crash+restart")
+	}
+	if res.Totals != resClean.Totals {
+		t.Fatalf("totals differ: %+v vs %+v", res.Totals, resClean.Totals)
+	}
+}
+
+// bootstrapDirDataset replays a whole directory into a dataset.
+func bootstrapDirDataset(t *testing.T, dir string) *dataset.Dataset {
+	t.Helper()
+	src := NewDirSource(dir, "", false, 0)
+	defer src.Close()
+	rp := mrt.NewReplayer(0, 0)
+	for {
+		rec, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rp.Apply(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return rp.Dataset()
+}
