@@ -56,6 +56,10 @@ type Replayer struct {
 	// changed accumulates prefixes whose table entries were touched
 	// (announced, replaced or withdrawn) since the last TakeChanged.
 	changed map[netip.Prefix]struct{}
+	// unstable accumulates prefixes with at least one route dropped from
+	// a snapshot by the stable-route filter, keyed to the timestamp at
+	// which the youngest dropped route becomes stable (see TakeUnstable).
+	unstable map[netip.Prefix]int64
 }
 
 // NewReplayer builds a Replayer applying the paper's stable-route
@@ -65,10 +69,11 @@ type Replayer struct {
 // the last update timestamp seen.
 func NewReplayer(cutoff, minAge int64) *Replayer {
 	return &Replayer{
-		cutoff:  cutoff,
-		minAge:  minAge,
-		tables:  make(map[peerKey]map[netip.Prefix]replayRoute),
-		changed: make(map[netip.Prefix]struct{}),
+		cutoff:   cutoff,
+		minAge:   minAge,
+		tables:   make(map[peerKey]map[netip.Prefix]replayRoute),
+		changed:  make(map[netip.Prefix]struct{}),
+		unstable: make(map[netip.Prefix]int64),
 	}
 }
 
@@ -145,6 +150,33 @@ func (rp *Replayer) TakeChanged() []netip.Prefix {
 	return out
 }
 
+// MarkChanged re-queues prefixes into the changed set, so the next
+// TakeChanged returns them again. The streaming loop uses it to carry
+// a folded (uncommitted) batch's prefixes into the next batch and to
+// re-snapshot prefixes whose routes have aged into stability.
+func (rp *Replayer) MarkChanged(ps []netip.Prefix) {
+	for _, p := range ps {
+		rp.changed[p] = struct{}{}
+	}
+}
+
+// TakeUnstable drains the prefixes that had at least one route dropped
+// from a snapshot by the stable-route filter since the previous call,
+// each keyed to the stream timestamp at which its youngest dropped
+// route turns stable. Batch mode evaluates stability once at
+// end-of-stream and never needs this; the streaming loop keeps these
+// prefixes pending and re-marks them changed once the stream passes
+// that timestamp, so a quiet prefix announced once is still refined
+// after it ages in instead of being starved forever.
+func (rp *Replayer) TakeUnstable() map[netip.Prefix]int64 {
+	if len(rp.unstable) == 0 {
+		return nil
+	}
+	out := rp.unstable
+	rp.unstable = make(map[netip.Prefix]int64)
+	return out
+}
+
 // Dataset snapshots the full current tables as a dataset (sorted by
 // peer, then prefix), applying the stable-route filter.
 func (rp *Replayer) Dataset() *dataset.Dataset { return rp.DatasetFor(nil) }
@@ -196,6 +228,9 @@ func (rp *Replayer) DatasetFor(prefixes []netip.Prefix) *dataset.Dataset {
 			rt := table[p]
 			if rp.minAge > 0 && int64(rt.learned) > ref-rp.minAge {
 				rp.st.Unstable++
+				if at := int64(rt.learned) + rp.minAge; at > rp.unstable[p] {
+					rp.unstable[p] = at
+				}
 				continue
 			}
 			path := rt.path

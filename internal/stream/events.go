@@ -32,7 +32,7 @@ type Event struct {
 	// Changed counts prefixes whose observations changed in this batch;
 	// Unknown the subset outside the model universe (skipped); Refined
 	// the re-refined remainder.
-	Changed int `json:"changed_prefixes"`
+	Changed int `json:"changed_prefixes,omitempty"`
 	Unknown int `json:"unknown_prefixes,omitempty"`
 	Refined int `json:"refined_prefixes,omitempty"`
 	// Refinement outcome of the batch (zero for quarantined batches).

@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"strconv"
 	"strings"
@@ -47,6 +48,18 @@ type Totals struct {
 	RetriedBatches    int `json:"retried_batches"`
 }
 
+// UnstablePrefix is one pending stable-route exclusion carried in the
+// cursor: Prefix was left out of a committed batch's delta because its
+// youngest route was younger than -min-age at the snapshot, and
+// StableAt is the stream timestamp at which that route turns stable.
+// The loop re-marks the prefix changed once the stream passes StableAt,
+// so a quiet prefix announced once is eventually refined — matching
+// batch mode, where stability is evaluated once at end-of-stream.
+type UnstablePrefix struct {
+	Prefix   netip.Prefix
+	StableAt int64
+}
+
 // Cursor is the committed source position and run parameters. The
 // parameters that define batch boundaries (BatchRecords) and snapshot
 // contents (MinAge) are part of the cursor and validated on resume:
@@ -70,6 +83,11 @@ type Cursor struct {
 	LastTS int64
 	// Totals is the cumulative accounting at commit.
 	Totals Totals
+	// Unstable is the pending stable-route exclusion set at commit,
+	// sorted by prefix. It rides in the cursor so a resumed run
+	// re-includes aged-in prefixes at exactly the batch an uninterrupted
+	// run would.
+	Unstable []UnstablePrefix
 }
 
 // State is one committed stream state: cursor plus the embedded model
@@ -110,6 +128,9 @@ func WriteState(w io.Writer, st *State) error {
 		t.ChangedPrefixes, t.UnknownPrefixes, t.RefinedPrefixes, t.Iterations,
 		t.QuasiRoutersAdded, t.FiltersAdded, t.FiltersRemoved, t.MEDRules,
 		t.LocalPrefRules, t.DivergedPrefixes, t.QuarantinedBatch, t.RetriedBatches)
+	for _, u := range st.Cursor.Unstable {
+		fmt.Fprintf(bw, "unstable %s %d\n", u.Prefix, u.StableAt)
+	}
 	fmt.Fprintln(bw, "checkpoint")
 	if err := bw.Flush(); err != nil {
 		return err
@@ -188,6 +209,19 @@ func LoadState(r io.Reader) (*State, error) {
 				QuasiRoutersAdded: vals[8], FiltersAdded: vals[9], FiltersRemoved: vals[10], MEDRules: vals[11],
 				LocalPrefRules: vals[12], DivergedPrefixes: vals[13], QuarantinedBatch: vals[14], RetriedBatches: vals[15],
 			}
+		case "unstable":
+			if len(f) != 3 {
+				return nil, fail("needs prefix and stable-at")
+			}
+			p, perr := netip.ParsePrefix(f[1])
+			if perr != nil {
+				return nil, fail("bad prefix")
+			}
+			at, aerr := strconv.ParseInt(f[2], 10, 64)
+			if aerr != nil {
+				return nil, fail("bad count")
+			}
+			st.Cursor.Unstable = append(st.Cursor.Unstable, UnstablePrefix{Prefix: p, StableAt: at})
 		case "checkpoint":
 			cp, cerr := model.LoadCheckpoint(br)
 			if cerr != nil {

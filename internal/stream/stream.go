@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/netip"
 	"os"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -134,6 +136,21 @@ type Streamer struct {
 	ticks   atomic.Int64 // progress ticks for the stall watchdog
 	stalled bool
 
+	// base and baseSkipped snapshot the replay/ingest stats at the last
+	// commit (or at start/resume); commit-time totals are deltas against
+	// them, so records folded forward across an uncommitted batch still
+	// land in the cursor accounting of the batch they fold into.
+	base        mrt.ReplayStats
+	baseSkipped int
+	// pending counts records consumed but not yet committed: batches
+	// folded forward because no model could be built from them yet. They
+	// are added to Cursor.Records by the commit that absorbs them.
+	pending int
+	// pendingUnstable mirrors Cursor.Unstable as a map: prefixes whose
+	// routes the stable-route filter dropped from a snapshot, keyed to
+	// the time they age into stability and must be re-snapshotted.
+	pendingUnstable map[netip.Prefix]int64
+
 	// crashHook, when non-nil, is called at scheduled points of the
 	// batch loop ("mid-batch", "pre-commit", "post-commit",
 	// "between-batches") with the upcoming batch sequence number — the
@@ -243,6 +260,7 @@ func (s *Streamer) start(ctx context.Context, span *obs.Span) (recovered bool, e
 		return true, nil
 	case os.IsNotExist(lerr):
 		s.rp = mrt.NewReplayer(0, s.cfg.MinAge)
+		s.pendingUnstable = make(map[netip.Prefix]int64)
 		s.cur = Cursor{
 			Source:       s.cfg.Source.Describe(),
 			BatchRecords: s.cfg.BatchRecords,
@@ -321,6 +339,12 @@ func (s *Streamer) resume(ctx context.Context, span *obs.Span, st *State) error 
 	s.rp = rp
 	s.m = st.Checkpoint.Model
 	s.cur = cur
+	s.base = rp.Stats()
+	s.baseSkipped = s.rep.Skipped
+	s.pendingUnstable = make(map[netip.Prefix]int64, len(cur.Unstable))
+	for _, u := range cur.Unstable {
+		s.pendingUnstable[u.Prefix] = u.StableAt
+	}
 	mRecoveries.Inc()
 	mCursorRecords.Set(cur.Records)
 	mCursorBatches.Set(cur.Batches)
@@ -353,8 +377,6 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 	bspan := span.StartChild("stream.batch", obs.A("seq", seq))
 	defer bspan.End()
 
-	before := s.rp.Stats()
-	skippedBefore := s.rep.Skipped
 	cspan := bspan.StartChild("collect")
 	n := 0
 	eof := false
@@ -406,16 +428,46 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 		return eof, nil
 	}
 
+	// Re-mark prefixes whose excluded routes have aged into stability:
+	// nothing else would ever re-snapshot a quiet prefix announced once
+	// (DESIGN.md §9). The aged set re-enters this batch's changed set
+	// and, being stable now, its routes appear in the delta.
+	if len(s.pendingUnstable) > 0 {
+		ref := s.rp.Stats().LastTimestamp
+		var aged []netip.Prefix
+		for p, at := range s.pendingUnstable {
+			if at <= ref {
+				aged = append(aged, p)
+			}
+		}
+		if len(aged) > 0 {
+			s.rp.MarkChanged(aged)
+			for _, p := range aged {
+				delete(s.pendingUnstable, p)
+			}
+		}
+	}
 	changed := s.rp.TakeChanged()
-	delta := s.rp.DatasetFor(changed)
+	delta := &dataset.Dataset{}
+	if len(changed) > 0 {
+		delta = s.rp.DatasetFor(changed)
+	}
+	for p, at := range s.rp.TakeUnstable() {
+		s.pendingUnstable[p] = at
+	}
 	bootstrap := false
 	if s.m == nil {
 		// First batch of a fresh run without a bootstrap dataset: the
 		// batch's own snapshot defines topology and universe.
 		if delta.Len() == 0 {
-			// Nothing announced yet (withdrawals, non-update records):
-			// fold these records into the next batch — nothing was
-			// committed, so a restart reproduces this deterministically.
+			// Nothing announced yet (withdrawals, non-update records,
+			// still-unstable routes): fold these records — and their
+			// changed prefixes — into the next batch. Nothing was
+			// committed, so a restart reproduces the fold
+			// deterministically, and s.pending accounts the records to
+			// the batch that finally commits.
+			s.rp.MarkChanged(changed)
+			s.pending += n
 			return eof, nil
 		}
 		m, merr := model.NewInitial(topology.FromDataset(delta), dataset.NewUniverse(delta))
@@ -426,10 +478,14 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 		bootstrap = true
 	}
 
+	// The batch absorbs any records folded forward by earlier
+	// uncommitted calls: they are committed — counted in the cursor,
+	// totals and event — exactly once, here.
+	nBatch := s.pending + n
 	ev := Event{
 		Type:      "batch",
 		Seq:       seq,
-		Records:   n,
+		Records:   nBatch,
 		Bootstrap: bootstrap,
 		Changed:   len(changed),
 	}
@@ -471,20 +527,23 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 
 	// Advance and commit: cursor and checkpoint land in one atomic
 	// write, so this batch is either fully committed or never happened.
+	// Deltas run against the last-commit baseline (not this call's
+	// start), so folded records' updates count too.
 	after := s.rp.Stats()
 	t := &s.cur.Totals
-	t.Updates += after.Updates - before.Updates
-	t.Announces += after.Announces - before.Announces
-	t.Withdraws += after.Withdraws - before.Withdraws
-	t.SkippedRecords += s.rep.Skipped - skippedBefore
+	t.Updates += after.Updates - s.base.Updates
+	t.Announces += after.Announces - s.base.Announces
+	t.Withdraws += after.Withdraws - s.base.Withdraws
+	t.SkippedRecords += s.rep.Skipped - s.baseSkipped
 	t.ChangedPrefixes += len(changed)
-	s.cur.Records += int64(n)
+	s.cur.Records += int64(nBatch)
 	s.cur.Batches = seq
 	s.cur.LastTS = after.LastTimestamp
-	ev.Skipped = s.rep.Skipped - skippedBefore
-	ev.Updates = after.Updates - before.Updates
-	ev.Announces = after.Announces - before.Announces
-	ev.Withdraws = after.Withdraws - before.Withdraws
+	s.cur.Unstable = unstableList(s.pendingUnstable)
+	ev.Skipped = s.rep.Skipped - s.baseSkipped
+	ev.Updates = after.Updates - s.base.Updates
+	ev.Announces = after.Announces - s.base.Announces
+	ev.Withdraws = after.Withdraws - s.base.Withdraws
 	ev.CursorRecords = s.cur.Records
 	ev.LastTS = s.cur.LastTS
 
@@ -498,10 +557,13 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 		return false, err
 	}
 	wspan.End()
+	s.base = after
+	s.baseSkipped = s.rep.Skipped
+	s.pending = 0
 	s.hook("post-commit", seq)
 
 	mBatches.Inc()
-	mRecords.Add(int64(n))
+	mRecords.Add(int64(nBatch))
 	mChanged.ObserveInt(len(changed))
 	mBatchSecs.Observe(time.Since(start).Seconds())
 	if s.cur.LastTS > 0 {
@@ -511,12 +573,12 @@ func (s *Streamer) runBatch(ctx context.Context, span *obs.Span) (done bool, err
 	}
 	mCursorRecords.Set(s.cur.Records)
 	mCursorBatches.Set(s.cur.Batches)
-	if s.cur.Totals.QuarantinedBatch > 0 && ev.Quarantined {
+	if ev.Quarantined {
 		mQuarantines.Inc()
 	}
 	s.ticks.Add(1)
 	s.cfg.Logf("stream: batch %d committed: %d records, %d changed prefixes, %d iterations (cursor %d records, last-ts %d)",
-		seq, n, len(changed), ev.Iterations, s.cur.Records, s.cur.LastTS)
+		seq, nBatch, len(changed), ev.Iterations, s.cur.Records, s.cur.LastTS)
 	if s.cfg.Observer != nil {
 		s.cfg.Observer(ev)
 	}
@@ -633,6 +695,26 @@ func (s *Streamer) rollback(delta *dataset.Dataset, bootstrap bool) error {
 	}
 	s.m = st.Checkpoint.Model
 	return nil
+}
+
+// unstableList renders the pending-unstable map in the cursor's
+// canonical order (sorted by prefix), so committed state bytes are
+// deterministic.
+func unstableList(m map[netip.Prefix]int64) []UnstablePrefix {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]UnstablePrefix, 0, len(m))
+	for p, at := range m {
+		out = append(out, UnstablePrefix{Prefix: p, StableAt: at})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
 }
 
 // snapshot builds the embedded checkpoint for the current cursor:

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
+	"net/netip"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -12,6 +14,7 @@ import (
 	"sync"
 	"testing"
 
+	"asmodel/internal/bgp"
 	"asmodel/internal/dataset"
 	"asmodel/internal/gen"
 	"asmodel/internal/model"
@@ -911,6 +914,265 @@ func TestStateRoundtrip(t *testing.T) {
 	for _, cut := range []int{0, 10, len(raw) / 2, len(raw) - 2} {
 		if _, err := LoadState(bytes.NewReader(raw[:cut])); err == nil {
 			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+// --- Folded leading batches ----------------------------------------------
+
+// writeJunkThenUpdates writes `junk` non-MESSAGE BGP4MP records (state
+// changes, as real update feeds open with) followed by the fixture
+// update stream. The replayer consumes but ignores the junk records, so
+// a fresh run without a bootstrap dataset cannot build a model from the
+// leading batches and must fold them forward.
+func writeJunkThenUpdates(t testing.TB, dir string, junk int) (string, int) {
+	t.Helper()
+	path := filepath.Join(dir, "updates.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mrt.NewWriter(f)
+	for i := 0; i < junk; i++ {
+		// Subtype 0 = BGP4MP_STATE_CHANGE; Replayer.Apply ignores it.
+		if err := w.WriteRecord(uint32(900+i), mrt.TypeBGP4MP, 0, make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := mrt.WriteUpdates(f, testDataset(t), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, junk + n
+}
+
+// TestFoldedBatchCrashMatrix: a stream that begins with enough
+// non-update records to fill whole batches. Without -bootstrap those
+// batches cannot build a model, so they fold into the first real one;
+// the absorbing commit must account every folded record exactly once —
+// cursor, totals and batch event — and recovery from a crash at any
+// scheduled point must still be byte-identical to an uninterrupted run.
+func TestFoldedBatchCrashMatrix(t *testing.T) {
+	const batch = 16
+	const junk = 2 * batch
+	run := func(point string, seq int64) ([]byte, *Result, []Event, int) {
+		dir := t.TempDir()
+		path, total := writeJunkThenUpdates(t, dir, junk)
+		var evs []Event
+		mkCfg := func() Config {
+			return Config{
+				Source:       NewFileSource(path, false, 0),
+				StatePath:    filepath.Join(dir, "stream.state"),
+				BatchRecords: batch,
+				Workers:      2,
+				Logf:         t.Logf,
+				Observer:     func(ev Event) { evs = append(evs, ev) },
+			}
+		}
+		if point != "" {
+			s := New(mkCfg())
+			s.crashHook = func(p string, q int64) {
+				if p == point && q == seq {
+					panic(crashSentinel{point: p, seq: q})
+				}
+			}
+			_, _, crashed := runMaybeCrash(context.Background(), s)
+			if !crashed {
+				t.Fatalf("fault %s/%d did not fire", point, seq)
+			}
+		}
+		res, err := New(mkCfg()).Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s/%d: %v", point, seq, err)
+		}
+		st, err := os.ReadFile(filepath.Join(dir, "stream.state"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, res, batchEvents(evs), total
+	}
+
+	wantState, wantRes, wantEvs, total := run("", 0)
+	if wantRes.Records != int64(total) {
+		t.Fatalf("clean run committed %d of %d records", wantRes.Records, total)
+	}
+	if len(wantEvs) == 0 || wantEvs[0].Records != junk+batch {
+		t.Fatalf("first batch should absorb the %d folded junk records: %+v", junk, wantEvs[0])
+	}
+	if wantEvs[0].Updates != batch || wantEvs[0].Announces != batch {
+		t.Fatalf("folded records' replay accounting lost: %+v", wantEvs[0])
+	}
+	if !wantEvs[0].Bootstrap || wantEvs[0].Seq != 1 || wantEvs[0].CursorRecords != int64(junk+batch) {
+		t.Fatalf("first batch malformed: %+v", wantEvs[0])
+	}
+
+	faults := []struct {
+		point string
+		seq   int64
+	}{
+		{"mid-batch", 1},   // during the junk prefix, nothing committed yet
+		{"pre-commit", 1},  // after the folds, before the absorbing commit
+		{"post-commit", 1}, // absorbing commit landed, baselines just reset
+		{"between-batches", 1},
+		{"pre-commit", 2},
+	}
+	for _, f := range faults {
+		gotState, gotRes, _, _ := run(f.point, f.seq)
+		if !bytes.Equal(normState(gotState), normState(wantState)) {
+			t.Errorf("%s/%d: final state differs from clean run", f.point, f.seq)
+		}
+		if gotRes.Records != wantRes.Records || gotRes.Batches != wantRes.Batches ||
+			gotRes.LastTS != wantRes.LastTS || gotRes.Totals != wantRes.Totals {
+			t.Errorf("%s/%d: result differs:\n  got:  %+v\n  want: %+v", f.point, f.seq, *gotRes, *wantRes)
+		}
+	}
+}
+
+// --- -min-age age-in ------------------------------------------------------
+
+// ageInStream writes a hand-timed single-peer update stream: P1
+// (10.1.0.0/16) is announced once at ts 1000 and never touched again;
+// two later waves of filler prefixes advance the stream clock. With
+// -min-age 20 and -batch 4 the batches snapshot as:
+//
+//	batch 1 (ref 1007): all four prefixes unstable, delta empty
+//	batch 2 (ref 1053): P1 aged in (stable at 1020) and is refined now
+//	batch 3 (ref 1103): the batch-2 fillers aged in and are refined
+//
+// leaving the batch-3 fillers (stable at 1120..1123) pending in the
+// final cursor.
+func ageInStream(t testing.TB, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "updates.mrt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := mrt.NewWriter(f)
+	local := netip.MustParseAddr("10.253.0.1")
+	peer := netip.MustParseAddr("10.254.0.0")
+	ann := func(ts uint32, nth int) {
+		u := &mrt.Update{
+			Attrs: &mrt.PathAttrs{
+				Origin:   bgp.OriginIGP,
+				Segments: mrt.SequencePath(bgp.Path{65001, bgp.ASN(100 + nth)}),
+				NextHop:  peer,
+			},
+			NLRI: []netip.Prefix{netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", 1+nth))},
+		}
+		if err := w.WriteBGP4MPUpdate(ts, 65001, 65000, peer, local, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ann(1000, 0) // P1, announced exactly once
+	for i, ts := range []uint32{1005, 1006, 1007} {
+		ann(ts, 1+i)
+	}
+	for i, ts := range []uint32{1050, 1051, 1052, 1053} {
+		ann(ts, 1+i)
+	}
+	for i, ts := range []uint32{1100, 1101, 1102, 1103} {
+		ann(ts, 5+i)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMinAgeAgeIn pins the -min-age liveness contract: a quiet prefix
+// whose routes were too young at its batch's snapshot is kept pending
+// (in the cursor, so crashes preserve it) and re-refined in the first
+// batch after the stream passes its stability time — instead of being
+// starved out of the model forever.
+func TestMinAgeAgeIn(t *testing.T) {
+	run := func(point string, seq int64) ([]byte, *Result, []Event) {
+		dir := t.TempDir()
+		path := ageInStream(t, dir)
+		var evs []Event
+		mkCfg := func() Config {
+			return Config{
+				Source:       NewFileSource(path, false, 0),
+				StatePath:    filepath.Join(dir, "stream.state"),
+				BatchRecords: 4,
+				MinAge:       20,
+				Workers:      1,
+				Bootstrap:    bootstrapDataset(t, path),
+				Logf:         t.Logf,
+				Observer:     func(ev Event) { evs = append(evs, ev) },
+			}
+		}
+		if point != "" {
+			s := New(mkCfg())
+			s.crashHook = func(p string, q int64) {
+				if p == point && q == seq {
+					panic(crashSentinel{point: p, seq: q})
+				}
+			}
+			_, _, crashed := runMaybeCrash(context.Background(), s)
+			if !crashed {
+				t.Fatalf("fault %s/%d did not fire", point, seq)
+			}
+		}
+		res, err := New(mkCfg()).Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s/%d: %v", point, seq, err)
+		}
+		st, err := os.ReadFile(filepath.Join(dir, "stream.state"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, res, batchEvents(evs)
+	}
+
+	wantState, wantRes, wantEvs := run("", 0)
+	if len(wantEvs) != 3 {
+		t.Fatalf("want 3 batches, got %d: %+v", len(wantEvs), wantEvs)
+	}
+	for i, want := range []struct{ changed, refined int }{{4, 0}, {5, 1}, {8, 4}} {
+		if wantEvs[i].Changed != want.changed || wantEvs[i].Refined != want.refined {
+			t.Errorf("batch %d: changed=%d refined=%d, want %d/%d (aged-in prefixes must be re-refined)",
+				i+1, wantEvs[i].Changed, wantEvs[i].Refined, want.changed, want.refined)
+		}
+	}
+
+	// The final cursor carries the still-pending batch-3 fillers, and
+	// the unstable lines survive a state round-trip byte-for-byte.
+	st, err := LoadState(bytes.NewReader(wantState))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Cursor.Unstable) != 4 {
+		t.Fatalf("final cursor pending-unstable = %+v, want 4 entries", st.Cursor.Unstable)
+	}
+	for i, u := range st.Cursor.Unstable {
+		if want := int64(1120 + i); u.StableAt != want {
+			t.Errorf("unstable[%d] = %+v, want stable-at %d", i, u, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteState(&buf, st); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), wantState) {
+		t.Fatal("state with unstable entries does not round-trip byte-identically")
+	}
+
+	// Crash schedules: the pending set rides in the cursor, so recovery
+	// re-includes aged-in prefixes at exactly the batch a clean run does.
+	for _, f := range []struct {
+		point string
+		seq   int64
+	}{{"between-batches", 1}, {"pre-commit", 2}, {"post-commit", 2}} {
+		gotState, gotRes, _ := run(f.point, f.seq)
+		if !bytes.Equal(normState(gotState), normState(wantState)) {
+			t.Errorf("%s/%d: final state differs from clean run", f.point, f.seq)
+		}
+		if gotRes.Totals != wantRes.Totals {
+			t.Errorf("%s/%d: totals differ:\n  got:  %+v\n  want: %+v", f.point, f.seq, gotRes.Totals, wantRes.Totals)
 		}
 	}
 }
